@@ -1,0 +1,148 @@
+// Ablation microbenchmarks (google-benchmark) for the design choices
+// DESIGN.md calls out:
+//   1. feed joint short-circuit vs shared mode (Data Bucket overhead),
+//   2. frame size (records per frame) on the joint delivery path,
+//   3. ack grouping window (messages saved by grouping, §5.6),
+//   4. the storage write path (LSM insert, WAL append),
+//   5. ADM parse/serialize (the intake translation step).
+#include <benchmark/benchmark.h>
+
+#include "adm/parser.h"
+#include "feeds/ack.h"
+#include "feeds/joint.h"
+#include "gen/tweetgen.h"
+#include "storage/key.h"
+#include "storage/lsm_index.h"
+#include "storage/wal.h"
+
+namespace asterix {
+namespace {
+
+using adm::Value;
+using hyracks::FramePtr;
+using hyracks::MakeFrame;
+
+FramePtr SampleFrame(int records) {
+  gen::TweetFactory factory(0);
+  std::vector<Value> batch;
+  for (int i = 0; i < records; ++i) batch.push_back(factory.NextTweet());
+  return MakeFrame(std::move(batch));
+}
+
+/// Ablation 1: joint delivery with N subscribers (1 = short-circuit,
+/// no Data Bucket; >1 = shared mode with refcounted buckets).
+void BM_JointDelivery(benchmark::State& state) {
+  int subscribers = static_cast<int>(state.range(0));
+  feeds::FeedJoint joint("bench");
+  std::vector<std::shared_ptr<feeds::SubscriberQueue>> queues;
+  feeds::SubscriberOptions options;
+  options.memory_budget_bytes = 1LL << 40;  // never throttle here
+  for (int s = 0; s < subscribers; ++s) {
+    queues.push_back(joint.Subscribe(options));
+  }
+  FramePtr frame = SampleFrame(64);
+  for (auto _ : state) {
+    joint.NextFrame(frame);
+    for (auto& queue : queues) {
+      benchmark::DoNotOptimize(queue->Next(0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(subscribers == 1 ? "short-circuit" : "shared/buckets");
+}
+BENCHMARK(BM_JointDelivery)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Ablation 2: frame size — batching granularity of the delivery path.
+void BM_FrameSize(benchmark::State& state) {
+  int records_per_frame = static_cast<int>(state.range(0));
+  feeds::FeedJoint joint("bench");
+  feeds::SubscriberOptions options;
+  options.memory_budget_bytes = 1LL << 40;
+  auto queue = joint.Subscribe(options);
+  FramePtr frame = SampleFrame(records_per_frame);
+  for (auto _ : state) {
+    joint.NextFrame(frame);
+    benchmark::DoNotOptimize(queue->Next(0));
+  }
+  state.SetItemsProcessed(state.iterations() * records_per_frame);
+}
+BENCHMARK(BM_FrameSize)->Arg(1)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+
+/// Ablation 3: ack grouping — messages published per 10k acks as the
+/// grouping window varies (0ms = ungrouped).
+void BM_AckGrouping(benchmark::State& state) {
+  int64_t window_ms = state.range(0);
+  for (auto _ : state) {
+    auto bus = std::make_shared<feeds::AckBus>();
+    int64_t received = 0;
+    bus->Register("c", 0, [&](const std::vector<int64_t>& tids) {
+      received += static_cast<int64_t>(tids.size());
+    });
+    feeds::AckCollector collector(bus, "c", window_ms);
+    for (int i = 0; i < 10000; ++i) {
+      collector.OnPersisted(feeds::MakeTrackingId(0, i));
+    }
+    collector.Flush();
+    benchmark::DoNotOptimize(received);
+    state.counters["msgs_per_10k_acks"] = static_cast<double>(
+        bus->messages_published());
+  }
+}
+BENCHMARK(BM_AckGrouping)->Arg(0)->Arg(10)->Arg(100);
+
+/// Substrate: LSM insert path (memtable + periodic flush/merge).
+void BM_LsmInsert(benchmark::State& state) {
+  storage::LsmIndex index;
+  gen::TweetFactory factory(0);
+  int64_t i = 0;
+  for (auto _ : state) {
+    Value tweet = factory.NextTweet();
+    auto key = storage::EncodeKey(Value::Int64(i++)).value();
+    benchmark::DoNotOptimize(index.Insert(key, std::move(tweet)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LsmInsert);
+
+/// Substrate: WAL append (non-durable buffering).
+void BM_WalAppend(benchmark::State& state) {
+  storage::Wal wal("/tmp/asterix_bench.wal");
+  wal.Open();
+  gen::TweetFactory factory(0);
+  std::string payload = factory.NextTweetText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.Append(payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+  std::remove("/tmp/asterix_bench.wal");
+}
+BENCHMARK(BM_WalAppend);
+
+/// Intake translation: parse one serialized tweet into ADM.
+void BM_AdmParse(benchmark::State& state) {
+  gen::TweetFactory factory(0);
+  std::string text = factory.NextTweetText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adm::ParseAdm(text));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_AdmParse);
+
+/// Serialization: the inverse path (spills, WAL payloads, channels).
+void BM_AdmSerialize(benchmark::State& state) {
+  gen::TweetFactory factory(0);
+  Value tweet = factory.NextTweet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tweet.ToAdmString());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdmSerialize);
+
+}  // namespace
+}  // namespace asterix
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Figures 6.4 / 6.5 — Instantaneous ingestion throughput with interim
+// hardware failures.
+//
+// Paper setup: a cascade of TweetGenFeed (primary, raw tweets) and
+// ProcessedTweetGenFeed (secondary, hashtag Java UDF), fed by two
+// TweetGen instances at 5000 tps each, connected with the FaultTolerant
+// policy. Node C (a compute node of the secondary) fails at t=70s; nodes
+// A (an intake node) and D (a compute node) fail together at t=140s.
+// Paper result: each failure shows as a dip in the affected feed's
+// instantaneous throughput with recovery within 2-4 seconds, and the
+// primary feed is NOT disturbed by the secondary's compute-node loss
+// (fault isolation). This harness time-scales 10x: a 21s run with kills
+// at t=7s and t=14s.
+#include "bench/bench_util.h"
+
+using namespace asterix;        // NOLINT
+using namespace asterix::bench;  // NOLINT
+
+namespace {
+std::vector<int64_t> Rebin(const std::vector<int64_t>& fine, int group) {
+  std::vector<int64_t> coarse;
+  for (size_t i = 0; i < fine.size(); i += group) {
+    int64_t sum = 0;
+    for (size_t j = i; j < std::min(fine.size(), i + group); ++j) {
+      sum += fine[j];
+    }
+    coarse.push_back(sum);
+  }
+  return coarse;
+}
+}  // namespace
+
+int main() {
+  Banner("Figure 6.5",
+         "instantaneous throughput under interim hardware failures");
+
+  InstanceOptions options;
+  options.num_nodes = 8;  // A..H
+  // Slow the failure detector to the paper's timebase (heartbeat
+  // timeouts of seconds) so the recovery dip is visible in the bins.
+  options.heartbeat_timeout_ms = 1200;
+  AsterixInstance db(options);
+  db.Start();
+
+  gen::TweetGenServer gen_one(0, gen::Pattern::Constant(3500, 21000));
+  gen::TweetGenServer gen_two(1, gen::Pattern::Constant(3500, 21000));
+  feeds::ExternalSourceRegistry::Instance().RegisterChannel(
+      "tg:1", &gen_one.channel());
+  feeds::ExternalSourceRegistry::Instance().RegisterChannel(
+      "tg:2", &gen_two.channel());
+
+  db.CreateDataset(TweetsDataset("Tweets", {"G"}));
+  db.CreateDataset(TweetsDataset("ProcessedTweets", {"H"}));
+  db.InstallUdf(feeds::AqlUdf::ExtractHashtags("addHashTags"));
+
+  feeds::FeedDef primary;
+  primary.name = "TweetGenFeed";
+  primary.adaptor_alias = "TweetGenAdaptor";
+  primary.adaptor_config = {{"sockets", "tg:1, tg:2"}};
+  db.CreateFeed(primary);
+  feeds::FeedDef secondary;
+  secondary.name = "ProcessedTweetGenFeed";
+  secondary.is_primary = false;
+  secondary.parent_feed = "TweetGenFeed";
+  secondary.udf = "addHashTags";
+  db.CreateFeed(secondary);
+
+  // As in the paper, the secondary is connected BEFORE its parent; the
+  // parent then reuses the head section the secondary built.
+  feeds::ConnectOptions copts;
+  copts.compute_locations = {"C", "D"};  // pin compute for the script
+  db.ConnectFeed("ProcessedTweetGenFeed", "ProcessedTweets",
+                 "FaultTolerant", copts);
+  db.ConnectFeed("TweetGenFeed", "Tweets", "FaultTolerant");
+
+  auto raw_conn = db.feed_manager().GetConnection("TweetGenFeed", "Tweets");
+  std::printf("intake nodes: %s %s; secondary compute: C D; stores: G H\n",
+              raw_conn->intake_locations[0].c_str(),
+              raw_conn->intake_locations.size() > 1
+                  ? raw_conn->intake_locations[1].c_str()
+                  : "-");
+
+  auto raw = db.FeedMetrics("TweetGenFeed", "Tweets");
+  auto processed =
+      db.FeedMetrics("ProcessedTweetGenFeed", "ProcessedTweets");
+
+  gen_one.Start();
+  gen_two.Start();
+
+  common::SleepMillis(7000);
+  std::printf("t=7s : killing node C (compute, secondary feed)\n");
+  db.KillNode("C");
+
+  common::SleepMillis(7000);
+  std::printf("t=14s: killing node A (intake) and node D (compute)\n");
+  db.KillNode("A");
+  db.KillNode("D");
+
+  gen_one.Join();
+  gen_two.Join();
+  common::SleepMillis(1500);  // let the tail of the stream drain
+
+  int64_t sent = gen_one.tweets_sent() + gen_two.tweets_sent();
+  // 500ms bins (the underlying recorder uses 250ms bins).
+  std::vector<std::string> marks(46);
+  marks[14] = "<- node C fails";
+  marks[28] = "<- nodes A and D fail";
+  PrintTimeline("TweetGenFeed (primary)",
+                Rebin(raw->store_timeline.Series(), 2), 500, marks);
+  PrintTimeline("ProcessedTweetGenFeed (secondary)",
+                Rebin(processed->store_timeline.Series(), 2), 500,
+                marks);
+
+  std::printf("\nsource sent: %lld;  raw persisted: %lld;  processed "
+              "persisted: %lld\n",
+              static_cast<long long>(sent),
+              static_cast<long long>(db.CountDataset("Tweets").value()),
+              static_cast<long long>(
+                  db.CountDataset("ProcessedTweets").value()));
+  std::printf(
+      "shape check (paper): the t=7s failure dips ONLY the secondary "
+      "feed (fault isolation); the t=14s double failure dips both; each "
+      "recovery completes within a few bins (2-4s in the paper's "
+      "timebase).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Shared helpers for the experiment harness. Each bench binary
+// regenerates one table or figure of the dissertation's evaluation,
+// printing the same rows/series the paper reports (time-scaled: the
+// workload *shapes* are preserved, absolute numbers are not comparable to
+// the authors' 2014 testbed).
+#ifndef ASTERIX_BENCH_BENCH_UTIL_H_
+#define ASTERIX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "asterix/asterix.h"
+#include "common/clock.h"
+#include "feeds/udf.h"
+#include "gen/simcpu.h"
+#include "gen/tweetgen.h"
+
+namespace asterix {
+namespace bench {
+
+inline void Banner(const std::string& id, const std::string& what) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline storage::DatasetDef TweetsDataset(
+    const std::string& name, std::vector<std::string> nodegroup = {}) {
+  storage::DatasetDef def;
+  def.name = name;
+  def.datatype = "Tweet";
+  def.primary_key_field = "id";
+  def.nodegroup = std::move(nodegroup);
+  return def;
+}
+
+/// Prints a per-bin timeline ("instantaneous throughput") with an ASCII
+/// bar so the figure's shape is visible in the console.
+inline void PrintTimeline(const std::string& label,
+                          const std::vector<int64_t>& bins,
+                          int64_t bin_width_ms,
+                          const std::vector<std::string>& marks = {}) {
+  std::printf("\n%s (records per %lldms bin)\n", label.c_str(),
+              static_cast<long long>(bin_width_ms));
+  int64_t peak = 1;
+  for (int64_t v : bins) peak = std::max(peak, v);
+  for (size_t i = 0; i < bins.size(); ++i) {
+    int width = static_cast<int>(50 * bins[i] / peak);
+    std::string bar(width, '#');
+    std::string mark = i < marks.size() ? marks[i] : "";
+    std::printf("  t=%6lldms %8lld |%-50s| %s\n",
+                static_cast<long long>(i * bin_width_ms),
+                static_cast<long long>(bins[i]), bar.c_str(),
+                mark.c_str());
+  }
+}
+
+/// Waits until `predicate` holds or the timeout elapses.
+template <typename Predicate>
+bool WaitFor(Predicate predicate, int64_t timeout_ms) {
+  common::Stopwatch watch;
+  while (watch.ElapsedMillis() < timeout_ms) {
+    if (predicate()) return true;
+    common::SleepMillis(20);
+  }
+  return predicate();
+}
+
+/// A synthetic "Java" UDF with a fixed per-record service time. The
+/// dissertation's synthetic UDFs busy-spin; on this (often single-core)
+/// harness host a busy spin cannot exhibit partitioned parallelism, so
+/// cost is modelled as a clocked delay instead: one compute instance
+/// still processes serially at 1/cost records/sec, and adding instances
+/// adds genuine capacity. See DESIGN.md (substitutions).
+inline std::shared_ptr<feeds::Udf> ServiceUdf(const std::string& library,
+                                              const std::string& name,
+                                              int64_t service_us) {
+  return std::make_shared<feeds::JavaUdf>(
+      library, name,
+      [service_us](const adm::Value& record) -> std::optional<adm::Value> {
+        common::SleepMicros(service_us);
+        return record;
+      });
+}
+
+/// A synthetic UDF consuming `cost_us` of a shared SimulatedCpu — used by
+/// the experiments whose effect is CPU *contention* (Figure 5.13).
+inline std::shared_ptr<feeds::Udf> CpuUdf(const std::string& library,
+                                          const std::string& name,
+                                          gen::SimulatedCpu* cpu,
+                                          int64_t cost_us) {
+  return std::make_shared<feeds::JavaUdf>(
+      library, name,
+      [cpu, cost_us](const adm::Value& record) -> std::optional<adm::Value> {
+        cpu->Consume(cost_us);
+        return record;
+      });
+}
+
+}  // namespace bench
+}  // namespace asterix
+
+#endif  // ASTERIX_BENCH_BENCH_UTIL_H_

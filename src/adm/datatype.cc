@@ -1,0 +1,97 @@
+#include "adm/datatype.h"
+
+namespace asterix {
+namespace adm {
+
+using common::Status;
+
+const FieldDef* Datatype::FindField(const std::string& field_name) const {
+  for (const FieldDef& f : fields_) {
+    if (f.name == field_name) return &f;
+  }
+  return nullptr;
+}
+
+Status TypeRegistry::Register(Datatype type) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string name = type.name();  // read before the move below
+  auto [it, inserted] = types_.emplace(std::move(name), std::move(type));
+  if (!inserted) {
+    return Status::AlreadyExists("datatype '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+const Datatype* TypeRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = types_.find(name);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> TypeRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& [name, type] : types_) names.push_back(name);
+  return names;
+}
+
+Status TypeRegistry::Conforms(const Value& record,
+                              const std::string& type_name) const {
+  const Datatype* type = Find(type_name);
+  if (type == nullptr) {
+    return Status::NotFound("unknown datatype '" + type_name + "'");
+  }
+  if (!record.is_record()) {
+    return Status::InvalidArgument("value of type '" +
+                                   std::string(TypeTagName(record.tag())) +
+                                   "' is not a record");
+  }
+  // Declared fields: presence and tags.
+  for (const FieldDef& field : type->fields()) {
+    const Value* v = record.GetField(field.name);
+    if (v == nullptr || v->is_null()) {
+      if (field.optional) continue;
+      return Status::InvalidArgument("missing required field '" +
+                                     field.name + "' for type '" +
+                                     type_name + "'");
+    }
+    if (v->tag() != field.tag) {
+      return Status::InvalidArgument(
+          "field '" + field.name + "' has tag " + TypeTagName(v->tag()) +
+          ", expected " + TypeTagName(field.tag));
+    }
+    if (field.tag == TypeTag::kRecord && !field.nested_type.empty()) {
+      Status nested = Conforms(*v, field.nested_type);
+      if (!nested.ok()) {
+        return Status::InvalidArgument("in field '" + field.name +
+                                       "': " + nested.message());
+      }
+    }
+    if (field.tag == TypeTag::kOrderedList) {
+      for (const Value& item : v->AsList()) {
+        if (item.tag() != field.element_tag) {
+          return Status::InvalidArgument(
+              "list field '" + field.name + "' has element of tag " +
+              TypeTagName(item.tag()) + ", expected " +
+              TypeTagName(field.element_tag));
+        }
+      }
+    }
+  }
+  // Closed types: reject undeclared fields.
+  if (!type->open()) {
+    for (const auto& [name, v] : record.AsRecord()) {
+      if (type->FindField(name) == nullptr) {
+        return Status::InvalidArgument("closed type '" + type_name +
+                                       "' does not admit field '" + name +
+                                       "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace adm
+}  // namespace asterix

@@ -1,0 +1,106 @@
+// Datatype definitions: named record types with open/closed semantics and
+// optional fields, mirroring AsterixDB's `create type ... as open {...}`.
+#ifndef ASTERIX_ADM_DATATYPE_H_
+#define ASTERIX_ADM_DATATYPE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace adm {
+
+/// One declared field of a record type.
+struct FieldDef {
+  std::string name;
+  TypeTag tag = TypeTag::kString;
+  /// For kRecord fields: the name of the nested record type ("" = any).
+  std::string nested_type;
+  /// For kOrderedList fields: element type tag.
+  TypeTag element_tag = TypeTag::kString;
+  /// Optional fields ("type?") may be absent or null.
+  bool optional = false;
+};
+
+/// A named record type. Open types admit undeclared extra fields; closed
+/// types reject them.
+class Datatype {
+ public:
+  Datatype(std::string name, bool open, std::vector<FieldDef> fields)
+      : name_(std::move(name)), open_(open), fields_(std::move(fields)) {}
+
+  const std::string& name() const { return name_; }
+  bool open() const { return open_; }
+  const std::vector<FieldDef>& fields() const { return fields_; }
+
+  const FieldDef* FindField(const std::string& field_name) const;
+
+ private:
+  std::string name_;
+  bool open_;
+  std::vector<FieldDef> fields_;
+};
+
+/// Thread-safe registry of datatypes (the datatype slice of the Metadata
+/// dataverse).
+class TypeRegistry {
+ public:
+  common::Status Register(Datatype type);
+  const Datatype* Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// Checks that `record` conforms to type `type_name`:
+  ///  - it is a record,
+  ///  - every non-optional declared field is present with the right tag,
+  ///  - optional fields are absent, null, or correctly typed,
+  ///  - closed types carry no undeclared fields.
+  /// Nested record fields are validated recursively when their
+  /// `nested_type` is registered.
+  common::Status Conforms(const Value& record,
+                          const std::string& type_name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Datatype> types_;
+};
+
+/// Convenience builder for declaring datatypes fluently in tests/examples.
+class TypeBuilder {
+ public:
+  explicit TypeBuilder(std::string name, bool open = true)
+      : name_(std::move(name)), open_(open) {}
+
+  TypeBuilder& Field(std::string field, TypeTag tag, bool optional = false) {
+    fields_.push_back({std::move(field), tag, "", TypeTag::kString,
+                       optional});
+    return *this;
+  }
+  TypeBuilder& RecordField(std::string field, std::string nested_type,
+                           bool optional = false) {
+    fields_.push_back({std::move(field), TypeTag::kRecord,
+                       std::move(nested_type), TypeTag::kString, optional});
+    return *this;
+  }
+  TypeBuilder& ListField(std::string field, TypeTag element_tag,
+                         bool optional = false) {
+    fields_.push_back({std::move(field), TypeTag::kOrderedList, "",
+                       element_tag, optional});
+    return *this;
+  }
+  Datatype Build() { return Datatype(name_, open_, std::move(fields_)); }
+
+ private:
+  std::string name_;
+  bool open_;
+  std::vector<FieldDef> fields_;
+};
+
+}  // namespace adm
+}  // namespace asterix
+
+#endif  // ASTERIX_ADM_DATATYPE_H_

@@ -1,0 +1,259 @@
+#include "adm/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace asterix {
+namespace adm {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Parse() {
+    SkipWs();
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::Corruption("ADM parse error at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool Consume(char c) {
+    if (!Eof() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    if (Eof()) return Error("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseRecord();
+      case '[':
+        return ParseList();
+      case '"':
+        return ParseString();
+      case 't':
+        if (ConsumeWord("true")) return Value::Boolean(true);
+        return Error("expected 'true'");
+      case 'f':
+        if (ConsumeWord("false")) return Value::Boolean(false);
+        return Error("expected 'false'");
+      case 'n':
+        if (ConsumeWord("null")) return Value::Null();
+        return Error("expected 'null'");
+      case 'p':
+        return ParsePoint();
+      case 'd':
+        return ParseDatetime();
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+          return ParseNumber();
+        }
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<Value> ParseRecord() {
+    ++pos_;  // '{'
+    FieldVec fields;
+    SkipWs();
+    if (Consume('}')) return Value::Record(std::move(fields));
+    while (true) {
+      SkipWs();
+      if (Eof() || Peek() != '"') return Error("expected field name");
+      auto name = ParseRawString();
+      if (!name.ok()) return name.status();
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':' after field name");
+      SkipWs();
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      fields.emplace_back(std::move(name).value(),
+                          std::move(value).value());
+      SkipWs();
+      if (Consume('}')) return Value::Record(std::move(fields));
+      if (!Consume(',')) return Error("expected ',' or '}' in record");
+    }
+  }
+
+  Result<Value> ParseList() {
+    ++pos_;  // '['
+    ListVec items;
+    SkipWs();
+    if (Consume(']')) return Value::List(std::move(items));
+    while (true) {
+      SkipWs();
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      items.push_back(std::move(value).value());
+      SkipWs();
+      if (Consume(']')) return Value::List(std::move(items));
+      if (!Consume(',')) return Error("expected ',' or ']' in list");
+    }
+  }
+
+  Result<std::string> ParseRawString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (Eof()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (Eof()) return Error("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          default:
+            return Error(std::string("bad escape '\\") + e + "'");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Result<Value> ParseString() {
+    auto raw = ParseRawString();
+    if (!raw.ok()) return raw.status();
+    return Value::String(std::move(raw).value());
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    bool is_double = false;
+    while (!Eof()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                 c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        // '+'/'-' only valid inside an exponent; the strtod/strtoll
+        // validation below catches misuse.
+        if (c == '+' || c == '-') {
+          char prev = text_[pos_ - 1];
+          if (prev != 'e' && prev != 'E') break;
+        }
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") return Error("malformed number");
+    char* end = nullptr;
+    if (is_double) {
+      double d = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size()) {
+        return Error("malformed double '" + token + "'");
+      }
+      return Value::Double(d);
+    }
+    long long i = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed integer '" + token + "'");
+    }
+    return Value::Int64(static_cast<int64_t>(i));
+  }
+
+  Result<Value> ParsePoint() {
+    if (!ConsumeWord("point")) return Error("expected 'point'");
+    SkipWs();
+    if (!Consume('(')) return Error("expected '(' after point");
+    SkipWs();
+    auto x = ParseNumber();
+    if (!x.ok()) return x;
+    SkipWs();
+    if (!Consume(',')) return Error("expected ',' in point");
+    SkipWs();
+    auto y = ParseNumber();
+    if (!y.ok()) return y;
+    SkipWs();
+    if (!Consume(')')) return Error("expected ')' after point");
+    return Value::MakePoint(x.value().AsNumber(), y.value().AsNumber());
+  }
+
+  Result<Value> ParseDatetime() {
+    if (!ConsumeWord("datetime")) return Error("expected 'datetime'");
+    SkipWs();
+    if (!Consume('(')) return Error("expected '(' after datetime");
+    SkipWs();
+    auto ms = ParseNumber();
+    if (!ms.ok()) return ms;
+    SkipWs();
+    if (!Consume(')')) return Error("expected ')' after datetime");
+    if (ms.value().tag() != TypeTag::kInt64) {
+      return Error("datetime requires an integer epoch-ms argument");
+    }
+    return Value::Datetime(ms.value().AsInt64());
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+common::Result<Value> ParseAdm(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace adm
+}  // namespace asterix

@@ -1,0 +1,24 @@
+// Parser for ADM text: JSON plus the constructor forms point(x, y) and
+// datetime(epoch_ms). This is the translation step every feed adaptor
+// performs on raw external data before records enter the pipeline.
+#ifndef ASTERIX_ADM_PARSER_H_
+#define ASTERIX_ADM_PARSER_H_
+
+#include <string_view>
+
+#include "adm/value.h"
+#include "common/result.h"
+
+namespace asterix {
+namespace adm {
+
+/// Parses a single ADM value from `text`. The whole input must be consumed
+/// (trailing whitespace allowed). Malformed input yields a Corruption
+/// status whose message pinpoints the offset — this is the error surfaced
+/// as a *soft failure* during ingestion.
+common::Result<Value> ParseAdm(std::string_view text);
+
+}  // namespace adm
+}  // namespace asterix
+
+#endif  // ASTERIX_ADM_PARSER_H_

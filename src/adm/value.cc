@@ -1,0 +1,342 @@
+#include "adm/value.h"
+
+#include <cassert>
+#include <cstdio>
+#include <string_view>
+
+namespace asterix {
+namespace adm {
+
+const char* TypeTagName(TypeTag tag) {
+  switch (tag) {
+    case TypeTag::kNull:
+      return "null";
+    case TypeTag::kBoolean:
+      return "boolean";
+    case TypeTag::kInt64:
+      return "int64";
+    case TypeTag::kDouble:
+      return "double";
+    case TypeTag::kString:
+      return "string";
+    case TypeTag::kPoint:
+      return "point";
+    case TypeTag::kDatetime:
+      return "datetime";
+    case TypeTag::kOrderedList:
+      return "orderedlist";
+    case TypeTag::kRecord:
+      return "record";
+  }
+  return "?";
+}
+
+Value Value::Boolean(bool b) {
+  Value v;
+  v.tag_ = TypeTag::kBoolean;
+  v.data_ = b;
+  return v;
+}
+
+Value Value::Int64(int64_t i) {
+  Value v;
+  v.tag_ = TypeTag::kInt64;
+  v.data_ = i;
+  return v;
+}
+
+Value Value::Double(double d) {
+  Value v;
+  v.tag_ = TypeTag::kDouble;
+  v.data_ = d;
+  return v;
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.tag_ = TypeTag::kString;
+  v.data_ = std::move(s);
+  return v;
+}
+
+Value Value::MakePoint(double x, double y) {
+  Value v;
+  v.tag_ = TypeTag::kPoint;
+  v.data_ = Point{x, y};
+  return v;
+}
+
+Value Value::Datetime(int64_t epoch_ms) {
+  Value v;
+  v.tag_ = TypeTag::kDatetime;
+  v.data_ = epoch_ms;
+  return v;
+}
+
+Value Value::List(ListVec items) {
+  Value v;
+  v.tag_ = TypeTag::kOrderedList;
+  v.data_ = std::make_shared<ListVec>(std::move(items));
+  return v;
+}
+
+Value Value::Record(FieldVec fields) {
+  Value v;
+  v.tag_ = TypeTag::kRecord;
+  v.data_ = std::make_shared<FieldVec>(std::move(fields));
+  return v;
+}
+
+bool Value::AsBoolean() const {
+  assert(tag_ == TypeTag::kBoolean);
+  return std::get<bool>(data_);
+}
+
+int64_t Value::AsInt64() const {
+  assert(tag_ == TypeTag::kInt64);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  assert(tag_ == TypeTag::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  assert(tag_ == TypeTag::kString);
+  return std::get<std::string>(data_);
+}
+
+const Point& Value::AsPoint() const {
+  assert(tag_ == TypeTag::kPoint);
+  return std::get<Point>(data_);
+}
+
+int64_t Value::AsDatetime() const {
+  assert(tag_ == TypeTag::kDatetime);
+  return std::get<int64_t>(data_);
+}
+
+const ListVec& Value::AsList() const {
+  assert(tag_ == TypeTag::kOrderedList);
+  return *std::get<std::shared_ptr<ListVec>>(data_);
+}
+
+const FieldVec& Value::AsRecord() const {
+  assert(tag_ == TypeTag::kRecord);
+  return *std::get<std::shared_ptr<FieldVec>>(data_);
+}
+
+double Value::AsNumber() const {
+  if (tag_ == TypeTag::kInt64) return static_cast<double>(AsInt64());
+  assert(tag_ == TypeTag::kDouble);
+  return AsDouble();
+}
+
+const Value* Value::GetField(const std::string& name) const {
+  if (tag_ != TypeTag::kRecord) return nullptr;
+  for (const auto& [field_name, value] : AsRecord()) {
+    if (field_name == name) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+// Copy-on-write: returns a uniquely-owned copy of the shared payload.
+template <typename T>
+std::shared_ptr<T> Detach(std::shared_ptr<T>& ptr) {
+  if (ptr.use_count() > 1) ptr = std::make_shared<T>(*ptr);
+  return ptr;
+}
+}  // namespace
+
+void Value::SetField(const std::string& name, Value v) {
+  if (tag_ != TypeTag::kRecord) return;
+  auto& ptr = std::get<std::shared_ptr<FieldVec>>(data_);
+  auto fields = Detach(ptr);
+  for (auto& [field_name, value] : *fields) {
+    if (field_name == name) {
+      value = std::move(v);
+      return;
+    }
+  }
+  fields->emplace_back(name, std::move(v));
+}
+
+bool Value::RemoveField(const std::string& name) {
+  if (tag_ != TypeTag::kRecord) return false;
+  auto& ptr = std::get<std::shared_ptr<FieldVec>>(data_);
+  auto fields = Detach(ptr);
+  for (auto it = fields->begin(); it != fields->end(); ++it) {
+    if (it->first == name) {
+      fields->erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Value::Append(Value v) {
+  if (tag_ != TypeTag::kOrderedList) return;
+  auto& ptr = std::get<std::shared_ptr<ListVec>>(data_);
+  Detach(ptr)->push_back(std::move(v));
+}
+
+bool Value::operator==(const Value& other) const {
+  if (tag_ != other.tag_) return false;
+  switch (tag_) {
+    case TypeTag::kNull:
+      return true;
+    case TypeTag::kBoolean:
+      return AsBoolean() == other.AsBoolean();
+    case TypeTag::kInt64:
+      return AsInt64() == other.AsInt64();
+    case TypeTag::kDouble:
+      return AsDouble() == other.AsDouble();
+    case TypeTag::kString:
+      return AsString() == other.AsString();
+    case TypeTag::kPoint:
+      return AsPoint() == other.AsPoint();
+    case TypeTag::kDatetime:
+      return AsDatetime() == other.AsDatetime();
+    case TypeTag::kOrderedList:
+      return AsList() == other.AsList();
+    case TypeTag::kRecord:
+      return AsRecord() == other.AsRecord();
+  }
+  return false;
+}
+
+namespace {
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double d, std::string* out) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "%.17g", d);
+  std::string_view sv(buf, static_cast<size_t>(n));
+  out->append(sv);
+  // Ensure doubles round-trip as doubles (never bare integers).
+  if (sv.find_first_of(".eEnN") == std::string_view::npos) {
+    out->append(".0");
+  }
+}
+}  // namespace
+
+void Value::AppendAdm(std::string* out) const {
+  switch (tag_) {
+    case TypeTag::kNull:
+      out->append("null");
+      return;
+    case TypeTag::kBoolean:
+      out->append(AsBoolean() ? "true" : "false");
+      return;
+    case TypeTag::kInt64: {
+      out->append(std::to_string(AsInt64()));
+      return;
+    }
+    case TypeTag::kDouble:
+      AppendDouble(AsDouble(), out);
+      return;
+    case TypeTag::kString:
+      AppendEscaped(AsString(), out);
+      return;
+    case TypeTag::kPoint: {
+      const Point& p = AsPoint();
+      out->append("point(");
+      AppendDouble(p.x, out);
+      out->append(", ");
+      AppendDouble(p.y, out);
+      out->append(")");
+      return;
+    }
+    case TypeTag::kDatetime:
+      out->append("datetime(");
+      out->append(std::to_string(AsDatetime()));
+      out->append(")");
+      return;
+    case TypeTag::kOrderedList: {
+      out->push_back('[');
+      const ListVec& items = AsList();
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out->append(", ");
+        items[i].AppendAdm(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case TypeTag::kRecord: {
+      out->push_back('{');
+      const FieldVec& fields = AsRecord();
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out->append(", ");
+        AppendEscaped(fields[i].first, out);
+        out->append(": ");
+        fields[i].second.AppendAdm(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Value::ToAdmString() const {
+  std::string out;
+  AppendAdm(&out);
+  return out;
+}
+
+size_t Value::ApproxSizeBytes() const {
+  switch (tag_) {
+    case TypeTag::kNull:
+    case TypeTag::kBoolean:
+      return 8;
+    case TypeTag::kInt64:
+    case TypeTag::kDouble:
+    case TypeTag::kDatetime:
+      return 16;
+    case TypeTag::kString:
+      return 24 + AsString().size();
+    case TypeTag::kPoint:
+      return 24;
+    case TypeTag::kOrderedList: {
+      size_t total = 24;
+      for (const Value& v : AsList()) total += v.ApproxSizeBytes();
+      return total;
+    }
+    case TypeTag::kRecord: {
+      size_t total = 24;
+      for (const auto& [name, v] : AsRecord()) {
+        total += 24 + name.size() + v.ApproxSizeBytes();
+      }
+      return total;
+    }
+  }
+  return 8;
+}
+
+}  // namespace adm
+}  // namespace asterix

@@ -1,0 +1,322 @@
+#include "asterix/aql.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include <vector>
+
+namespace asterix {
+namespace aql {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Token stream over one statement. Kinds: identifiers/keywords, quoted
+/// strings, and single-character punctuation ( ) , = # .
+class Tokens {
+ public:
+  static Result<Tokens> Lex(const std::string& text) {
+    Tokens tokens;
+    size_t i = 0;
+    while (i < text.size()) {
+      char c = text[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+        while (i < text.size() && text[i] != '\n') ++i;
+        continue;
+      }
+      if (c == '"') {
+        size_t end = text.find('"', i + 1);
+        if (end == std::string::npos) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        tokens.items_.push_back(
+            {Kind::kString, text.substr(i + 1, end - i - 1)});
+        i = end + 1;
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.') {
+        size_t start = i;
+        while (i < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                text[i] == '_' || text[i] == '.' || text[i] == '#')) {
+          ++i;
+        }
+        tokens.items_.push_back({Kind::kWord, text.substr(start, i - start)});
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ',' || c == '=') {
+        tokens.items_.push_back({Kind::kPunct, std::string(1, c)});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in statement");
+    }
+    return tokens;
+  }
+
+  bool Eof() const { return pos_ >= items_.size(); }
+
+  /// Consumes the next token if it equals `keyword` (case-insensitive).
+  bool ConsumeKeyword(const std::string& keyword) {
+    if (Eof() || items_[pos_].kind != Kind::kWord) return false;
+    if (!EqualsIgnoreCase(items_[pos_].text, keyword)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Result<std::string> ExpectWord(const std::string& what) {
+    if (Eof() || items_[pos_].kind != Kind::kWord) {
+      return Status::InvalidArgument("expected " + what);
+    }
+    return items_[pos_++].text;
+  }
+
+  Result<std::string> ExpectKeyword(const std::string& keyword) {
+    if (!ConsumeKeyword(keyword)) {
+      return Status::InvalidArgument("expected keyword '" + keyword + "'");
+    }
+    return keyword;
+  }
+
+  bool ConsumePunct(char c) {
+    if (Eof() || items_[pos_].kind != Kind::kPunct ||
+        items_[pos_].text[0] != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  Result<std::string> ExpectString() {
+    if (Eof() || items_[pos_].kind != Kind::kString) {
+      return Status::InvalidArgument("expected a quoted string");
+    }
+    return items_[pos_++].text;
+  }
+
+  /// Parses the configuration form (("k"="v"), ("k"="v")) or ("k"="v").
+  Result<std::map<std::string, std::string>> ParseConfig() {
+    std::map<std::string, std::string> config;
+    if (!ConsumePunct('(')) {
+      return Status::InvalidArgument("expected '(' to open parameters");
+    }
+    while (true) {
+      bool wrapped = ConsumePunct('(');
+      ASSIGN_OR_RETURN(std::string key, ExpectString());
+      if (!ConsumePunct('=')) {
+        return Status::InvalidArgument("expected '=' after parameter key");
+      }
+      ASSIGN_OR_RETURN(std::string value, ExpectString());
+      config[key] = value;
+      if (wrapped && !ConsumePunct(')')) {
+        return Status::InvalidArgument("expected ')' after parameter");
+      }
+      if (ConsumePunct(',')) continue;
+      if (ConsumePunct(')')) return config;
+      return Status::InvalidArgument("expected ',' or ')' in parameters");
+    }
+  }
+
+  Status ExpectEof() const {
+    if (!Eof()) {
+      return Status::InvalidArgument("trailing tokens after statement");
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum class Kind { kWord, kString, kPunct };
+  struct Token {
+    Kind kind;
+    std::string text;
+  };
+
+  static bool EqualsIgnoreCase(const std::string& a,
+                               const std::string& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) !=
+          std::tolower(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<Token> items_;
+  size_t pos_ = 0;
+};
+
+Status ExecCreateDataset(AsterixInstance* db, Tokens* tokens) {
+  ASSIGN_OR_RETURN(std::string name, tokens->ExpectWord("dataset name"));
+  storage::DatasetDef def;
+  def.name = name;
+  def.datatype = "any";
+  if (tokens->ConsumePunct('(')) {
+    ASSIGN_OR_RETURN(def.datatype, tokens->ExpectWord("datatype name"));
+    if (!tokens->ConsumePunct(')')) {
+      return Status::InvalidArgument("expected ')' after datatype");
+    }
+  }
+  RETURN_IF_ERROR(tokens->ExpectKeyword("primary").status());
+  RETURN_IF_ERROR(tokens->ExpectKeyword("key").status());
+  ASSIGN_OR_RETURN(def.primary_key_field,
+                   tokens->ExpectWord("primary key field"));
+  RETURN_IF_ERROR(tokens->ExpectEof());
+  return db->CreateDataset(std::move(def));
+}
+
+Status ExecCreateIndex(AsterixInstance* db, Tokens* tokens) {
+  ASSIGN_OR_RETURN(std::string name, tokens->ExpectWord("index name"));
+  RETURN_IF_ERROR(tokens->ExpectKeyword("on").status());
+  ASSIGN_OR_RETURN(std::string dataset,
+                   tokens->ExpectWord("dataset name"));
+  if (!tokens->ConsumePunct('(')) {
+    return Status::InvalidArgument("expected '(' before indexed field");
+  }
+  ASSIGN_OR_RETURN(std::string field, tokens->ExpectWord("field name"));
+  if (!tokens->ConsumePunct(')')) {
+    return Status::InvalidArgument("expected ')' after indexed field");
+  }
+  storage::IndexKind kind = storage::IndexKind::kBTree;
+  if (tokens->ConsumeKeyword("type")) {
+    ASSIGN_OR_RETURN(std::string kind_name,
+                     tokens->ExpectWord("index type"));
+    if (kind_name == "rtree") {
+      kind = storage::IndexKind::kRTree;
+    } else if (kind_name != "btree") {
+      return Status::InvalidArgument("unknown index type '" + kind_name +
+                                     "'");
+    }
+  }
+  RETURN_IF_ERROR(tokens->ExpectEof());
+  return db->CreateIndex(dataset, {name, field, kind});
+}
+
+Status ExecCreateFeed(AsterixInstance* db, Tokens* tokens,
+                      bool secondary) {
+  ASSIGN_OR_RETURN(std::string name, tokens->ExpectWord("feed name"));
+  feeds::FeedDef def;
+  def.name = name;
+  def.is_primary = !secondary;
+  if (secondary) {
+    RETURN_IF_ERROR(tokens->ExpectKeyword("from").status());
+    RETURN_IF_ERROR(tokens->ExpectKeyword("feed").status());
+    ASSIGN_OR_RETURN(def.parent_feed,
+                     tokens->ExpectWord("parent feed name"));
+  } else {
+    RETURN_IF_ERROR(tokens->ExpectKeyword("using").status());
+    ASSIGN_OR_RETURN(def.adaptor_alias,
+                     tokens->ExpectWord("adaptor alias"));
+    ASSIGN_OR_RETURN(def.adaptor_config, tokens->ParseConfig());
+  }
+  if (tokens->ConsumeKeyword("apply")) {
+    RETURN_IF_ERROR(tokens->ExpectKeyword("function").status());
+    ASSIGN_OR_RETURN(def.udf, tokens->ExpectWord("function name"));
+  }
+  RETURN_IF_ERROR(tokens->ExpectEof());
+  return db->CreateFeed(std::move(def));
+}
+
+Status ExecCreatePolicy(AsterixInstance* db, Tokens* tokens) {
+  ASSIGN_OR_RETURN(std::string name, tokens->ExpectWord("policy name"));
+  RETURN_IF_ERROR(tokens->ExpectKeyword("from").status());
+  RETURN_IF_ERROR(tokens->ExpectKeyword("policy").status());
+  ASSIGN_OR_RETURN(std::string base, tokens->ExpectWord("base policy"));
+  ASSIGN_OR_RETURN(auto overrides, tokens->ParseConfig());
+  RETURN_IF_ERROR(tokens->ExpectEof());
+  return db->CreatePolicy(name, base, std::move(overrides));
+}
+
+Status ExecConnect(AsterixInstance* db, Tokens* tokens) {
+  RETURN_IF_ERROR(tokens->ExpectKeyword("feed").status());
+  ASSIGN_OR_RETURN(std::string feed, tokens->ExpectWord("feed name"));
+  RETURN_IF_ERROR(tokens->ExpectKeyword("to").status());
+  RETURN_IF_ERROR(tokens->ExpectKeyword("dataset").status());
+  ASSIGN_OR_RETURN(std::string dataset,
+                   tokens->ExpectWord("dataset name"));
+  std::string policy = "Basic";
+  if (tokens->ConsumeKeyword("using")) {
+    RETURN_IF_ERROR(tokens->ExpectKeyword("policy").status());
+    ASSIGN_OR_RETURN(policy, tokens->ExpectWord("policy name"));
+  }
+  RETURN_IF_ERROR(tokens->ExpectEof());
+  return db->ConnectFeed(feed, dataset, policy);
+}
+
+Status ExecDisconnect(AsterixInstance* db, Tokens* tokens) {
+  RETURN_IF_ERROR(tokens->ExpectKeyword("feed").status());
+  ASSIGN_OR_RETURN(std::string feed, tokens->ExpectWord("feed name"));
+  RETURN_IF_ERROR(tokens->ExpectKeyword("from").status());
+  RETURN_IF_ERROR(tokens->ExpectKeyword("dataset").status());
+  ASSIGN_OR_RETURN(std::string dataset,
+                   tokens->ExpectWord("dataset name"));
+  RETURN_IF_ERROR(tokens->ExpectEof());
+  return db->DisconnectFeed(feed, dataset);
+}
+
+Status ExecuteStatement(AsterixInstance* db, const std::string& text) {
+  ASSIGN_OR_RETURN(Tokens tokens, Tokens::Lex(text));
+  if (tokens.Eof()) return Status::OK();  // empty statement
+  if (tokens.ConsumeKeyword("use")) {
+    // `use dataverse feeds;` — single-dataverse build: a no-op.
+    return Status::OK();
+  }
+  if (tokens.ConsumeKeyword("create")) {
+    if (tokens.ConsumeKeyword("dataset")) {
+      return ExecCreateDataset(db, &tokens);
+    }
+    if (tokens.ConsumeKeyword("index")) {
+      return ExecCreateIndex(db, &tokens);
+    }
+    if (tokens.ConsumeKeyword("secondary")) {
+      RETURN_IF_ERROR(tokens.ExpectKeyword("feed").status());
+      return ExecCreateFeed(db, &tokens, /*secondary=*/true);
+    }
+    if (tokens.ConsumeKeyword("feed")) {
+      return ExecCreateFeed(db, &tokens, /*secondary=*/false);
+    }
+    if (tokens.ConsumeKeyword("ingestion")) {
+      RETURN_IF_ERROR(tokens.ExpectKeyword("policy").status());
+      return ExecCreatePolicy(db, &tokens);
+    }
+    return Status::InvalidArgument("unsupported create statement");
+  }
+  if (tokens.ConsumeKeyword("connect")) return ExecConnect(db, &tokens);
+  if (tokens.ConsumeKeyword("disconnect")) {
+    return ExecDisconnect(db, &tokens);
+  }
+  return Status::InvalidArgument("unrecognized statement: " + text);
+}
+
+}  // namespace
+
+Status Execute(AsterixInstance* db, const std::string& script) {
+  size_t start = 0;
+  while (start < script.size()) {
+    size_t end = script.find(';', start);
+    std::string statement = script.substr(
+        start, end == std::string::npos ? std::string::npos
+                                        : end - start);
+    Status status = ExecuteStatement(db, statement);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    status.message() + " [in statement: " +
+                        std::string(common::Trim(statement)) + "]");
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace aql
+}  // namespace asterix

@@ -1,0 +1,39 @@
+// A miniature AQL statement layer covering the DDL the dissertation's
+// listings use to drive the feed facility:
+//
+//   create dataset <name>(<type>) primary key <field>;
+//   create index <name> on <dataset>(<field>) type [btree|rtree];
+//   create feed <name> using <adaptor> (("k"="v"), ...)
+//       [apply function <fn>];
+//   create secondary feed <name> from feed <parent>
+//       [apply function <fn>];
+//   create ingestion policy <name> from policy <base> (("k"="v"), ...);
+//   connect feed <feed> to dataset <dataset> [using policy <policy>];
+//   disconnect feed <feed> from dataset <dataset>;
+//   drop feed <name>;
+//
+// Statements are ';'-terminated; several may be submitted in one string.
+// This is a statement-level front end for the feed DDL, not a query
+// compiler — AQL's FLWOR query surface is out of scope here (the facade
+// exposes programmatic scans/aggregates instead).
+#ifndef ASTERIX_ASTERIX_AQL_H_
+#define ASTERIX_ASTERIX_AQL_H_
+
+#include <string>
+
+#include "asterix/asterix.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace aql {
+
+/// Parses and executes every ';'-terminated statement in `script`
+/// against `db`, stopping at the first error. Keywords are
+/// case-insensitive; identifiers are case-sensitive; `--` starts a
+/// comment running to end of line.
+common::Status Execute(AsterixInstance* db, const std::string& script);
+
+}  // namespace aql
+}  // namespace asterix
+
+#endif  // ASTERIX_ASTERIX_AQL_H_

@@ -1,0 +1,136 @@
+// The 'glued' assembly of Chapter 7: spouts and bolts wiring a Storm
+// topology to an external source on one end and a MongoDB collection on
+// the other — the open-source community's conventional substitute for
+// native feed support.
+#ifndef ASTERIX_BASELINE_GLUE_H_
+#define ASTERIX_BASELINE_GLUE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "adm/parser.h"
+#include "common/clock.h"
+#include "baseline/mongo.h"
+#include "baseline/storm.h"
+#include "feeds/udf.h"
+#include "gen/tweetgen.h"
+
+namespace asterix {
+namespace baseline {
+
+/// Reliable spout pulling serialized tweets from an in-process channel
+/// (the Kafka/Kestrel-spout role). Keeps a pending ledger and replays on
+/// Fail — Storm's at-least-once contract.
+class ChannelSpout : public storm::Spout {
+ public:
+  explicit ChannelSpout(gen::Channel* channel) : channel_(channel) {}
+
+  std::optional<adm::Value> NextTuple(int64_t tuple_id) override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!replay_.empty()) {
+        adm::Value tuple = std::move(replay_.begin()->second);
+        replay_.erase(replay_.begin());
+        pending_[tuple_id] = tuple;
+        return tuple;
+      }
+    }
+    auto payload = channel_->Receive(/*timeout_ms=*/2);
+    if (!payload.has_value()) return std::nullopt;
+    adm::Value tuple = adm::Value::String(std::move(*payload));
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_[tuple_id] = tuple;
+    return tuple;
+  }
+  void Ack(int64_t tuple_id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.erase(tuple_id);
+  }
+  void Fail(int64_t tuple_id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(tuple_id);
+    if (it == pending_.end()) return;
+    replay_[tuple_id] = std::move(it->second);
+    pending_.erase(it);
+  }
+  bool Exhausted() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return channel_->closed() && channel_->pending() == 0 &&
+           replay_.empty();
+  }
+
+ private:
+  gen::Channel* channel_;
+  mutable std::mutex mutex_;
+  std::map<int64_t, adm::Value> pending_;
+  std::map<int64_t, adm::Value> replay_;
+};
+
+/// Parses raw JSON payload strings into ADM records; malformed tuples
+/// fail their tree (and are replayed until a skip limit — here dropped,
+/// matching a typical user-written bolt).
+class ParseBolt : public storm::Bolt {
+ public:
+  common::Status Execute(const adm::Value& tuple,
+                         storm::Emitter* emitter) override {
+    if (tuple.tag() != adm::TypeTag::kString) {
+      return common::Status::OK();  // drop
+    }
+    auto parsed = adm::ParseAdm(tuple.AsString());
+    if (!parsed.ok()) return common::Status::OK();  // drop malformed
+    emitter->Emit(std::move(*parsed));
+    return common::Status::OK();
+  }
+};
+
+/// Applies a UDF per tuple (the pre-processing step of the comparison).
+class UdfBolt : public storm::Bolt {
+ public:
+  explicit UdfBolt(std::shared_ptr<feeds::Udf> udf)
+      : udf_(std::move(udf)) {}
+
+  common::Status Execute(const adm::Value& tuple,
+                         storm::Emitter* emitter) override {
+    try {
+      auto out = udf_->Apply(tuple);
+      if (out.has_value()) emitter->Emit(std::move(*out));
+      return common::Status::OK();
+    } catch (const std::exception& e) {
+      return common::Status::Internal(e.what());
+    }
+  }
+
+ private:
+  std::shared_ptr<feeds::Udf> udf_;
+};
+
+/// Writes each tuple into a MongoDB collection through its driver API —
+/// the "persistence glue". With kDurable write concern this is the
+/// bottleneck the paper's Figure 7.11 exhibits.
+class MongoInsertBolt : public storm::Bolt {
+ public:
+  MongoInsertBolt(MongoCollection* collection,
+                  std::function<void(int64_t)> on_insert = nullptr)
+      : collection_(collection), on_insert_(std::move(on_insert)) {}
+
+  common::Status Execute(const adm::Value& tuple,
+                         storm::Emitter* emitter) override {
+    (void)emitter;
+    common::Status status = collection_->Insert(tuple);
+    if (status.ok() && on_insert_) {
+      on_insert_(common::NowMillis());
+    }
+    return status;
+  }
+
+ private:
+  MongoCollection* collection_;
+  std::function<void(int64_t)> on_insert_;
+};
+
+}  // namespace baseline
+}  // namespace asterix
+
+#endif  // ASTERIX_BASELINE_GLUE_H_

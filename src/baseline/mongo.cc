@@ -1,0 +1,125 @@
+#include "baseline/mongo.h"
+
+#include <filesystem>
+
+#include "common/clock.h"
+
+namespace asterix {
+namespace baseline {
+
+using common::Status;
+
+MongoCollection::MongoCollection(std::string name, std::string dir,
+                                 WriteConcern concern,
+                                 int64_t journal_commit_us)
+    : name_(std::move(name)),
+      concern_(concern),
+      journal_commit_us_(journal_commit_us),
+      journal_(dir + "/" + name_ + ".journal",
+               /*durable=*/concern == WriteConcern::kDurable) {}
+
+MongoCollection::~MongoCollection() {
+  running_.store(false);
+  if (journal_thread_.joinable()) journal_thread_.join();
+}
+
+Status MongoCollection::Open() {
+  RETURN_IF_ERROR(journal_.Open());
+  if (concern_ == WriteConcern::kNonDurable) {
+    running_.store(true);
+    journal_thread_ = std::thread([this] { JournalLoop(); });
+  }
+  return Status::OK();
+}
+
+Status MongoCollection::Insert(const adm::Value& document) {
+  if (!document.is_record()) {
+    return Status::InvalidArgument("mongo documents must be records");
+  }
+  const adm::Value* id = document.GetField("_id");
+  if (id == nullptr) id = document.GetField("id");
+  if (id == nullptr) {
+    return Status::InvalidArgument("document lacks an _id/id field");
+  }
+  std::string key = id->ToAdmString();
+  std::string serialized = document.ToAdmString();
+
+  if (concern_ == WriteConcern::kDurable) {
+    // Writers serialize on the coarse write lock; a journaled (j:true)
+    // acknowledgment waits out the journal commit before returning.
+    std::lock_guard<std::mutex> write_lock(write_lock_);
+    RETURN_IF_ERROR(journal_.Append(serialized));
+    common::SleepMicros(journal_commit_us_);
+    journaled_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    documents_[key] = document;
+    return Status::OK();
+  }
+  // Non-durable: acknowledge from memory, journal in the background.
+  std::lock_guard<std::mutex> write_lock(write_lock_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  documents_[key] = document;
+  unjournaled_.push_back(std::move(serialized));
+  return Status::OK();
+}
+
+int64_t MongoCollection::Count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(documents_.size());
+}
+
+int64_t MongoCollection::JournaledCount() const {
+  return journaled_.load();
+}
+
+int64_t MongoCollection::Crash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t lost = static_cast<int64_t>(unjournaled_.size());
+  unjournaled_.clear();
+  // Documents not journaled are gone after the crash.
+  // (We approximate by counting; rebuilding the exact map from the
+  // journal is what a restart would do.)
+  return lost;
+}
+
+void MongoCollection::JournalLoop() {
+  while (running_.load()) {
+    std::vector<std::string> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch.swap(unjournaled_);
+    }
+    for (const std::string& entry : batch) {
+      journal_.Append(entry);
+      journaled_.fetch_add(1);
+    }
+    journal_.Sync();
+    common::SleepMillis(100);  // mongod's journal commit interval
+  }
+}
+
+MongoServer::MongoServer(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+Status MongoServer::CreateCollection(const std::string& name,
+                                     WriteConcern concern) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (collections_.count(name) > 0) {
+    return Status::AlreadyExists("collection '" + name + "' exists");
+  }
+  auto collection =
+      std::make_unique<MongoCollection>(name, dir_, concern);
+  RETURN_IF_ERROR(collection->Open());
+  collections_.emplace(name, std::move(collection));
+  return Status::OK();
+}
+
+MongoCollection* MongoServer::GetCollection(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace baseline
+}  // namespace asterix

@@ -1,0 +1,54 @@
+// Time helpers. Experiments in the paper run for minutes of wall clock; the
+// benches here time-scale the same workload shapes down to seconds, so all
+// timing flows through these helpers for consistency.
+#ifndef ASTERIX_COMMON_CLOCK_H_
+#define ASTERIX_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace asterix {
+namespace common {
+
+/// Milliseconds since an arbitrary steady epoch.
+inline int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Microseconds since an arbitrary steady epoch.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline void SleepMillis(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+inline void SleepMicros(int64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+/// Elapsed-time measurement with millisecond/microsecond readouts.
+class Stopwatch {
+ public:
+  Stopwatch() : start_us_(NowMicros()) {}
+  void Reset() { start_us_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_us_; }
+  int64_t ElapsedMillis() const { return ElapsedMicros() / 1000; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  int64_t start_us_;
+};
+
+}  // namespace common
+}  // namespace asterix
+
+#endif  // ASTERIX_COMMON_CLOCK_H_

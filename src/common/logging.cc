@@ -1,0 +1,68 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+namespace asterix {
+namespace common {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+std::string g_log_file;  // guarded by g_mutex
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logging::SetMinLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logging::min_level() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void Logging::SetLogFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_log_file = path;
+}
+
+std::string Logging::log_file() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_log_file;
+}
+
+void Logging::Emit(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%lld] %-5s %s\n", static_cast<long long>(ms),
+               LevelName(level), message.c_str());
+  if (!g_log_file.empty()) {
+    std::ofstream out(g_log_file, std::ios::app);
+    out << "[" << ms << "] " << LevelName(level) << " " << message << "\n";
+  }
+}
+
+}  // namespace common
+}  // namespace asterix

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Thread-safe; writes to stderr and optionally to a
+// file (the AsterixDB "error log" that soft-failure records are appended to).
+#ifndef ASTERIX_COMMON_LOGGING_H_
+#define ASTERIX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace asterix {
+namespace common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global logger configuration.
+class Logging {
+ public:
+  /// Messages below `level` are dropped. Default: kWarn (quiet tests).
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+
+  /// Mirrors all emitted messages to `path` (append). Empty disables.
+  static void SetLogFile(const std::string& path);
+  static std::string log_file();
+
+  static void Emit(LogLevel level, const std::string& message);
+};
+
+/// Stream-style one-shot log statement: LOG_MSG(kInfo) << "x=" << x;
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { Logging::Emit(level_, stream_.str()); }
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace common
+}  // namespace asterix
+
+#define LOG_MSG(level) \
+  ::asterix::common::LogStatement(::asterix::common::LogLevel::level)
+
+#endif  // ASTERIX_COMMON_LOGGING_H_

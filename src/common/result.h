@@ -1,0 +1,64 @@
+// Result<T>: value-or-Status, for fallible functions that produce a value.
+#ifndef ASTERIX_COMMON_RESULT_H_
+#define ASTERIX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace asterix {
+namespace common {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace common
+}  // namespace asterix
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, otherwise propagates the error status to the caller.
+#define ASTERIX_CONCAT_INNER(a, b) a##b
+#define ASTERIX_CONCAT(a, b) ASTERIX_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                          \
+  if (!tmp.ok()) return tmp.status();         \
+  lhs = std::move(tmp).value();
+#define ASSIGN_OR_RETURN(lhs, expr) \
+  ASSIGN_OR_RETURN_IMPL(ASTERIX_CONCAT(_res_, __LINE__), lhs, expr)
+
+#endif  // ASTERIX_COMMON_RESULT_H_

@@ -1,0 +1,52 @@
+// Seeded random helpers used by workload generators and the Throttle policy.
+#ifndef ASTERIX_COMMON_RNG_H_
+#define ASTERIX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace asterix {
+namespace common {
+
+/// Deterministic (per-seed) random source. Not thread-safe; use one per
+/// thread or guard externally.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII string of length n.
+  std::string AlphaString(size_t n) {
+    std::string s;
+    s.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      s.push_back(static_cast<char>('a' + Uniform(0, 25)));
+    }
+    return s;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace common
+}  // namespace asterix
+
+#endif  // ASTERIX_COMMON_RNG_H_

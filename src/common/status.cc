@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+namespace asterix {
+namespace common {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Status::Code::kNotFound:
+      return "NOT_FOUND";
+    case Status::Code::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Status::Code::kCorruption:
+      return "CORRUPTION";
+    case Status::Code::kIOError:
+      return "IO_ERROR";
+    case Status::Code::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case Status::Code::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case Status::Code::kAborted:
+      return "ABORTED";
+    case Status::Code::kUnavailable:
+      return "UNAVAILABLE";
+    case Status::Code::kInternal:
+      return "INTERNAL";
+    case Status::Code::kTimedOut:
+      return "TIMED_OUT";
+    case Status::Code::kNotSupported:
+      return "NOT_SUPPORTED";
+  }
+  return "UNKNOWN";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace common
+}  // namespace asterix

@@ -1,0 +1,31 @@
+// Small string utilities shared across modules.
+#ifndef ASTERIX_COMMON_STRINGS_H_
+#define ASTERIX_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asterix {
+namespace common {
+
+/// Splits `s` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept (",a,," yields four pieces, three empty).
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Trims leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// FNV-1a 64-bit hash, used for hash-partitioning records by primary key.
+uint64_t Fnv1a(std::string_view s);
+
+}  // namespace common
+}  // namespace asterix
+
+#endif  // ASTERIX_COMMON_STRINGS_H_

@@ -1,0 +1,181 @@
+// At-least-once machinery (§5.6): records are augmented with tracking ids
+// at the intake stage; store instances ack persisted ids (grouped over a
+// fixed window to cut message counts); intake holds records until acked
+// and replays them on timeout.
+#ifndef ASTERIX_FEEDS_ACK_H_
+#define ASTERIX_FEEDS_ACK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/clock.h"
+
+namespace asterix {
+namespace feeds {
+
+/// The hidden field carrying the tracking id on in-flight records.
+inline constexpr const char* kTrackingIdField = "_tracking_id";
+
+/// Tracking ids pack the intake partition and a sequence number so the
+/// store stage can group acks per source adaptor instance.
+inline int64_t MakeTrackingId(int intake_partition, int64_t seq) {
+  return (static_cast<int64_t>(intake_partition) << 48) | seq;
+}
+inline int TrackingIdPartition(int64_t tid) {
+  return static_cast<int>(tid >> 48);
+}
+
+/// In-process control-message bus for ack delivery (control messages
+/// travel separately from the data path, §6.2.1).
+class AckBus {
+ public:
+  using Handler = std::function<void(const std::vector<int64_t>& tids)>;
+
+  /// Intake partition `partition` of connection `conn` registers to
+  /// receive its acks.
+  void Register(const std::string& conn, int partition, Handler handler) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers_[Key(conn, partition)] = std::move(handler);
+  }
+
+  void Unregister(const std::string& conn, int partition) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers_.erase(Key(conn, partition));
+  }
+
+  /// Store side: publishes a grouped ack message.
+  void Publish(const std::string& conn, int partition,
+               const std::vector<int64_t>& tids) {
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = handlers_.find(Key(conn, partition));
+      if (it == handlers_.end()) return;
+      handler = it->second;
+    }
+    handler(tids);
+    messages_published_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t messages_published() const { return messages_published_.load(); }
+
+ private:
+  static std::string Key(const std::string& conn, int partition) {
+    return conn + "#" + std::to_string(partition);
+  }
+
+  std::mutex mutex_;
+  std::map<std::string, Handler> handlers_;
+  std::atomic<int64_t> messages_published_{0};
+};
+
+/// Intake-side ledger of unacked records.
+class PendingTracker {
+ public:
+  explicit PendingTracker(int64_t timeout_ms) : timeout_ms_(timeout_ms) {}
+
+  /// Registers an in-flight record under its tracking id.
+  void Track(int64_t tid, adm::Value record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_[tid] = {std::move(record), common::NowMillis()};
+  }
+
+  /// Ack arrival: drops the records and reclaims memory.
+  void Ack(const std::vector<int64_t>& tids) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int64_t tid : tids) pending_.erase(tid);
+  }
+
+  /// Records whose ack window expired; their timestamps reset so a
+  /// single stall does not replay twice immediately.
+  std::vector<adm::Value> TakeExpired() {
+    std::vector<adm::Value> expired;
+    int64_t now = common::NowMillis();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [tid, entry] : pending_) {
+      if (now - entry.tracked_at_ms >= timeout_ms_) {
+        expired.push_back(entry.record);
+        entry.tracked_at_ms = now;
+      }
+    }
+    return expired;
+  }
+
+  /// Removes and returns every pending record (handoff to a successor
+  /// instance during pipeline resurrection).
+  std::vector<adm::Value> TakeAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<adm::Value> out;
+    out.reserve(pending_.size());
+    for (auto& [tid, entry] : pending_) {
+      out.push_back(std::move(entry.record));
+    }
+    pending_.clear();
+    return out;
+  }
+
+  size_t pending_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+  }
+
+ private:
+  struct Entry {
+    adm::Value record;
+    int64_t tracked_at_ms;
+  };
+  const int64_t timeout_ms_;
+  mutable std::mutex mutex_;
+  std::map<int64_t, Entry> pending_;
+};
+
+/// Store-side ack batcher: groups acked tracking ids per intake partition
+/// over a fixed window, then publishes one encoded message per partition.
+class AckCollector {
+ public:
+  AckCollector(std::shared_ptr<AckBus> bus, std::string conn,
+               int64_t window_ms)
+      : bus_(std::move(bus)), conn_(std::move(conn)),
+        window_ms_(window_ms), window_start_ms_(common::NowMillis()) {}
+
+  void OnPersisted(int64_t tid) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    grouped_[TrackingIdPartition(tid)].push_back(tid);
+    if (common::NowMillis() - window_start_ms_ >= window_ms_) {
+      FlushLocked();
+    }
+  }
+
+  void Flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FlushLocked();
+  }
+
+ private:
+  void FlushLocked() {
+    for (auto& [partition, tids] : grouped_) {
+      if (!tids.empty()) bus_->Publish(conn_, partition, tids);
+    }
+    grouped_.clear();
+    window_start_ms_ = common::NowMillis();
+  }
+
+  std::shared_ptr<AckBus> bus_;
+  const std::string conn_;
+  const int64_t window_ms_;
+  std::mutex mutex_;
+  std::map<int, std::vector<int64_t>> grouped_;
+  int64_t window_start_ms_;
+};
+
+}  // namespace feeds
+}  // namespace asterix
+
+#endif  // ASTERIX_FEEDS_ACK_H_

@@ -1,0 +1,269 @@
+#include "feeds/adaptor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/clock.h"
+#include "common/strings.h"
+
+namespace asterix {
+namespace feeds {
+
+using common::Result;
+using common::Status;
+
+Status AdaptorRegistry::Register(std::shared_ptr<AdaptorFactory> factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = factories_.emplace(factory->alias(), factory);
+  if (!inserted) {
+    return Status::AlreadyExists("adaptor '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<AdaptorFactory>> AdaptorRegistry::Find(
+    const std::string& alias) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = factories_.find(alias);
+  if (it == factories_.end()) {
+    return Status::NotFound("unknown adaptor '" + alias + "'");
+  }
+  return it->second;
+}
+
+ExternalSourceRegistry& ExternalSourceRegistry::Instance() {
+  static ExternalSourceRegistry* instance = new ExternalSourceRegistry();
+  return *instance;
+}
+
+void ExternalSourceRegistry::RegisterChannel(const std::string& address,
+                                             gen::Channel* channel) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  channels_[address] = channel;
+}
+
+void ExternalSourceRegistry::UnregisterChannel(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  channels_.erase(address);
+}
+
+gen::Channel* ExternalSourceRegistry::FindChannel(
+    const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = channels_.find(address);
+  return it == channels_.end() ? nullptr : it->second;
+}
+
+// --- Socket adaptor ---------------------------------------------------------
+
+namespace {
+
+class SocketAdaptor : public FeedAdaptor {
+ public:
+  explicit SocketAdaptor(std::string address) : address_(std::move(address)) {
+    channel_ = ExternalSourceRegistry::Instance().FindChannel(address_);
+  }
+
+  Result<RawBatch> Fetch(size_t max, int64_t timeout_ms) override {
+    if (channel_ == nullptr) {
+      return Status::Unavailable("no source listening at " + address_);
+    }
+    RawBatch batch;
+    batch.payloads = channel_->Drain(max);
+    if (batch.payloads.empty()) {
+      // Nothing pending: wait briefly for one payload.
+      auto one = channel_->Receive(timeout_ms);
+      if (one.has_value()) {
+        batch.payloads.push_back(std::move(*one));
+      } else if (channel_->closed() && channel_->pending() == 0) {
+        batch.end_of_source = true;
+      }
+    }
+    return batch;
+  }
+
+  Status Reconnect() override {
+    // The channel registry is our "DNS": a restarted source re-registers
+    // under the same address.
+    channel_ = ExternalSourceRegistry::Instance().FindChannel(address_);
+    if (channel_ == nullptr) {
+      return Status::Unavailable("source at " + address_ + " is gone");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string address_;
+  gen::Channel* channel_;
+};
+
+}  // namespace
+
+Result<hyracks::PartitionConstraint> SocketAdaptorFactory::GetConstraints(
+    const AdaptorConfig& config) const {
+  auto it = config.find("sockets");
+  if (it == config.end() || it->second.empty()) {
+    return Status::InvalidArgument(alias_ +
+                                   " requires a 'sockets' parameter");
+  }
+  // One adaptor instance per socket address, placement left to the
+  // scheduler (count constraint).
+  int count =
+      static_cast<int>(common::SplitAndTrim(it->second, ',').size());
+  hyracks::PartitionConstraint constraint;
+  constraint.count = count;
+  return constraint;
+}
+
+Result<std::unique_ptr<FeedAdaptor>> SocketAdaptorFactory::Create(
+    const AdaptorConfig& config, int partition) const {
+  auto it = config.find("sockets");
+  if (it == config.end()) {
+    return Status::InvalidArgument(alias_ +
+                                   " requires a 'sockets' parameter");
+  }
+  auto addresses = common::SplitAndTrim(it->second, ',');
+  if (partition < 0 || partition >= static_cast<int>(addresses.size())) {
+    return Status::InvalidArgument("no socket for adaptor partition " +
+                                   std::to_string(partition));
+  }
+  return std::unique_ptr<FeedAdaptor>(
+      new SocketAdaptor(addresses[partition]));
+}
+
+// --- File adaptor -----------------------------------------------------------
+
+namespace {
+
+class FileAdaptor : public FeedAdaptor {
+ public:
+  explicit FileAdaptor(std::string path) : path_(std::move(path)) {}
+
+  Result<RawBatch> Fetch(size_t max, int64_t timeout_ms) override {
+    (void)timeout_ms;
+    if (!opened_) {
+      stream_.open(path_);
+      if (!stream_.is_open()) {
+        return Status::IOError("cannot open feed file " + path_);
+      }
+      opened_ = true;
+    }
+    RawBatch batch;
+    std::string line;
+    while (batch.payloads.size() < max && std::getline(stream_, line)) {
+      if (!line.empty()) batch.payloads.push_back(line);
+    }
+    if (batch.payloads.empty()) batch.end_of_source = true;
+    return batch;
+  }
+
+ private:
+  const std::string path_;
+  std::ifstream stream_;
+  bool opened_ = false;
+};
+
+}  // namespace
+
+Result<hyracks::PartitionConstraint> FileAdaptorFactory::GetConstraints(
+    const AdaptorConfig& config) const {
+  if (config.find("path") == config.end()) {
+    return Status::InvalidArgument("file_based_feed requires 'path'");
+  }
+  hyracks::PartitionConstraint constraint;
+  constraint.count = 1;
+  return constraint;
+}
+
+Result<std::unique_ptr<FeedAdaptor>> FileAdaptorFactory::Create(
+    const AdaptorConfig& config, int partition) const {
+  (void)partition;
+  auto it = config.find("path");
+  if (it == config.end()) {
+    return Status::InvalidArgument("file_based_feed requires 'path'");
+  }
+  return std::unique_ptr<FeedAdaptor>(new FileAdaptor(it->second));
+}
+
+// --- Synthetic tweet adaptor ------------------------------------------------
+
+namespace {
+
+class SyntheticTweetAdaptor : public FeedAdaptor {
+ public:
+  SyntheticTweetAdaptor(int source_id, int64_t rate_tps, int64_t limit)
+      : factory_(source_id), rate_tps_(rate_tps), limit_(limit) {}
+
+  Result<RawBatch> Fetch(size_t max, int64_t timeout_ms) override {
+    RawBatch batch;
+    if (limit_ >= 0 && produced_ >= limit_) {
+      batch.end_of_source = true;
+      return batch;
+    }
+    // Pull-based pacing: emit rate*elapsed records since the last call.
+    if (last_fetch_us_ == 0) last_fetch_us_ = common::NowMicros();
+    int64_t now = common::NowMicros();
+    double due = static_cast<double>(now - last_fetch_us_) * rate_tps_ /
+                 1e6;
+    if (due < 1.0) {
+      common::SleepMillis(std::min<int64_t>(timeout_ms, 5));
+      now = common::NowMicros();
+      due = static_cast<double>(now - last_fetch_us_) * rate_tps_ / 1e6;
+    }
+    int64_t n = static_cast<int64_t>(due);
+    if (n <= 0) return batch;
+    last_fetch_us_ = now;
+    n = std::min<int64_t>(n, static_cast<int64_t>(max));
+    if (limit_ >= 0) n = std::min(n, limit_ - produced_);
+    for (int64_t i = 0; i < n; ++i) {
+      batch.payloads.push_back(factory_.NextTweetText());
+    }
+    produced_ += n;
+    return batch;
+  }
+
+ private:
+  gen::TweetFactory factory_;
+  const int64_t rate_tps_;
+  const int64_t limit_;
+  int64_t produced_ = 0;
+  int64_t last_fetch_us_ = 0;
+};
+
+int64_t ConfigInt(const AdaptorConfig& config, const std::string& key,
+                  int64_t default_value) {
+  auto it = config.find(key);
+  if (it == config.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+Result<hyracks::PartitionConstraint>
+SyntheticTweetAdaptorFactory::GetConstraints(
+    const AdaptorConfig& config) const {
+  (void)config;
+  hyracks::PartitionConstraint constraint;
+  constraint.count = 1;
+  return constraint;
+}
+
+Result<std::unique_ptr<FeedAdaptor>> SyntheticTweetAdaptorFactory::Create(
+    const AdaptorConfig& config, int partition) const {
+  return std::unique_ptr<FeedAdaptor>(new SyntheticTweetAdaptor(
+      static_cast<int>(ConfigInt(config, "source_id", 0)) + partition,
+      ConfigInt(config, "rate", 100), ConfigInt(config, "limit", -1)));
+}
+
+void RegisterBuiltinAdaptors(AdaptorRegistry* registry) {
+  registry->Register(std::make_shared<SocketAdaptorFactory>());
+  registry->Register(
+      std::make_shared<SocketAdaptorFactory>("TweetGenAdaptor", "Tweet"));
+  registry->Register(std::make_shared<FileAdaptorFactory>());
+  registry->Register(std::make_shared<SyntheticTweetAdaptorFactory>());
+}
+
+}  // namespace feeds
+}  // namespace asterix

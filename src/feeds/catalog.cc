@@ -1,0 +1,90 @@
+#include "feeds/catalog.h"
+
+#include <algorithm>
+
+namespace asterix {
+namespace feeds {
+
+using common::Result;
+using common::Status;
+
+Status FeedCatalog::CreateFeed(FeedDef def) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (feeds_.count(def.name) > 0) {
+    return Status::AlreadyExists("feed '" + def.name + "' already exists");
+  }
+  if (def.is_primary) {
+    if (def.adaptor_alias.empty()) {
+      return Status::InvalidArgument("primary feed '" + def.name +
+                                     "' needs an adaptor");
+    }
+  } else {
+    if (def.parent_feed.empty()) {
+      return Status::InvalidArgument("secondary feed '" + def.name +
+                                     "' needs a parent feed");
+    }
+    if (feeds_.count(def.parent_feed) == 0) {
+      return Status::NotFound("parent feed '" + def.parent_feed +
+                              "' of '" + def.name + "' not found");
+    }
+  }
+  std::string name = def.name;  // read before the move below
+  feeds_.emplace(std::move(name), std::move(def));
+  return Status::OK();
+}
+
+Status FeedCatalog::DropFeed(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Refuse to orphan children.
+  for (const auto& [other_name, def] : feeds_) {
+    if (!def.is_primary && def.parent_feed == name) {
+      return Status::FailedPrecondition("feed '" + name +
+                                        "' has dependent feed '" +
+                                        other_name + "'");
+    }
+  }
+  if (feeds_.erase(name) == 0) {
+    return Status::NotFound("feed '" + name + "' not found");
+  }
+  return Status::OK();
+}
+
+Result<FeedDef> FeedCatalog::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = feeds_.find(name);
+  if (it == feeds_.end()) {
+    return Status::NotFound("feed '" + name + "' not found");
+  }
+  return it->second;
+}
+
+Result<std::vector<FeedDef>> FeedCatalog::PathFromRoot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FeedDef> path;
+  std::string current = name;
+  for (size_t depth = 0; depth <= feeds_.size(); ++depth) {
+    auto it = feeds_.find(current);
+    if (it == feeds_.end()) {
+      return Status::NotFound("feed '" + current + "' not found");
+    }
+    path.push_back(it->second);
+    if (it->second.is_primary) {
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    current = it->second.parent_feed;
+  }
+  return Status::Corruption("cycle detected in feed hierarchy of '" +
+                            name + "'");
+}
+
+std::vector<std::string> FeedCatalog::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, def] : feeds_) names.push_back(name);
+  return names;
+}
+
+}  // namespace feeds
+}  // namespace asterix

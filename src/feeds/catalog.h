@@ -1,0 +1,51 @@
+// Feed metadata (§5.1): the Feeds dataset of the Metadata dataverse.
+// Primary feeds carry an adaptor alias + configuration; secondary feeds
+// carry their parent's name; either kind may carry a pre-processing UDF.
+#ifndef ASTERIX_FEEDS_CATALOG_H_
+#define ASTERIX_FEEDS_CATALOG_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "feeds/adaptor.h"
+
+namespace asterix {
+namespace feeds {
+
+struct FeedDef {
+  std::string name;
+  bool is_primary = true;
+  /// Primary feeds: the datasource adaptor and its configuration.
+  std::string adaptor_alias;
+  AdaptorConfig adaptor_config;
+  /// Secondary feeds: the parent feed.
+  std::string parent_feed;
+  /// Optional pre-processing function (AQL or Java UDF name).
+  std::string udf;
+};
+
+class FeedCatalog {
+ public:
+  common::Status CreateFeed(FeedDef def);
+  common::Status DropFeed(const std::string& name);
+  common::Result<FeedDef> Find(const std::string& name) const;
+
+  /// The feed's lineage from the primary root down to the feed itself:
+  /// [root, ..., parent, feed]. Errors on unknown feeds or cycles.
+  common::Result<std::vector<FeedDef>> PathFromRoot(
+      const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, FeedDef> feeds_;
+};
+
+}  // namespace feeds
+}  // namespace asterix
+
+#endif  // ASTERIX_FEEDS_CATALOG_H_

@@ -1,0 +1,124 @@
+#include "feeds/joint.h"
+
+#include <algorithm>
+
+namespace asterix {
+namespace feeds {
+
+using common::Status;
+using hyracks::FramePtr;
+
+void FeedJoint::SetPrimary(std::shared_ptr<hyracks::IFrameWriter> primary) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  primary_ = std::move(primary);
+}
+
+void FeedJoint::DetachPrimary() {
+  std::shared_ptr<hyracks::IFrameWriter> primary;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    primary = std::move(primary_);
+    primary_.reset();
+  }
+  if (primary != nullptr) primary->Close();
+}
+
+std::shared_ptr<SubscriberQueue> FeedJoint::Subscribe(
+    SubscriberOptions options) {
+  auto queue = std::make_shared<SubscriberQueue>(std::move(options));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) {
+    queue->DeliverEnd();
+    return queue;
+  }
+  subscribers_.push_back(queue);
+  return queue;
+}
+
+void FeedJoint::Unsubscribe(const std::shared_ptr<SubscriberQueue>& queue) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.erase(
+      std::remove(subscribers_.begin(), subscribers_.end(), queue),
+      subscribers_.end());
+}
+
+FeedJoint::Mode FeedJoint::mode() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (subscribers_.empty()) return Mode::kInactive;
+  return subscribers_.size() == 1 ? Mode::kShortCircuit : Mode::kShared;
+}
+
+size_t FeedJoint::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return subscribers_.size();
+}
+
+Status FeedJoint::NextFrame(const FramePtr& frame) {
+  // Snapshot recipients under the lock, deliver outside it: a slow
+  // primary must not block subscriber registration, and vice versa.
+  std::shared_ptr<hyracks::IFrameWriter> primary;
+  std::vector<std::shared_ptr<SubscriberQueue>> subscribers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    primary = primary_;
+    subscribers = subscribers_;
+    ++frames_routed_;
+  }
+  if (subscribers.size() == 1) {
+    // Short-circuited mode: no Data Bucket bookkeeping.
+    subscribers[0]->Deliver(frame, nullptr);
+  } else if (subscribers.size() > 1) {
+    // Shared mode: one bucket per frame, shared by all subscribers.
+    DataBucket* bucket =
+        pool_.Get(frame, static_cast<int>(subscribers.size()));
+    for (auto& subscriber : subscribers) {
+      subscriber->Deliver(frame, bucket);
+    }
+  }
+  if (primary != nullptr) {
+    // In-job forwarding last: it may block under this pipeline's own
+    // back-pressure without delaying subscribers.
+    return primary->NextFrame(frame);
+  }
+  return Status::OK();
+}
+
+void FeedJoint::Fail() {
+  std::shared_ptr<hyracks::IFrameWriter> primary;
+  std::vector<std::shared_ptr<SubscriberQueue>> subscribers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    primary = primary_;
+    subscribers = subscribers_;
+  }
+  for (auto& subscriber : subscribers) subscriber->DeliverEnd();
+  if (primary != nullptr) primary->Fail();
+}
+
+Status FeedJoint::Close() {
+  std::shared_ptr<hyracks::IFrameWriter> primary;
+  std::vector<std::shared_ptr<SubscriberQueue>> subscribers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    primary = primary_;
+    subscribers = subscribers_;
+  }
+  for (auto& subscriber : subscribers) subscriber->DeliverEnd();
+  if (primary != nullptr) return primary->Close();
+  return Status::OK();
+}
+
+bool FeedJoint::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+int64_t FeedJoint::frames_routed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_routed_;
+}
+
+}  // namespace feeds
+}  // namespace asterix

@@ -1,0 +1,73 @@
+// Feed joints (§5.2, §5.4): the "network taps" that make data flowing
+// through an ingestion pipeline accessible and routable along additional
+// paths. A joint sits at the output of a subscribable operator instance;
+// it forwards frames to the in-job downstream (its "primary") and to any
+// dynamically registered subscribers (the intake operators of dependent
+// pipelines). With one subscriber it short-circuits (no bucket
+// bookkeeping); with several it shares Data Buckets, giving Guaranteed
+// Delivery and Congestion Isolation.
+#ifndef ASTERIX_FEEDS_JOINT_H_
+#define ASTERIX_FEEDS_JOINT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "feeds/subscriber.h"
+#include "hyracks/frame.h"
+
+namespace asterix {
+namespace feeds {
+
+class FeedJoint : public hyracks::IFrameWriter {
+ public:
+  enum class Mode { kInactive, kShortCircuit, kShared };
+
+  explicit FeedJoint(std::string id) : id_(std::move(id)) {}
+
+  const std::string& id() const { return id_; }
+
+  /// The in-job downstream writer (router to the next stage). May be
+  /// absent (a collect operator whose only consumers are subscribers).
+  void SetPrimary(std::shared_ptr<hyracks::IFrameWriter> primary);
+
+  /// Detaches and closes the in-job downstream — the partial dismantling
+  /// of a disconnect when dependent feeds still consume this joint
+  /// (§5.5 / Figure 5.10(b)).
+  void DetachPrimary();
+
+  /// Registers a new recipient; data flowing through the joint starts
+  /// being routed to the returned queue. Thread-safe, any time.
+  std::shared_ptr<SubscriberQueue> Subscribe(SubscriberOptions options);
+
+  /// Unregisters; the queue stops receiving new frames.
+  void Unsubscribe(const std::shared_ptr<SubscriberQueue>& queue);
+
+  /// Current mode, determined dynamically by the subscriber count.
+  Mode mode() const;
+  size_t subscriber_count() const;
+
+  /// Producer-side IFrameWriter API (the subscribable operator's output).
+  common::Status NextFrame(const hyracks::FramePtr& frame) override;
+  void Fail() override;
+  common::Status Close() override;
+
+  bool closed() const;
+  int64_t frames_routed() const;
+  const DataBucketPool& bucket_pool() const { return pool_; }
+
+ private:
+  const std::string id_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<hyracks::IFrameWriter> primary_;
+  std::vector<std::shared_ptr<SubscriberQueue>> subscribers_;
+  DataBucketPool pool_;
+  bool closed_ = false;
+  int64_t frames_routed_ = 0;
+};
+
+}  // namespace feeds
+}  // namespace asterix
+
+#endif  // ASTERIX_FEEDS_JOINT_H_

@@ -1,0 +1,78 @@
+// MetaFeedOperator (§6.1, §6.2.4): a wrapper that mimics its enclosed
+// "core" operator's interface while adding fault-tolerance behaviour —
+// keeping data concerns separate from failure concerns (Separation of
+// Concerns). It sandboxes runtime exceptions (soft failures), logs them,
+// bounds consecutive skips, and restores zombie state left behind by a
+// predecessor instance after a hard failure.
+#ifndef ASTERIX_FEEDS_META_H_
+#define ASTERIX_FEEDS_META_H_
+
+#include <memory>
+#include <string>
+
+#include "feeds/feed_manager.h"
+#include "feeds/metrics.h"
+#include "feeds/policy.h"
+#include "hyracks/operator.h"
+
+namespace asterix {
+namespace feeds {
+
+struct MetaFeedOptions {
+  /// Catch exceptions per record and continue (recover.soft.failure).
+  bool sandbox_soft_failures = true;
+  /// End the feed after this many consecutive skipped records.
+  int64_t max_consecutive_soft_failures = 64;
+  /// Additionally persist exception details into the dataset below.
+  bool log_to_dataset = false;
+  std::string exception_dataset = "FeedExceptions";
+  /// Zombie-state key ("<connection>:<operator>:<partition-suffix added
+  /// at Open>"); empty disables state restoration.
+  std::string state_key_prefix;
+  std::shared_ptr<ConnectionMetrics> metrics;
+};
+
+class MetaFeedOperator : public hyracks::Operator {
+ public:
+  MetaFeedOperator(std::unique_ptr<hyracks::Operator> core,
+                   MetaFeedOptions options)
+      : core_(std::move(core)), options_(std::move(options)) {}
+
+  bool is_source() const override { return core_->is_source(); }
+  common::Status Open(hyracks::TaskContext* ctx) override;
+  common::Status Run(hyracks::TaskContext* ctx) override {
+    return core_->Run(ctx);
+  }
+  common::Status ProcessFrame(const hyracks::FramePtr& frame,
+                              hyracks::TaskContext* ctx) override;
+  common::Status Close(hyracks::TaskContext* ctx) override {
+    return core_->Close(ctx);
+  }
+  void OnSignal(const std::string& signal) override {
+    core_->OnSignal(signal);
+  }
+
+  hyracks::Operator* core() { return core_.get(); }
+  int64_t soft_failures() const { return soft_failures_; }
+
+ private:
+  void LogSoftFailure(const adm::Value& record, const std::string& what,
+                      hyracks::TaskContext* ctx);
+
+  std::unique_ptr<hyracks::Operator> core_;
+  MetaFeedOptions options_;
+  int64_t soft_failures_ = 0;
+  int64_t consecutive_failures_ = 0;
+  int64_t exception_log_seq_ = 0;
+};
+
+/// Convenience factory wrapping `core` according to `policy`.
+std::unique_ptr<hyracks::Operator> WrapWithMetaFeed(
+    std::unique_ptr<hyracks::Operator> core, const IngestionPolicy& policy,
+    std::string state_key_prefix,
+    std::shared_ptr<ConnectionMetrics> metrics);
+
+}  // namespace feeds
+}  // namespace asterix
+
+#endif  // ASTERIX_FEEDS_META_H_

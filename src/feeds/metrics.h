@@ -1,0 +1,94 @@
+// Metrics for a feed connection (Table 7.1's symbols): arrival,
+// processing and persistence counters plus an interval-binned recorder for
+// instantaneous throughput timelines (the Chapter 6/7 figures).
+#ifndef ASTERIX_FEEDS_METRICS_H_
+#define ASTERIX_FEEDS_METRICS_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace asterix {
+namespace feeds {
+
+class SubscriberQueue;
+
+/// Counts events into fixed-width time bins from a start instant;
+/// Series() yields per-bin totals — an instantaneous-throughput timeline.
+class IntervalCounter {
+ public:
+  explicit IntervalCounter(int64_t bin_width_ms = 250)
+      : bin_width_ms_(bin_width_ms), start_ms_(common::NowMillis()) {}
+
+  void Add(int64_t n = 1) {
+    int64_t bin = (common::NowMillis() - start_ms_) / bin_width_ms_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (bin >= static_cast<int64_t>(bins_.size())) {
+      bins_.resize(static_cast<size_t>(bin) + 1, 0);
+    }
+    bins_[static_cast<size_t>(bin)] += n;
+  }
+
+  /// Per-bin counts from the start instant to now.
+  std::vector<int64_t> Series() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bins_;
+  }
+
+  int64_t bin_width_ms() const { return bin_width_ms_; }
+  int64_t start_ms() const { return start_ms_; }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bins_.clear();
+    start_ms_ = common::NowMillis();
+  }
+
+ private:
+  const int64_t bin_width_ms_;
+  int64_t start_ms_;
+  mutable std::mutex mutex_;
+  std::vector<int64_t> bins_;
+};
+
+/// Shared runtime metrics for one feed connection. Operators update the
+/// counters; the congestion monitor and the benches read them.
+struct ConnectionMetrics {
+  // r_a, r_c, r_s of Table 7.1: records arriving from the source, records
+  // through the compute stage, records persisted+indexed.
+  std::atomic<int64_t> records_collected{0};
+  std::atomic<int64_t> records_computed{0};
+  std::atomic<int64_t> records_stored{0};
+  std::atomic<int64_t> soft_failures{0};
+  std::atomic<int64_t> records_replayed{0};  // at-least-once re-sends
+
+  /// Instantaneous persisted-records throughput.
+  IntervalCounter store_timeline{250};
+
+  /// Intake-side subscriber queues (one per intake partition), for the
+  /// congestion monitor. Guarded by `mutex`.
+  std::mutex mutex;
+  std::vector<std::shared_ptr<SubscriberQueue>> intake_queues;
+
+  void RegisterIntakeQueue(std::shared_ptr<SubscriberQueue> queue) {
+    std::lock_guard<std::mutex> lock(mutex);
+    intake_queues.push_back(std::move(queue));
+  }
+  std::vector<std::shared_ptr<SubscriberQueue>> IntakeQueues() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return intake_queues;
+  }
+  void ClearIntakeQueues() {
+    std::lock_guard<std::mutex> lock(mutex);
+    intake_queues.clear();
+  }
+};
+
+}  // namespace feeds
+}  // namespace asterix
+
+#endif  // ASTERIX_FEEDS_METRICS_H_

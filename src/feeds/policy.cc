@@ -1,0 +1,129 @@
+#include "feeds/policy.h"
+
+#include <cstdlib>
+
+namespace asterix {
+namespace feeds {
+
+using common::Result;
+using common::Status;
+
+const char* ExcessModeName(ExcessMode mode) {
+  switch (mode) {
+    case ExcessMode::kBlock:
+      return "block";
+    case ExcessMode::kSpill:
+      return "spill";
+    case ExcessMode::kDiscard:
+      return "discard";
+    case ExcessMode::kThrottle:
+      return "throttle";
+    case ExcessMode::kElastic:
+      return "elastic";
+  }
+  return "?";
+}
+
+bool IngestionPolicy::GetBool(const std::string& key,
+                              bool default_value) const {
+  auto it = params_.find(key);
+  if (it == params_.end()) return default_value;
+  return it->second == "true" || it->second == "1";
+}
+
+int64_t IngestionPolicy::GetInt(const std::string& key,
+                                int64_t default_value) const {
+  auto it = params_.find(key);
+  if (it == params_.end()) return default_value;
+  // Accept "512MB"-style suffixes used in the dissertation's examples.
+  const std::string& s = it->second;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  std::string suffix(end);
+  if (suffix == "KB" || suffix == "kb") return v * 1024LL;
+  if (suffix == "MB" || suffix == "mb") return v * 1024LL * 1024;
+  if (suffix == "GB" || suffix == "gb") return v * 1024LL * 1024 * 1024;
+  if (!suffix.empty()) return default_value;
+  return v;
+}
+
+double IngestionPolicy::GetDouble(const std::string& key,
+                                  double default_value) const {
+  auto it = params_.find(key);
+  if (it == params_.end()) return default_value;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end != it->second.c_str() + it->second.size()) return default_value;
+  return v;
+}
+
+std::string IngestionPolicy::GetString(
+    const std::string& key, const std::string& default_value) const {
+  auto it = params_.find(key);
+  return it == params_.end() ? default_value : it->second;
+}
+
+ExcessMode IngestionPolicy::excess_mode() const {
+  if (GetBool(kExcessRecordsSpill, false)) return ExcessMode::kSpill;
+  if (GetBool(kExcessRecordsDiscard, false)) return ExcessMode::kDiscard;
+  if (GetBool(kExcessRecordsThrottle, false)) return ExcessMode::kThrottle;
+  if (GetBool(kExcessRecordsElastic, false)) return ExcessMode::kElastic;
+  return ExcessMode::kBlock;
+}
+
+PolicyRegistry::PolicyRegistry() {
+  // Defaults follow Table 4.1; each built-in flips the one flag that
+  // names it (Table 4.2).
+  policies_.emplace("Basic", IngestionPolicy("Basic", {}));
+  policies_.emplace(
+      "Spill",
+      IngestionPolicy("Spill",
+                      {{IngestionPolicy::kExcessRecordsSpill, "true"}}));
+  policies_.emplace(
+      "Discard",
+      IngestionPolicy("Discard",
+                      {{IngestionPolicy::kExcessRecordsDiscard, "true"}}));
+  policies_.emplace(
+      "Throttle",
+      IngestionPolicy("Throttle",
+                      {{IngestionPolicy::kExcessRecordsThrottle, "true"}}));
+  policies_.emplace(
+      "Elastic",
+      IngestionPolicy("Elastic",
+                      {{IngestionPolicy::kExcessRecordsElastic, "true"}}));
+  policies_.emplace(
+      "FaultTolerant",
+      IngestionPolicy("FaultTolerant",
+                      {{IngestionPolicy::kAtLeastOnceEnabled, "true"},
+                       {IngestionPolicy::kRecoverSoftFailure, "true"},
+                       {IngestionPolicy::kRecoverHardFailure, "true"}}));
+}
+
+Status PolicyRegistry::Create(const std::string& name,
+                              const std::string& base,
+                              std::map<std::string, std::string> overrides) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (policies_.count(name) > 0) {
+    return Status::AlreadyExists("policy '" + name + "' already exists");
+  }
+  auto it = policies_.find(base);
+  if (it == policies_.end()) {
+    return Status::NotFound("base policy '" + base + "' not found");
+  }
+  std::map<std::string, std::string> params = it->second.params();
+  for (auto& [key, value] : overrides) params[key] = value;
+  policies_.emplace(name, IngestionPolicy(name, std::move(params)));
+  return Status::OK();
+}
+
+Result<IngestionPolicy> PolicyRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = policies_.find(name);
+  if (it == policies_.end()) {
+    return Status::NotFound("policy '" + name + "' not found");
+  }
+  return it->second;
+}
+
+}  // namespace feeds
+}  // namespace asterix

@@ -1,0 +1,306 @@
+#include "feeds/subscriber.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "adm/parser.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace asterix {
+namespace feeds {
+
+using common::Status;
+using hyracks::FramePtr;
+
+void DataBucket::Consume() {
+  if (pending_.fetch_sub(1) == 1) {
+    pool_->Return(this);
+  }
+}
+
+DataBucketPool::~DataBucketPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (DataBucket* bucket : free_) delete bucket;
+}
+
+DataBucket* DataBucketPool::Get(FramePtr frame, int consumers) {
+  DataBucket* bucket = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      bucket = free_.front();
+      free_.pop_front();
+      reuses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (bucket == nullptr) {
+    bucket = new DataBucket();
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bucket->frame_ = std::move(frame);
+  bucket->pending_.store(consumers);
+  bucket->pool_ = this;
+  return bucket;
+}
+
+void DataBucketPool::Return(DataBucket* bucket) {
+  bucket->frame_.reset();
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(bucket);
+}
+
+SubscriberQueue::SubscriberQueue(SubscriberOptions options, uint64_t seed)
+    : options_(std::move(options)), rng_(seed) {
+  spill_path_ = options_.spill_dir + "/" + options_.name + "." +
+                std::to_string(common::NowMicros()) + ".spill";
+}
+
+SubscriberQueue::~SubscriberQueue() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry& e : entries_) {
+    if (e.bucket != nullptr) e.bucket->Consume();
+  }
+  entries_.clear();
+  if (spill_file_ != nullptr) {
+    std::fclose(spill_file_);
+    std::remove(spill_path_.c_str());
+  }
+}
+
+FramePtr SubscriberQueue::SampleFrame(const FramePtr& frame,
+                                      double keep_probability) {
+  std::vector<adm::Value> kept;
+  for (const adm::Value& record : frame->records()) {
+    if (rng_.Chance(keep_probability)) {
+      kept.push_back(record);
+    } else {
+      ++stats_.records_throttled_away;
+    }
+  }
+  if (kept.empty()) return nullptr;
+  return hyracks::MakeFrame(std::move(kept));
+}
+
+void SubscriberQueue::SpillLocked(const FramePtr& frame) {
+  if (spill_file_ == nullptr) {
+    spill_file_ = std::fopen(spill_path_.c_str(), "w+b");
+    if (spill_file_ == nullptr) {
+      failed_.store(true);
+      failure_ = Status::IOError("cannot open spill file " + spill_path_);
+      return;
+    }
+  }
+  std::string payload;
+  for (const adm::Value& record : frame->records()) {
+    payload += record.ToAdmString();
+    payload.push_back('\n');
+  }
+  std::fseek(spill_file_, 0, SEEK_END);
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::fwrite(&len, sizeof(len), 1, spill_file_);
+  std::fwrite(payload.data(), 1, payload.size(), spill_file_);
+  ++spill_pending_frames_;
+  ++stats_.frames_spilled;
+  stats_.bytes_spilled += static_cast<int64_t>(payload.size());
+}
+
+bool SubscriberQueue::RestoreFromSpillLocked() {
+  if (spill_pending_frames_ == 0 || spill_file_ == nullptr) return false;
+  std::fflush(spill_file_);
+  std::fseek(spill_file_, spill_read_offset_, SEEK_SET);
+  // Restore a small batch per call so memory stays bounded.
+  int restored = 0;
+  while (spill_pending_frames_ > 0 && restored < 8) {
+    uint32_t len = 0;
+    if (std::fread(&len, sizeof(len), 1, spill_file_) != 1) break;
+    std::string payload(len, '\0');
+    if (len > 0 && std::fread(payload.data(), 1, len, spill_file_) != len) {
+      break;
+    }
+    spill_read_offset_ += static_cast<int64_t>(sizeof(len)) + len;
+    std::vector<adm::Value> records;
+    for (const std::string& line : common::SplitAndTrim(payload, '\n')) {
+      if (line.empty()) continue;
+      auto parsed = adm::ParseAdm(line);
+      if (parsed.ok()) records.push_back(std::move(*parsed));
+    }
+    --spill_pending_frames_;
+    ++stats_.frames_restored;
+    ++restored;
+    if (!records.empty()) {
+      FramePtr frame = hyracks::MakeFrame(std::move(records));
+      pending_bytes_ += static_cast<int64_t>(frame->ApproxBytes());
+      entries_.push_back({std::move(frame), nullptr});
+    }
+  }
+  if (spill_pending_frames_ == 0) {
+    // Fully drained: reclaim the file so a later burst starts fresh.
+    std::fclose(spill_file_);
+    std::remove(spill_path_.c_str());
+    spill_file_ = nullptr;
+    spill_read_offset_ = 0;
+  }
+  return restored > 0;
+}
+
+void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto consume = [&] {
+    if (bucket != nullptr) bucket->Consume();
+  };
+  if (ended_) {
+    consume();
+    return;
+  }
+  int64_t frame_bytes = static_cast<int64_t>(frame->ApproxBytes());
+  bool over_budget =
+      pending_bytes_ + frame_bytes > options_.memory_budget_bytes;
+
+  auto append = [&](FramePtr f, DataBucket* b) {
+    pending_bytes_ += static_cast<int64_t>(f->ApproxBytes());
+    stats_.peak_pending_bytes =
+        std::max(stats_.peak_pending_bytes, pending_bytes_);
+    ++stats_.frames_delivered;
+    stats_.records_delivered += static_cast<int64_t>(f->record_count());
+    entries_.push_back({std::move(f), b});
+    not_empty_.notify_one();
+  };
+
+  if (throttling_) {
+    // Spill-overflow fallback: regulate the inflow by sampling.
+    FramePtr sampled = SampleFrame(frame, 0.5);
+    consume();
+    if (sampled != nullptr) append(std::move(sampled), nullptr);
+    return;
+  }
+
+  switch (options_.mode) {
+    case ExcessMode::kBlock:
+    case ExcessMode::kElastic: {
+      // Basic: buffer in memory. Exhausting the budget terminates the
+      // feed (§4.5). Elastic buffers the same way while the system
+      // re-structures the pipeline; the budget is its headroom.
+      if (over_budget && options_.mode == ExcessMode::kBlock) {
+        failed_.store(true);
+        failure_ = Status::ResourceExhausted(
+            "feed '" + options_.name + "' exhausted its memory budget (" +
+            std::to_string(options_.memory_budget_bytes) + " bytes)");
+        consume();
+        not_empty_.notify_all();
+        return;
+      }
+      append(std::move(frame), bucket);
+      return;
+    }
+    case ExcessMode::kSpill: {
+      if (over_budget || spill_pending_frames_ > 0) {
+        if (stats_.bytes_spilled >= options_.max_spill_bytes) {
+          if (options_.throttle_after_spill) {
+            throttling_ = true;
+            LOG_MSG(kWarn) << options_.name
+                           << ": spill budget exhausted; throttling";
+            FramePtr sampled = SampleFrame(frame, 0.5);
+            consume();
+            if (sampled != nullptr) append(std::move(sampled), nullptr);
+          } else {
+            failed_.store(true);
+            failure_ = Status::ResourceExhausted(
+                "feed '" + options_.name + "' exhausted its spill budget");
+            consume();
+            not_empty_.notify_all();
+          }
+          return;
+        }
+        SpillLocked(frame);
+        consume();
+        not_empty_.notify_one();
+        return;
+      }
+      append(std::move(frame), bucket);
+      return;
+    }
+    case ExcessMode::kDiscard: {
+      // Hysteresis per §4.5: once the budget is hit, excess records are
+      // discarded ALTOGETHER until the existing backlog clears — the
+      // "periods of discontinuity" of Figure 7.9.
+      if (discarding_ && pending_bytes_ <= options_.memory_budget_bytes / 4) {
+        discarding_ = false;
+      }
+      if (over_budget) discarding_ = true;
+      if (discarding_) {
+        stats_.records_discarded +=
+            static_cast<int64_t>(frame->record_count());
+        consume();
+        return;
+      }
+      append(std::move(frame), bucket);
+      return;
+    }
+    case ExcessMode::kThrottle: {
+      if (over_budget ||
+          pending_bytes_ > options_.memory_budget_bytes / 2) {
+        // Adaptive sampling: the fuller the queue, the lower the keep
+        // probability, regulating the effective arrival rate.
+        double fill = static_cast<double>(pending_bytes_) /
+                      static_cast<double>(options_.memory_budget_bytes);
+        double keep = std::clamp(1.0 - fill, 0.05, 1.0);
+        FramePtr sampled = SampleFrame(frame, keep);
+        consume();
+        if (sampled != nullptr) append(std::move(sampled), nullptr);
+        return;
+      }
+      append(std::move(frame), bucket);
+      return;
+    }
+  }
+}
+
+void SubscriberQueue::DeliverEnd() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ended_ = true;
+  not_empty_.notify_all();
+}
+
+std::optional<FramePtr> SubscriberQueue::Next(int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool ready = not_empty_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [this] {
+        return !entries_.empty() || spill_pending_frames_ > 0 || ended_ ||
+               failed_.load();
+      });
+  if (!ready) return std::nullopt;
+  if (entries_.empty() && spill_pending_frames_ > 0) {
+    RestoreFromSpillLocked();
+  }
+  if (entries_.empty()) return std::nullopt;  // ended or failed
+  Entry entry = std::move(entries_.front());
+  entries_.pop_front();
+  pending_bytes_ -= static_cast<int64_t>(entry.frame->ApproxBytes());
+  if (entry.bucket != nullptr) entry.bucket->Consume();
+  return entry.frame;
+}
+
+bool SubscriberQueue::ended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ended_ && entries_.empty() && spill_pending_frames_ == 0;
+}
+
+SubscriberStats SubscriberQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+int64_t SubscriberQueue::pending_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_bytes_;
+}
+
+size_t SubscriberQueue::pending_frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size() + static_cast<size_t>(spill_pending_frames_);
+}
+
+}  // namespace feeds
+}  // namespace asterix

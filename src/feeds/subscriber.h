@@ -1,0 +1,157 @@
+// Subscriber queues: the per-subscriber input queues hanging off a feed
+// joint. This is where "excess records" accumulate when a pipeline cannot
+// keep pace, and therefore where the ingestion policy's excess-record
+// handling (Table 4.2) is enforced: block/buffer (Basic), spill to disk
+// (Spill), drop (Discard), or sample (Throttle/Elastic-interim).
+#ifndef ASTERIX_FEEDS_SUBSCRIBER_H_
+#define ASTERIX_FEEDS_SUBSCRIBER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "feeds/policy.h"
+#include "hyracks/frame.h"
+
+namespace asterix {
+namespace feeds {
+
+class DataBucketPool;
+
+/// The paper's Data Bucket: a frame holder carrying a consumer counter.
+/// Shared by all subscribers of a joint in shared mode; returned to the
+/// pool when the last subscriber is done.
+class DataBucket {
+ public:
+  const hyracks::FramePtr& frame() const { return frame_; }
+
+  /// Marks this subscriber's consumption; recycles on the last one.
+  void Consume();
+
+ private:
+  friend class DataBucketPool;
+  hyracks::FramePtr frame_;
+  std::atomic<int> pending_{0};
+  DataBucketPool* pool_ = nullptr;
+};
+
+/// Free-list pool of Data Buckets (§5.4.1: buckets are "reclaimed and
+/// returned to a pool only to be retrieved later").
+class DataBucketPool {
+ public:
+  ~DataBucketPool();
+
+  DataBucket* Get(hyracks::FramePtr frame, int consumers);
+  void Return(DataBucket* bucket);
+
+  int64_t allocations() const { return allocations_.load(); }
+  int64_t reuses() const { return reuses_.load(); }
+
+ private:
+  std::mutex mutex_;
+  std::deque<DataBucket*> free_;
+  std::atomic<int64_t> allocations_{0};
+  std::atomic<int64_t> reuses_{0};
+};
+
+struct SubscriberOptions {
+  ExcessMode mode = ExcessMode::kBlock;
+  /// In-memory excess budget before the mode's action kicks in.
+  int64_t memory_budget_bytes = 32 << 20;
+  /// Spill mode: bytes of disk spillage allowed before fallback.
+  int64_t max_spill_bytes = 512LL << 20;
+  /// Spill mode: fall back to throttling (instead of failing) when the
+  /// spill budget is exhausted — the Spill_then_Throttle custom policy.
+  bool throttle_after_spill = false;
+  /// Directory for spill files.
+  std::string spill_dir = "/tmp";
+  /// Queue identity for spill file naming / logs.
+  std::string name = "subscriber";
+};
+
+struct SubscriberStats {
+  int64_t frames_delivered = 0;
+  int64_t records_delivered = 0;
+  int64_t records_discarded = 0;
+  int64_t records_throttled_away = 0;
+  int64_t frames_spilled = 0;
+  int64_t bytes_spilled = 0;
+  int64_t frames_restored = 0;
+  int64_t peak_pending_bytes = 0;
+};
+
+/// One subscriber's queue. Producer side: the feed joint Delivers frames
+/// (possibly wrapped in shared Data Buckets). Consumer side: the intake
+/// operator of the subscribing pipeline Next()s frames at its own pace —
+/// the asynchrony that gives the paper's Congestion Isolation.
+class SubscriberQueue {
+ public:
+  SubscriberQueue(SubscriberOptions options, uint64_t seed = 17);
+  ~SubscriberQueue();
+
+  /// Producer side. `bucket` is null in short-circuit mode. Never blocks
+  /// the producer (congestion isolation): excess handling follows the
+  /// policy mode instead.
+  void Deliver(hyracks::FramePtr frame, DataBucket* bucket);
+
+  /// Marks clean end-of-feed; consumers drain then see nullopt + ended().
+  void DeliverEnd();
+
+  /// Consumer side: next frame, waiting up to `timeout_ms`.
+  std::optional<hyracks::FramePtr> Next(int64_t timeout_ms);
+
+  bool ended() const;
+  /// Set when the Basic policy exhausted its memory budget (feed must
+  /// terminate) or spillage overflowed without a throttle fallback.
+  bool failed() const { return failed_.load(); }
+  const common::Status& failure() const { return failure_; }
+
+  SubscriberStats stats() const;
+  int64_t pending_bytes() const;
+  size_t pending_frames() const;
+  const std::string& name() const { return options_.name; }
+
+ private:
+  struct Entry {
+    hyracks::FramePtr frame;
+    DataBucket* bucket = nullptr;  // consumed on pop
+  };
+
+  void SpillLocked(const hyracks::FramePtr& frame);
+  bool RestoreFromSpillLocked();
+  hyracks::FramePtr SampleFrame(const hyracks::FramePtr& frame,
+                                double keep_probability);
+
+  const SubscriberOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<Entry> entries_;
+  int64_t pending_bytes_ = 0;
+  bool ended_ = false;
+  std::atomic<bool> failed_{false};
+  common::Status failure_;
+  SubscriberStats stats_;
+  common::Rng rng_;
+
+  // Spill state: once active, all arrivals spill until fully drained
+  // (preserves record order).
+  std::FILE* spill_file_ = nullptr;
+  std::string spill_path_;
+  int64_t spill_pending_frames_ = 0;
+  int64_t spill_read_offset_ = 0;
+  bool throttling_ = false;  // spill overflow fallback engaged
+  bool discarding_ = false;  // Discard hysteresis: dropping until the
+                             // backlog clears (§4.5)
+};
+
+}  // namespace feeds
+}  // namespace asterix
+
+#endif  // ASTERIX_FEEDS_SUBSCRIBER_H_

@@ -1,0 +1,152 @@
+#include "feeds/udf.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace asterix {
+namespace feeds {
+
+using adm::Value;
+using common::Result;
+using common::Status;
+
+std::optional<Value> AqlUdf::Apply(const Value& record) {
+  if (!record.is_record()) {
+    throw std::invalid_argument("AQL UDF '" + name_ +
+                                "' applied to a non-record value");
+  }
+  Value out = record;
+  for (const Step& step : steps_) {
+    switch (step.op) {
+      case Step::Op::kKeepFields: {
+        adm::FieldVec kept;
+        for (const std::string& f : step.fields) {
+          const Value* v = out.GetField(f);
+          if (v != nullptr) kept.emplace_back(f, *v);
+        }
+        out = Value::Record(std::move(kept));
+        break;
+      }
+      case Step::Op::kDropFields: {
+        for (const std::string& f : step.fields) out.RemoveField(f);
+        break;
+      }
+      case Step::Op::kRenameField: {
+        const Value* v = out.GetField(step.fields[0]);
+        if (v != nullptr) {
+          Value moved = *v;
+          out.RemoveField(step.fields[0]);
+          out.SetField(step.fields[1], std::move(moved));
+        }
+        break;
+      }
+      case Step::Op::kExtractHashtags: {
+        const Value* text = out.GetField(step.fields[0]);
+        if (text == nullptr || text->tag() != adm::TypeTag::kString) {
+          throw std::runtime_error("field '" + step.fields[0] +
+                                   "' missing or not a string");
+        }
+        adm::ListVec topics;
+        for (const std::string& token :
+             common::SplitAndTrim(text->AsString(), ' ')) {
+          if (common::StartsWith(token, "#") && token.size() > 1) {
+            topics.push_back(Value::String(token));
+          }
+        }
+        out.SetField(step.fields[1], Value::List(std::move(topics)));
+        break;
+      }
+      case Step::Op::kStringToDatetime: {
+        const Value* s = out.GetField(step.fields[0]);
+        if (s == nullptr || s->tag() != adm::TypeTag::kString) {
+          throw std::runtime_error("field '" + step.fields[0] +
+                                   "' missing or not a string");
+        }
+        char* end = nullptr;
+        long long ms = std::strtoll(s->AsString().c_str(), &end, 10);
+        if (end != s->AsString().c_str() + s->AsString().size()) {
+          throw std::runtime_error("field '" + step.fields[0] +
+                                   "' is not an epoch-ms string");
+        }
+        out.SetField(step.fields[1], Value::Datetime(ms));
+        break;
+      }
+      case Step::Op::kLatLongToPoint: {
+        const Value* lat = out.GetField(step.fields[0]);
+        const Value* lon = out.GetField(step.fields[1]);
+        if (lat == nullptr || lon == nullptr || lat->is_null() ||
+            lon->is_null()) {
+          // Optional location: leave the point field absent.
+          break;
+        }
+        out.SetField(step.fields[2],
+                     Value::MakePoint(lat->AsNumber(), lon->AsNumber()));
+        break;
+      }
+      case Step::Op::kFilterFieldEquals: {
+        const Value* v = out.GetField(step.fields[0]);
+        if (v == nullptr || !(*v == step.literal)) return std::nullopt;
+        break;
+      }
+      case Step::Op::kAddConstant: {
+        out.SetField(step.fields[0], step.literal);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<AqlUdf> AqlUdf::ExtractHashtags(std::string name,
+                                                std::string text_field,
+                                                std::string out_field) {
+  return std::make_shared<AqlUdf>(
+      std::move(name),
+      std::vector<Step>{{Step::Op::kExtractHashtags,
+                         {std::move(text_field), std::move(out_field)},
+                         Value::Null()}});
+}
+
+int64_t BusySpin(int64_t iterations) {
+  volatile int64_t acc = 0;
+  for (int64_t i = 0; i < iterations; ++i) acc = acc + i;
+  return acc;
+}
+
+double PseudoSentiment(const std::string& text) {
+  // Deterministic hash-derived score in [0, 1].
+  uint64_t h = common::Fnv1a(text);
+  return static_cast<double>(h % 10000) / 10000.0;
+}
+
+Status UdfRegistry::Register(std::shared_ptr<Udf> udf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = udfs_.emplace(udf->name(), udf);
+  if (!inserted) {
+    return Status::AlreadyExists("function '" + udf->name() +
+                                 "' already installed");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Udf>> UdfRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = udfs_.find(name);
+  if (it == udfs_.end()) {
+    return Status::NotFound("function '" + name + "' not found");
+  }
+  return it->second;
+}
+
+std::vector<std::string> UdfRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, udf] : udfs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace feeds
+}  // namespace asterix

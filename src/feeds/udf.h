@@ -1,0 +1,134 @@
+// User-defined functions for feed pre-processing. Two kinds mirror the
+// paper: declarative "AQL" UDFs the compiler can reason about and inline,
+// and black-box "Java" UDFs (arbitrary callables here) whose cost and
+// semantics are opaque. UDFs may throw; the MetaFeed sandbox catches
+// throws as soft failures.
+#ifndef ASTERIX_FEEDS_UDF_H_
+#define ASTERIX_FEEDS_UDF_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/result.h"
+
+namespace asterix {
+namespace feeds {
+
+enum class UdfKind { kAql, kJava };
+
+/// A per-record transform. Returning nullopt filters the record out.
+class Udf {
+ public:
+  virtual ~Udf() = default;
+  virtual const std::string& name() const = 0;
+  virtual UdfKind kind() const = 0;
+
+  /// One-time setup before use in a dataflow (the Java UDF
+  /// "initialization phase" of §4.2).
+  virtual void Initialize() {}
+
+  /// Transforms one record. May throw std::exception (soft failure).
+  virtual std::optional<adm::Value> Apply(const adm::Value& record) = 0;
+};
+
+/// --- Declarative ("AQL") UDFs -------------------------------------------
+///
+/// An AqlUdf is a short program of declarative steps over the record; the
+/// compiler can inline chains of AqlUdfs from a feed cascade into a
+/// single assign operator (the Listing 5.6 template's inlining).
+class AqlUdf : public Udf {
+ public:
+  /// One declarative step.
+  struct Step {
+    enum class Op {
+      kKeepFields,       // project to `fields`
+      kDropFields,       // remove `fields`
+      kRenameField,      // fields[0] -> fields[1]
+      kExtractHashtags,  // tokens of fields[0] starting with '#' collected
+                         // into list field fields[1] (Listing 4.2)
+      kStringToDatetime,  // parse epoch-ms string fields[0] into datetime
+                          // field fields[1]
+      kLatLongToPoint,   // fields[0], fields[1] -> point field fields[2]
+      kFilterFieldEquals,  // drop record unless fields[0] == literal
+      kAddConstant,      // add field fields[0] with `literal`
+    };
+    Op op;
+    std::vector<std::string> fields;
+    adm::Value literal;
+  };
+
+  AqlUdf(std::string name, std::vector<Step> steps)
+      : name_(std::move(name)), steps_(std::move(steps)) {}
+
+  const std::string& name() const override { return name_; }
+  UdfKind kind() const override { return UdfKind::kAql; }
+  std::optional<adm::Value> Apply(const adm::Value& record) override;
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+  /// The canonical example of Listing 4.2 / 5.5: collect '#'-prefixed
+  /// tokens of `text_field` into ordered-list field `out_field`.
+  static std::shared_ptr<AqlUdf> ExtractHashtags(
+      std::string name, std::string text_field = "message_text",
+      std::string out_field = "topics");
+
+ private:
+  std::string name_;
+  std::vector<Step> steps_;
+};
+
+/// --- Black-box ("Java") UDFs ---------------------------------------------
+class JavaUdf : public Udf {
+ public:
+  using Fn = std::function<std::optional<adm::Value>(const adm::Value&)>;
+
+  /// `library` models the containing external library; the fully
+  /// qualified name is "<library>#<function>" as in Listing 5.9.
+  JavaUdf(std::string library, std::string function, Fn fn)
+      : qualified_name_(library + "#" + function), fn_(std::move(fn)) {}
+
+  const std::string& name() const override { return qualified_name_; }
+  UdfKind kind() const override { return UdfKind::kJava; }
+  void Initialize() override { initialized_ = true; }
+  std::optional<adm::Value> Apply(const adm::Value& record) override {
+    return fn_(record);
+  }
+  bool initialized() const { return initialized_; }
+
+ private:
+  std::string qualified_name_;
+  Fn fn_;
+  bool initialized_ = false;
+};
+
+/// Busy-spin helper: the synthetic CPU cost knob the evaluation's UDFs use
+/// (%OVERLAP experiments and the scalability workload). Returns a value
+/// derived from the spin to defeat dead-code elimination.
+int64_t BusySpin(int64_t iterations);
+
+/// Computes a deterministic pseudo-sentiment in [0,1] from tweet text —
+/// the stand-in for the paper's sentimentAnalysis Java UDF.
+double PseudoSentiment(const std::string& text);
+
+/// The Function metadata dataset: registry of installed UDFs.
+class UdfRegistry {
+ public:
+  common::Status Register(std::shared_ptr<Udf> udf);
+  common::Result<std::shared_ptr<Udf>> Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Udf>> udfs_;
+};
+
+}  // namespace feeds
+}  // namespace asterix
+
+#endif  // ASTERIX_FEEDS_UDF_H_

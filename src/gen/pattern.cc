@@ -1,0 +1,163 @@
+#include "gen/pattern.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.h"
+
+namespace asterix {
+namespace gen {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// Tiny forgiving XML scanner for the descriptor's fixed shape: returns
+// tags in order as (name, attributes, is_closing).
+struct Tag {
+  std::string name;
+  std::map<std::string, std::string> attrs;
+  bool closing = false;
+  bool self_closing = false;
+};
+
+Result<std::vector<Tag>> ScanTags(const std::string& xml) {
+  std::vector<Tag> tags;
+  size_t pos = 0;
+  while (true) {
+    size_t open = xml.find('<', pos);
+    if (open == std::string::npos) break;
+    size_t close = xml.find('>', open);
+    if (close == std::string::npos) {
+      return Status::Corruption("unterminated tag in pattern descriptor");
+    }
+    std::string body(xml.substr(open + 1, close - open - 1));
+    pos = close + 1;
+    Tag tag;
+    if (!body.empty() && body.front() == '/') {
+      tag.closing = true;
+      body = body.substr(1);
+    }
+    if (!body.empty() && body.back() == '/') {
+      tag.self_closing = true;
+      body.pop_back();
+    }
+    // Name up to first whitespace.
+    size_t name_end = 0;
+    while (name_end < body.size() &&
+           !std::isspace(static_cast<unsigned char>(body[name_end]))) {
+      ++name_end;
+    }
+    tag.name = body.substr(0, name_end);
+    // Attributes: key="value" pairs.
+    size_t i = name_end;
+    while (i < body.size()) {
+      while (i < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+      if (i >= body.size()) break;
+      size_t eq = body.find('=', i);
+      if (eq == std::string::npos) {
+        return Status::Corruption("malformed attribute in <" + tag.name +
+                                  ">");
+      }
+      std::string key(common::Trim(body.substr(i, eq - i)));
+      size_t q1 = body.find('"', eq);
+      if (q1 == std::string::npos) {
+        return Status::Corruption("attribute '" + key + "' lacks quotes");
+      }
+      size_t q2 = body.find('"', q1 + 1);
+      if (q2 == std::string::npos) {
+        return Status::Corruption("attribute '" + key + "' unterminated");
+      }
+      tag.attrs[key] = body.substr(q1 + 1, q2 - q1 - 1);
+      i = q2 + 1;
+    }
+    tags.push_back(std::move(tag));
+  }
+  return tags;
+}
+
+Result<int64_t> AttrInt(const Tag& tag, const std::string& key) {
+  auto it = tag.attrs.find(key);
+  if (it == tag.attrs.end()) {
+    return Status::InvalidArgument("<" + tag.name + "> missing attribute '" +
+                                   key + "'");
+  }
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end != it->second.c_str() + it->second.size() || v < 0) {
+    return Status::InvalidArgument("attribute '" + key +
+                                   "' is not a non-negative integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Result<Pattern> ParsePatternXml(const std::string& xml) {
+  auto tags = ScanTags(xml);
+  if (!tags.ok()) return tags.status();
+
+  Pattern pattern;
+  bool in_pattern = false;
+  bool in_cycle = false;
+  bool saw_cycle = false;
+  for (const Tag& tag : *tags) {
+    if (tag.name == "pattern") {
+      in_pattern = !tag.closing;
+    } else if (tag.name == "cycle") {
+      if (!in_pattern) {
+        return Status::InvalidArgument("<cycle> outside <pattern>");
+      }
+      if (tag.closing) {
+        in_cycle = false;
+      } else {
+        if (saw_cycle) {
+          return Status::InvalidArgument(
+              "multiple <cycle> elements are not supported");
+        }
+        saw_cycle = true;
+        in_cycle = true;
+        ASSIGN_OR_RETURN(int64_t repeat, AttrInt(tag, "repeat"));
+        pattern.repeat = static_cast<int>(repeat);
+      }
+    } else if (tag.name == "interval") {
+      if (!in_cycle) {
+        return Status::InvalidArgument("<interval> outside <cycle>");
+      }
+      Interval interval;
+      ASSIGN_OR_RETURN(interval.duration_ms, AttrInt(tag, "duration"));
+      ASSIGN_OR_RETURN(interval.rate_tps, AttrInt(tag, "rate"));
+      pattern.intervals.push_back(interval);
+    } else {
+      return Status::InvalidArgument("unknown tag <" + tag.name + ">");
+    }
+  }
+  if (!saw_cycle || pattern.intervals.empty()) {
+    return Status::InvalidArgument(
+        "pattern descriptor needs one <cycle> with >=1 <interval>");
+  }
+  if (pattern.repeat < 1) {
+    return Status::InvalidArgument("cycle repeat must be >= 1");
+  }
+  return pattern;
+}
+
+std::string PatternToXml(const Pattern& pattern) {
+  std::string out = "<pattern>\n  <cycle repeat=\"" +
+                    std::to_string(pattern.repeat) + "\">\n";
+  for (const Interval& interval : pattern.intervals) {
+    out += "    <interval duration=\"" +
+           std::to_string(interval.duration_ms) + "\" rate=\"" +
+           std::to_string(interval.rate_tps) + "\"/>\n";
+  }
+  out += "  </cycle>\n</pattern>\n";
+  return out;
+}
+
+}  // namespace gen
+}  // namespace asterix

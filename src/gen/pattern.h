@@ -1,0 +1,74 @@
+// Pattern descriptors: the XML files TweetGen is configured with in the
+// dissertation's evaluation (Listing 5.13). A pattern is a cycle of
+// (duration, rate) intervals repeated a number of times.
+#ifndef ASTERIX_GEN_PATTERN_H_
+#define ASTERIX_GEN_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace asterix {
+namespace gen {
+
+struct Interval {
+  int64_t duration_ms = 0;
+  /// Tweets per second during this interval.
+  int64_t rate_tps = 0;
+};
+
+/// A rate pattern: the interval list, repeated `repeat` times.
+struct Pattern {
+  std::vector<Interval> intervals;
+  int repeat = 1;
+
+  int64_t TotalDurationMs() const {
+    int64_t per_cycle = 0;
+    for (const Interval& i : intervals) per_cycle += i.duration_ms;
+    return per_cycle * repeat;
+  }
+
+  /// Total records the pattern generates if run to completion.
+  int64_t TotalRecords() const {
+    int64_t per_cycle = 0;
+    for (const Interval& i : intervals) {
+      per_cycle += i.duration_ms * i.rate_tps / 1000;
+    }
+    return per_cycle * repeat;
+  }
+
+  /// Constant-rate convenience pattern.
+  static Pattern Constant(int64_t rate_tps, int64_t duration_ms) {
+    return Pattern{{{duration_ms, rate_tps}}, 1};
+  }
+
+  /// Alternating two-rate burst pattern (the Chapter 7 workload shape).
+  static Pattern Burst(int64_t low_tps, int64_t high_tps,
+                       int64_t interval_ms, int cycles) {
+    return Pattern{{{interval_ms, low_tps}, {interval_ms, high_tps}},
+                   cycles};
+  }
+};
+
+/// Parses the XML pattern-descriptor format:
+///
+///   <pattern>
+///     <cycle repeat="5">
+///       <interval duration="400" rate="300"/>
+///       <interval duration="400" rate="600"/>
+///     </cycle>
+///   </pattern>
+///
+/// `duration` is in milliseconds here (the paper uses seconds; benches
+/// time-scale). Unknown tags/attributes are rejected.
+common::Result<Pattern> ParsePatternXml(const std::string& xml);
+
+/// Serializes a pattern back to the XML descriptor form.
+std::string PatternToXml(const Pattern& pattern);
+
+}  // namespace gen
+}  // namespace asterix
+
+#endif  // ASTERIX_GEN_PATTERN_H_

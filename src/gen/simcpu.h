@@ -1,0 +1,79 @@
+// SimulatedCpu: a token-bucket model of aggregate cluster CPU capacity,
+// used by the experiment harness on hosts with fewer physical cores than
+// the simulated cluster has nodes. UDFs "spend" microseconds of CPU by
+// consuming credits; when demand exceeds the configured capacity,
+// consumers block — reproducing the CPU contention the paper's
+// %OVERLAP/cascade experiments rely on without needing real cores.
+#ifndef ASTERIX_GEN_SIMCPU_H_
+#define ASTERIX_GEN_SIMCPU_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace asterix {
+namespace gen {
+
+class SimulatedCpu {
+ public:
+  /// `cores` of capacity: cores * 1e6 credit-microseconds per second.
+  explicit SimulatedCpu(double cores)
+      : credits_per_us_(cores), last_refill_us_(common::NowMicros()) {}
+
+  /// Blocks until `cost_us` microseconds of CPU work have been granted.
+  /// Grants are FIFO (ticket order): concurrent consumers time-share the
+  /// capacity fairly, like threads on a real scheduler — without this, a
+  /// path with cheap requests would starve an expensive one and the
+  /// %OVERLAP comparison would not be apples-to-apples.
+  void Consume(int64_t cost_us) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    uint64_t ticket = next_ticket_++;
+    cv_.wait(lock, [&] { return now_serving_ == ticket; });
+    while (true) {
+      Refill();
+      if (available_us_ >= static_cast<double>(cost_us)) {
+        available_us_ -= static_cast<double>(cost_us);
+        break;
+      }
+      double deficit = static_cast<double>(cost_us) - available_us_;
+      auto wait_us =
+          static_cast<int64_t>(deficit / credits_per_us_) + 50;
+      cv_.wait_for(lock, std::chrono::microseconds(wait_us));
+    }
+    ++now_serving_;
+    cv_.notify_all();
+  }
+
+  double available_us() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Refill();
+    return available_us_;
+  }
+
+ private:
+  void Refill() {
+    int64_t now = common::NowMicros();
+    available_us_ +=
+        static_cast<double>(now - last_refill_us_) * credits_per_us_;
+    last_refill_us_ = now;
+    // Cap the burst a consumer can accumulate (100ms of capacity).
+    available_us_ =
+        std::min(available_us_, credits_per_us_ * 100000.0);
+  }
+
+  const double credits_per_us_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  double available_us_ = 0;
+  int64_t last_refill_us_;
+  uint64_t next_ticket_ = 0;
+  uint64_t now_serving_ = 0;
+};
+
+}  // namespace gen
+}  // namespace asterix
+
+#endif  // ASTERIX_GEN_SIMCPU_H_

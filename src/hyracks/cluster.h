@@ -1,0 +1,141 @@
+// ClusterController: master of the simulated shared-nothing cluster.
+// Accepts job specs, plans and schedules tasks onto alive nodes, monitors
+// heartbeats, and dispatches job/cluster events to subscribers (the
+// Central Feed Manager subscribes to drive the fault-tolerance protocol).
+#ifndef ASTERIX_HYRACKS_CLUSTER_H_
+#define ASTERIX_HYRACKS_CLUSTER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "hyracks/job.h"
+#include "hyracks/node.h"
+#include "hyracks/task.h"
+
+namespace asterix {
+namespace hyracks {
+
+struct ClusterEvent {
+  enum class Kind { kNodeFailed, kNodeJoined };
+  Kind kind;
+  std::string node_id;
+};
+
+struct JobEvent {
+  enum class Kind { kStarted, kFinished, kNodeLost };
+  Kind kind;
+  JobId job_id;
+  std::string job_name;
+  std::string node_id;  // for kNodeLost
+};
+
+/// Subscriber interface for cluster/job lifecycle events. Callbacks run on
+/// the controller's monitor thread; implementations must be thread-safe.
+class ClusterListener {
+ public:
+  virtual ~ClusterListener() = default;
+  virtual void OnClusterEvent(const ClusterEvent& event) { (void)event; }
+  virtual void OnJobEvent(const JobEvent& event) { (void)event; }
+};
+
+/// A scheduled job: its spec, and its tasks grouped by operator.
+class JobHandle {
+ public:
+  JobHandle(JobId id, JobSpec spec) : id_(id), spec_(std::move(spec)) {}
+
+  JobId id() const { return id_; }
+  const JobSpec& spec() const { return spec_; }
+
+  /// tasks()[op_index][partition]
+  const std::vector<std::vector<std::shared_ptr<Task>>>& tasks() const {
+    return tasks_;
+  }
+  std::vector<std::shared_ptr<Task>> TasksOfOperator(
+      const std::string& op_name) const;
+
+  /// True when every task has finished (normally or aborted).
+  bool Finished() const;
+
+  /// Blocks until Finished() or `timeout_ms` elapses (<0 = forever).
+  /// Returns true if the job finished.
+  bool Wait(int64_t timeout_ms = -1) const;
+
+  /// Requests graceful finish of all source tasks; data drains through.
+  void FinishSources();
+
+  /// Hard-kills every task.
+  void Abort();
+
+ private:
+  friend class ClusterController;
+  const JobId id_;
+  const JobSpec spec_;
+  std::vector<std::vector<std::shared_ptr<Task>>> tasks_;
+};
+
+struct ClusterOptions {
+  std::string storage_root = "/tmp/asterix_storage";
+  int64_t heartbeat_period_ms = 20;
+  int64_t heartbeat_timeout_ms = 200;
+  int64_t monitor_period_ms = 20;
+};
+
+class ClusterController {
+ public:
+  explicit ClusterController(ClusterOptions options = {});
+  ~ClusterController();
+
+  /// Adds a worker node. Nodes may be added while jobs run (elasticity).
+  NodeController* AddNode(const std::string& node_id);
+  NodeController* GetNode(const std::string& node_id) const;
+  std::vector<NodeController*> AliveNodes() const;
+  std::vector<std::string> AliveNodeIds() const;
+
+  /// Failure injection: simulates the loss of a node. The heartbeat
+  /// monitor detects the silence and fires kNodeFailed.
+  void KillNode(const std::string& node_id);
+  /// Rejoins a previously killed node.
+  void RestartNode(const std::string& node_id);
+
+  void Subscribe(ClusterListener* listener);
+  void Unsubscribe(ClusterListener* listener);
+
+  /// Plans and starts `spec`: resolves constraints to alive nodes,
+  /// instantiates tasks, wires connectors, starts task threads.
+  common::Result<std::shared_ptr<JobHandle>> StartJob(JobSpec spec);
+
+  std::shared_ptr<JobHandle> GetJob(JobId id) const;
+  void ForgetJob(JobId id);
+
+  /// Starts the heartbeat monitor (idempotent).
+  void Start();
+  void Stop();
+
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  void MonitorLoop();
+  void HandleNodeFailure(const std::string& node_id);
+
+  const ClusterOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<NodeController>> nodes_;
+  std::map<JobId, std::shared_ptr<JobHandle>> jobs_;
+  std::vector<ClusterListener*> listeners_;
+  std::map<std::string, bool> known_failed_;  // nodes already reported
+
+  std::atomic<JobId> next_job_id_{1};
+  std::atomic<bool> running_{false};
+  std::thread monitor_thread_;
+};
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_CLUSTER_H_

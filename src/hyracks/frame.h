@@ -1,0 +1,113 @@
+// Frames: the unit of data movement between operators. As in Hyracks, data
+// flows in fixed-size chunks of records; a frame is immutable once emitted
+// so that a feed joint can route one frame along many paths without copies.
+#ifndef ASTERIX_HYRACKS_FRAME_H_
+#define ASTERIX_HYRACKS_FRAME_H_
+
+#include <memory>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace hyracks {
+
+/// A batch of ADM records. Immutable after construction (shared between
+/// subscribers of a feed joint via shared_ptr).
+class Frame {
+ public:
+  Frame() = default;
+  explicit Frame(std::vector<adm::Value> records)
+      : records_(std::move(records)) {}
+
+  const std::vector<adm::Value>& records() const { return records_; }
+  size_t record_count() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Approximate payload bytes (memory budgeting for policies).
+  size_t ApproxBytes() const {
+    size_t total = 0;
+    for (const auto& r : records_) total += r.ApproxSizeBytes();
+    return total;
+  }
+
+ private:
+  std::vector<adm::Value> records_;
+};
+
+using FramePtr = std::shared_ptr<const Frame>;
+
+inline FramePtr MakeFrame(std::vector<adm::Value> records) {
+  return std::make_shared<const Frame>(std::move(records));
+}
+
+/// Control-or-data message travelling between operator instances.
+struct FrameMessage {
+  enum class Kind {
+    kData,  // carries a frame
+    kEos,   // producer finished cleanly (close() in the paper)
+    kFail,  // producer failed; non-resumable in a plain Hyracks job
+  };
+  Kind kind = Kind::kData;
+  FramePtr frame;
+
+  static FrameMessage Data(FramePtr f) {
+    return {Kind::kData, std::move(f)};
+  }
+  static FrameMessage Eos() { return {Kind::kEos, nullptr}; }
+  static FrameMessage Fail() { return {Kind::kFail, nullptr}; }
+};
+
+/// The paper's IFrameWriter: the handle an operator uses to push output
+/// frames downstream, agnostic of what sits behind it (a connector, a feed
+/// joint, a test sink, ...).
+class IFrameWriter {
+ public:
+  virtual ~IFrameWriter() = default;
+  virtual common::Status Open() { return common::Status::OK(); }
+  virtual common::Status NextFrame(const FramePtr& frame) = 0;
+  /// Signals abnormal termination of the producing operator.
+  virtual void Fail() {}
+  /// Signals clean end-of-data.
+  virtual common::Status Close() { return common::Status::OK(); }
+};
+
+/// Accumulates records and emits full frames to a writer. Frame capacity
+/// is both a record-count and byte bound, whichever trips first.
+class FrameAppender {
+ public:
+  FrameAppender(IFrameWriter* writer, size_t max_records = 128,
+                size_t max_bytes = 32 * 1024)
+      : writer_(writer), max_records_(max_records), max_bytes_(max_bytes) {}
+
+  common::Status Append(adm::Value record) {
+    pending_.push_back(std::move(record));
+    pending_bytes_ += pending_.back().ApproxSizeBytes();
+    if (pending_.size() >= max_records_ || pending_bytes_ >= max_bytes_) {
+      return FlushFrame();
+    }
+    return common::Status::OK();
+  }
+
+  /// Emits any buffered records as a final (possibly short) frame.
+  common::Status FlushFrame() {
+    if (pending_.empty()) return common::Status::OK();
+    FramePtr frame = MakeFrame(std::move(pending_));
+    pending_.clear();
+    pending_bytes_ = 0;
+    return writer_->NextFrame(frame);
+  }
+
+ private:
+  IFrameWriter* writer_;
+  const size_t max_records_;
+  const size_t max_bytes_;
+  std::vector<adm::Value> pending_;
+  size_t pending_bytes_ = 0;
+};
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_FRAME_H_

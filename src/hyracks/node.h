@@ -1,0 +1,84 @@
+// NodeController: one worker of the (simulated) shared-nothing cluster.
+// Hosts tasks, a storage manager, arbitrary node-local services (the feed
+// manager registers itself here), and heartbeats its live status to the
+// cluster controller.
+#ifndef ASTERIX_HYRACKS_NODE_H_
+#define ASTERIX_HYRACKS_NODE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/dataset.h"
+#include "hyracks/task.h"
+
+namespace asterix {
+namespace hyracks {
+
+class NodeController {
+ public:
+  NodeController(std::string id, std::string storage_dir);
+  ~NodeController();
+
+  const std::string& id() const { return id_; }
+  bool alive() const { return alive_.load(); }
+
+  storage::StorageManager& storage() { return storage_; }
+
+  /// Registers/looks up a node-local service by name (e.g. the feeds
+  /// layer's FeedManager). Lifetime is tied to the node.
+  void SetService(const std::string& name, std::shared_ptr<void> service);
+  std::shared_ptr<void> GetService(const std::string& name) const;
+  /// Atomic get-or-install: returns the existing service or installs the
+  /// one produced by `factory`.
+  std::shared_ptr<void> GetOrSetService(
+      const std::string& name,
+      const std::function<std::shared_ptr<void>()>& factory);
+
+  /// Adds a task to this node's roster (called by the scheduler).
+  void AdoptTask(std::shared_ptr<Task> task);
+  void OnTaskFinished(Task* task);
+
+  /// Tasks currently hosted for `job_id` (empty when none).
+  std::vector<std::shared_ptr<Task>> TasksOfJob(JobId job_id) const;
+  std::vector<std::shared_ptr<Task>> AllTasks() const;
+
+  /// Simulates process/machine death: stops heartbeating and hard-kills
+  /// every hosted task. In-flight data on this node is lost.
+  void Kill();
+
+  /// Rejoins the cluster after a Kill (fresh task roster).
+  void Restart();
+
+  /// Heartbeat timestamp maintained by this node's heartbeat thread.
+  int64_t last_heartbeat_us() const { return last_heartbeat_us_.load(); }
+
+  /// Starts the heartbeat thread with the given period.
+  void StartHeartbeats(int64_t period_ms);
+  void StopHeartbeats();
+
+ private:
+  void HeartbeatLoop(int64_t period_ms);
+
+  const std::string id_;
+  std::atomic<bool> alive_{true};
+  storage::StorageManager storage_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<void>> services_;
+  std::vector<std::shared_ptr<Task>> tasks_;
+
+  std::atomic<int64_t> last_heartbeat_us_{0};
+  std::atomic<bool> heartbeats_on_{false};
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_NODE_H_

@@ -1,0 +1,90 @@
+// Operators: the partitioned-parallel computation steps of a Hyracks job.
+// Each operator instance (task) is driven push-style: frames arrive via
+// ProcessFrame and output flows through the TaskContext's writer.
+#ifndef ASTERIX_HYRACKS_OPERATOR_H_
+#define ASTERIX_HYRACKS_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "hyracks/frame.h"
+
+namespace asterix {
+namespace hyracks {
+
+class NodeController;
+
+/// Per-task runtime context handed to operators.
+class TaskContext {
+ public:
+  virtual ~TaskContext() = default;
+
+  /// Identity.
+  virtual const std::string& node_id() const = 0;
+  virtual int partition() const = 0;
+  virtual int partition_count() const = 0;
+  virtual int64_t job_id() const = 0;
+  virtual const std::string& operator_name() const = 0;
+
+  /// Output path for this task.
+  virtual IFrameWriter* writer() = 0;
+
+  /// True once the task has been asked to stop (node death, job abort, or
+  /// a feed disconnect). Source operators poll this in their run loop.
+  virtual bool ShouldStop() const = 0;
+
+  /// True only for a *graceful* finish request (disconnect): the source
+  /// should drain buffered input before returning from Run().
+  virtual bool GracefulStopRequested() const = 0;
+
+  /// The hosting node (service lookups: storage manager, feed manager).
+  virtual NodeController* node() const = 0;
+};
+
+/// Base operator. Implementations must be thread-compatible: one task
+/// drives one instance from a single thread.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual common::Status Open(TaskContext* ctx) {
+    (void)ctx;
+    return common::Status::OK();
+  }
+
+  /// Handles one input frame, emitting zero or more output frames.
+  virtual common::Status ProcessFrame(const FramePtr& frame,
+                                      TaskContext* ctx) = 0;
+
+  /// Clean end-of-input: flush any buffered output. The task closes the
+  /// downstream writer afterwards.
+  virtual common::Status Close(TaskContext* ctx) {
+    (void)ctx;
+    return common::Status::OK();
+  }
+
+  /// Out-of-band control signal (used by the feed fault-tolerance
+  /// protocol to transition instances between alive/buffer/zombie modes).
+  /// Unknown signals are ignored.
+  virtual void OnSignal(const std::string& signal) { (void)signal; }
+
+  /// True for operators that generate their own input (feed adaptorss);
+  /// the task runtime calls Run() instead of pumping an input queue.
+  virtual bool is_source() const { return false; }
+
+  /// Source drive loop; must return when ctx->ShouldStop() becomes true.
+  virtual common::Status Run(TaskContext* ctx) {
+    (void)ctx;
+    return common::Status::NotSupported("not a source operator");
+  }
+};
+
+using OperatorFactory =
+    std::function<std::unique_ptr<Operator>(int partition)>;
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_OPERATOR_H_

@@ -1,0 +1,222 @@
+#include "hyracks/task.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "hyracks/node.h"
+
+namespace asterix {
+namespace hyracks {
+
+using common::Status;
+
+Task::Task(JobId job_id, std::string op_name, int partition,
+           int partition_count, NodeController* node,
+           std::unique_ptr<Operator> op, size_t queue_capacity)
+    : job_id_(job_id),
+      op_name_(std::move(op_name)),
+      partition_(partition),
+      partition_count_(partition_count),
+      node_(node),
+      op_(std::move(op)),
+      input_(queue_capacity) {}
+
+Task::~Task() {
+  Kill();
+  Join();
+}
+
+const std::string& Task::node_id() const { return node_->id(); }
+
+bool Task::ShouldStop() const {
+  return killed_.load() || finish_requested_.load() || !node_->alive();
+}
+
+void Task::Start() {
+  if (started_.exchange(true)) return;
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void Task::Kill() {
+  killed_.store(true);
+  input_.Close();
+}
+
+void Task::RequestFinish() {
+  finish_requested_.store(true);
+  // Non-source tasks drain naturally via EOS; sources poll the flag.
+}
+
+std::vector<FrameMessage> Task::FreezeAndDrain() {
+  killed_.store(true);
+  input_.Close();
+  Join();
+  std::vector<FrameMessage> pending;
+  while (auto msg = input_.TryPop()) {
+    if (msg->kind == FrameMessage::Kind::kData) {
+      pending.push_back(std::move(*msg));
+    }
+  }
+  return pending;
+}
+
+void Task::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Task::Enqueue(FrameMessage msg) {
+  if (killed_.load() || !node_->alive()) return false;
+  return input_.Push(std::move(msg));
+}
+
+void Task::Signal(const std::string& signal) { op_->OnSignal(signal); }
+
+void Task::ThreadMain() {
+  Status status;
+  bool failed = false;
+  bool aborted = false;
+
+  // A runtime exception escaping an operator carries non-resumable
+  // semantics for the job (the feed MetaFeed wrapper catches exceptions
+  // before they reach this boundary when soft-failure recovery is on).
+  auto guarded = [&](auto&& fn) -> Status {
+    try {
+      return fn();
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("uncaught operator exception: ") +
+                              e.what());
+    } catch (...) {
+      return Status::Internal("uncaught non-standard operator exception");
+    }
+  };
+
+  status = guarded([&] { return op_->Open(this); });
+  failed = !status.ok();
+
+  if (!failed) {
+    if (op_->is_source()) {
+      status = guarded([&] { return op_->Run(this); });
+      failed = !status.ok();
+      aborted = killed_.load() || !node_->alive();
+    } else {
+      int eos_count = 0;
+      while (true) {
+        auto msg = input_.Pop();
+        if (!msg.has_value()) {
+          // Queue closed: hard abort (node death / job abort).
+          aborted = true;
+          break;
+        }
+        if (killed_.load() || !node_->alive()) {
+          aborted = true;
+          break;
+        }
+        if (msg->kind == FrameMessage::Kind::kEos) {
+          if (++eos_count >= expected_producers_) break;
+          continue;
+        }
+        if (msg->kind == FrameMessage::Kind::kFail) {
+          failed = true;
+          break;
+        }
+        status = guarded(
+            [&] { return op_->ProcessFrame(msg->frame, this); });
+        if (!status.ok()) {
+          failed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  if (aborted) {
+    // Process death: no close()/EOS travels downstream; recovery (if any)
+    // is the feed fault-tolerance protocol's job.
+    finished_.store(true);
+    final_status_ = Status::Aborted("task killed");
+    if (node_->alive()) node_->OnTaskFinished(this);
+    return;
+  }
+
+  if (failed) {
+    if (output_ != nullptr) output_->Fail();
+    final_status_ =
+        status.ok() ? Status::Internal("upstream failure") : status;
+    LOG_MSG(kWarn) << "task " << op_name_ << "[" << partition_
+                   << "] of job " << job_id_
+                   << " failed: " << final_status_.ToString();
+  } else {
+    Status close_status = guarded([&] { return op_->Close(this); });
+    if (output_ != nullptr) {
+      Status out_status = output_->Close();
+      if (close_status.ok()) close_status = out_status;
+    }
+    final_status_ = close_status;
+  }
+  finished_.store(true);
+  node_->OnTaskFinished(this);
+}
+
+Router::Router(ConnectorDescriptor connector, int source_partition,
+               std::vector<std::shared_ptr<Task>> targets)
+    : connector_(std::move(connector)),
+      source_partition_(source_partition),
+      targets_(std::move(targets)) {}
+
+Status Router::NextFrame(const FramePtr& frame) {
+  switch (connector_.kind) {
+    case ConnectorKind::kOneToOne: {
+      size_t target = static_cast<size_t>(source_partition_) %
+                      targets_.size();
+      targets_[target]->Enqueue(FrameMessage::Data(frame));
+      return Status::OK();
+    }
+    case ConnectorKind::kMToNRandom: {
+      targets_[round_robin_++ % targets_.size()]->Enqueue(
+          FrameMessage::Data(frame));
+      return Status::OK();
+    }
+    case ConnectorKind::kMToNHash: {
+      // Re-batch records per target partition.
+      std::map<size_t, std::vector<adm::Value>> buckets;
+      for (const adm::Value& record : frame->records()) {
+        std::string key = connector_.key_extractor
+                              ? connector_.key_extractor(record)
+                              : record.ToAdmString();
+        size_t target = std::hash<std::string>{}(key) % targets_.size();
+        buckets[target].push_back(record);
+      }
+      for (auto& [target, records] : buckets) {
+        targets_[target]->Enqueue(
+            FrameMessage::Data(MakeFrame(std::move(records))));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+void Router::Fail() {
+  for (auto& target : targets_) target->Enqueue(FrameMessage::Fail());
+}
+
+Status Router::Close() {
+  switch (connector_.kind) {
+    case ConnectorKind::kOneToOne: {
+      size_t target = static_cast<size_t>(source_partition_) %
+                      targets_.size();
+      targets_[target]->Enqueue(FrameMessage::Eos());
+      break;
+    }
+    case ConnectorKind::kMToNRandom:
+    case ConnectorKind::kMToNHash:
+      for (auto& target : targets_) {
+        target->Enqueue(FrameMessage::Eos());
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace hyracks
+}  // namespace asterix

@@ -1,0 +1,153 @@
+// Tasks: the runtime clones of an operator, one per partition, each driven
+// by its own thread pumping a bounded input queue. The bounded queue is
+// the engine's back-pressure mechanism.
+#ifndef ASTERIX_HYRACKS_TASK_H_
+#define ASTERIX_HYRACKS_TASK_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/status.h"
+#include "hyracks/job.h"
+#include "hyracks/operator.h"
+
+namespace asterix {
+namespace hyracks {
+
+class NodeController;
+
+/// One running operator instance.
+class Task : public TaskContext,
+             public std::enable_shared_from_this<Task> {
+ public:
+  Task(JobId job_id, std::string op_name, int partition,
+       int partition_count, NodeController* node,
+       std::unique_ptr<Operator> op, size_t queue_capacity);
+  ~Task() override;
+
+  // --- TaskContext ---
+  const std::string& node_id() const override;
+  int partition() const override { return partition_; }
+  int partition_count() const override { return partition_count_; }
+  int64_t job_id() const override { return job_id_; }
+  const std::string& operator_name() const override { return op_name_; }
+  IFrameWriter* writer() override { return output_.get(); }
+  bool ShouldStop() const override;
+  bool GracefulStopRequested() const override {
+    return finish_requested_.load() && !killed_.load();
+  }
+  NodeController* node() const override { return node_; }
+
+  // --- wiring (before Start) ---
+  void SetOutput(std::shared_ptr<IFrameWriter> output) {
+    output_ = std::move(output);
+  }
+  void SetExpectedProducers(int n) { expected_producers_ = n; }
+
+  // --- lifecycle ---
+  void Start();
+  /// Hard abort: the task thread exits without closing downstream
+  /// (models process death / job abort).
+  void Kill();
+  /// Graceful finish for source operators: the run loop returns, buffered
+  /// output is flushed and EOS propagates downstream.
+  void RequestFinish();
+  /// Kills the task and returns the input frames it never processed — the
+  /// "runtime state" a zombie instance saves with its local Feed Manager
+  /// in the fault-tolerance protocol (§6.2.2). Blocks until the task
+  /// thread has exited.
+  std::vector<FrameMessage> FreezeAndDrain();
+  void Join();
+  bool finished() const { return finished_.load(); }
+  const common::Status& final_status() const { return final_status_; }
+
+  /// Delivers an input message from an upstream router. Blocks on a full
+  /// queue (back-pressure); returns false if the task is dead/killed.
+  bool Enqueue(FrameMessage msg);
+
+  /// Forwards an out-of-band control signal to the operator.
+  void Signal(const std::string& signal);
+
+  /// Current input queue depth (congestion monitoring).
+  size_t queue_depth() const { return input_.size(); }
+  size_t queue_capacity() const { return input_.capacity(); }
+
+  Operator* op() { return op_.get(); }
+  bool finish_requested() const { return finish_requested_.load(); }
+
+ private:
+  void ThreadMain();
+
+  const JobId job_id_;
+  const std::string op_name_;
+  const int partition_;
+  const int partition_count_;
+  NodeController* node_;
+  std::unique_ptr<Operator> op_;
+  common::BlockingQueue<FrameMessage> input_;
+  std::shared_ptr<IFrameWriter> output_;
+  int expected_producers_ = 0;
+
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> killed_{false};
+  std::atomic<bool> finish_requested_{false};
+  std::atomic<bool> finished_{false};
+  common::Status final_status_;
+};
+
+/// Routes frames from a producing task to the consuming tasks of one edge
+/// according to the connector kind.
+class Router : public IFrameWriter {
+ public:
+  Router(ConnectorDescriptor connector, int source_partition,
+         std::vector<std::shared_ptr<Task>> targets);
+
+  common::Status NextFrame(const FramePtr& frame) override;
+  void Fail() override;
+  common::Status Close() override;
+
+ private:
+  const ConnectorDescriptor connector_;
+  const int source_partition_;
+  std::vector<std::shared_ptr<Task>> targets_;
+  size_t round_robin_ = 0;
+};
+
+/// Fans one task's output out to several routers (multi-out-edge DAGs).
+class BroadcastWriter : public IFrameWriter {
+ public:
+  explicit BroadcastWriter(std::vector<std::shared_ptr<IFrameWriter>> outs)
+      : outs_(std::move(outs)) {}
+  common::Status NextFrame(const FramePtr& frame) override {
+    for (auto& out : outs_) RETURN_IF_ERROR(out->NextFrame(frame));
+    return common::Status::OK();
+  }
+  void Fail() override {
+    for (auto& out : outs_) out->Fail();
+  }
+  common::Status Close() override {
+    for (auto& out : outs_) RETURN_IF_ERROR(out->Close());
+    return common::Status::OK();
+  }
+
+ private:
+  std::vector<std::shared_ptr<IFrameWriter>> outs_;
+};
+
+/// Terminal writer: discards frames (the paper's NullSink operator).
+class NullWriter : public IFrameWriter {
+ public:
+  common::Status NextFrame(const FramePtr&) override {
+    return common::Status::OK();
+  }
+};
+
+}  // namespace hyracks
+}  // namespace asterix
+
+#endif  // ASTERIX_HYRACKS_TASK_H_

@@ -1,0 +1,204 @@
+#include "storage/dataset.h"
+
+#include <filesystem>
+
+#include "common/strings.h"
+#include "storage/key.h"
+
+namespace asterix {
+namespace storage {
+
+using common::Result;
+using common::Status;
+
+DatasetPartition::DatasetPartition(DatasetDef def, int partition_id,
+                                   std::string dir,
+                                   const adm::TypeRegistry* types)
+    : def_(std::move(def)),
+      partition_id_(partition_id),
+      types_(types),
+      wal_(dir + "/" + def_.name + ".p" + std::to_string(partition_id) +
+               ".wal",
+           def_.durable_writes) {
+  for (const IndexDef& index : def_.indexes) {
+    secondaries_.push_back(
+        MakeSecondaryIndex(index.kind, index.name, index.field));
+  }
+}
+
+Status DatasetPartition::Open() { return wal_.Open(); }
+
+Status DatasetPartition::Insert(const adm::Value& record) {
+  if (!record.is_record()) {
+    return Status::InvalidArgument("dataset '" + def_.name +
+                                   "' accepts only records");
+  }
+  const adm::Value* pk = record.GetField(def_.primary_key_field);
+  if (pk == nullptr || pk->is_null()) {
+    return Status::InvalidArgument("record lacks primary key field '" +
+                                   def_.primary_key_field + "'");
+  }
+  if (def_.validate_type && types_ != nullptr) {
+    RETURN_IF_ERROR(types_->Conforms(record, def_.datatype));
+  }
+  auto key = EncodeKey(*pk);
+  if (!key.ok()) return key.status();
+
+  // Write-ahead log first: this is the persistence point that the
+  // at-least-once protocol acks from.
+  RETURN_IF_ERROR(wal_.Append(record.ToAdmString()));
+  RETURN_IF_ERROR(primary_.Insert(key.value(), record));
+  {
+    std::lock_guard<std::mutex> lock(indexes_mutex_);
+    for (const auto& index : secondaries_) {
+      RETURN_IF_ERROR(index->Insert(record, key.value()));
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<adm::Value> DatasetPartition::Get(
+    const adm::Value& primary_key) const {
+  auto key = EncodeKey(primary_key);
+  if (!key.ok()) return key.status();
+  auto value = primary_.Get(key.value());
+  if (!value.has_value()) {
+    return Status::NotFound("no record with key " +
+                            primary_key.ToAdmString());
+  }
+  return *value;
+}
+
+void DatasetPartition::Scan(
+    const std::function<void(const adm::Value&)>& visitor) const {
+  primary_.Scan(
+      [&](const std::string&, const adm::Value& v) { visitor(v); });
+}
+
+SecondaryIndex* DatasetPartition::FindIndex(
+    const std::string& index_name) const {
+  std::lock_guard<std::mutex> lock(indexes_mutex_);
+  for (const auto& index : secondaries_) {
+    if (index->name() == index_name) return index.get();
+  }
+  return nullptr;
+}
+
+Status DatasetPartition::AddIndex(const IndexDef& index_def) {
+  if (FindIndex(index_def.name) != nullptr) {
+    return Status::AlreadyExists("index '" + index_def.name +
+                                 "' already exists on '" + def_.name +
+                                 "'");
+  }
+  auto index = MakeSecondaryIndex(index_def.kind, index_def.name,
+                                  index_def.field);
+  // Backfill from the primary. Records inserted concurrently are added
+  // by the insert path once the index is published; a record inserted
+  // in the window between this scan and publication may be indexed
+  // twice, which the value/grid indexes tolerate (duplicate postings
+  // resolve to the same primary key).
+  Status backfill = Status::OK();
+  primary_.Scan([&](const std::string& key, const adm::Value& record) {
+    if (!backfill.ok()) return;
+    backfill = index->Insert(record, key);
+  });
+  RETURN_IF_ERROR(backfill);
+  std::lock_guard<std::mutex> lock(indexes_mutex_);
+  secondaries_.push_back(std::move(index));
+  return Status::OK();
+}
+
+StorageManager::StorageManager(std::string node_id, std::string base_dir)
+    : node_id_(std::move(node_id)), base_dir_(std::move(base_dir)) {
+  std::filesystem::create_directories(base_dir_);
+}
+
+Status StorageManager::CreatePartition(const DatasetDef& def,
+                                       int partition_id,
+                                       const adm::TypeRegistry* types) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (partitions_.count(def.name) > 0) {
+    return Status::AlreadyExists("node " + node_id_ +
+                                 " already hosts a partition of '" +
+                                 def.name + "'");
+  }
+  auto partition = std::make_unique<DatasetPartition>(def, partition_id,
+                                                      base_dir_, types);
+  RETURN_IF_ERROR(partition->Open());
+  partitions_.emplace(def.name, std::move(partition));
+  return Status::OK();
+}
+
+DatasetPartition* StorageManager::GetPartition(
+    const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = partitions_.find(dataset);
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+Status StorageManager::DropPartition(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (partitions_.erase(dataset) == 0) {
+    return Status::NotFound("node " + node_id_ +
+                            " hosts no partition of '" + dataset + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> StorageManager::DatasetNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, p] : partitions_) names.push_back(name);
+  return names;
+}
+
+Status DatasetCatalog::Register(DatasetDef def,
+                                std::vector<std::string> nodegroup) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string name = def.name;  // read before the move below
+  auto [it, inserted] = entries_.emplace(
+      std::move(name), Entry{std::move(def), std::move(nodegroup)});
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + it->first +
+                                 "' already exists");
+  }
+  return Status::OK();
+}
+
+common::Result<DatasetCatalog::Entry> DatasetCatalog::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("dataset '" + name + "' not found");
+  }
+  return it->second;
+}
+
+Status DatasetCatalog::AddIndex(const std::string& dataset,
+                                const IndexDef& index_def) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(dataset);
+  if (it == entries_.end()) {
+    return Status::NotFound("dataset '" + dataset + "' not found");
+  }
+  it->second.def.indexes.push_back(index_def);
+  return Status::OK();
+}
+
+std::vector<std::string> DatasetCatalog::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+int PartitionOfKey(const std::string& encoded_key, int num_partitions) {
+  if (num_partitions <= 1) return 0;
+  return static_cast<int>(common::Fnv1a(encoded_key) %
+                          static_cast<uint64_t>(num_partitions));
+}
+
+}  // namespace storage
+}  // namespace asterix

@@ -1,0 +1,144 @@
+// Datasets: named collections of ADM records hash-partitioned by primary
+// key across the nodes of a nodegroup. Each partition is an LSM primary
+// index plus co-located secondary indexes, fronted by a WAL.
+#ifndef ASTERIX_STORAGE_DATASET_H_
+#define ASTERIX_STORAGE_DATASET_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adm/datatype.h"
+#include "adm/value.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/lsm_index.h"
+#include "storage/secondary_index.h"
+#include "storage/wal.h"
+
+namespace asterix {
+namespace storage {
+
+struct IndexDef {
+  std::string name;
+  std::string field;
+  IndexKind kind = IndexKind::kBTree;
+};
+
+/// Dataset metadata, as recorded in the Metadata catalog.
+struct DatasetDef {
+  std::string name;
+  std::string datatype;          // record type of stored records
+  std::string primary_key_field;
+  std::vector<IndexDef> indexes;
+  /// Nodes hosting a partition. Empty = all cluster nodes (the AsterixDB
+  /// default nodegroup).
+  std::vector<std::string> nodegroup;
+  /// Validate records against `datatype` on insert.
+  bool validate_type = false;
+  /// Flush the WAL on every insert (durability knob).
+  bool durable_writes = false;
+};
+
+/// One node-local partition of a dataset.
+class DatasetPartition {
+ public:
+  /// `dir` is the node-local storage directory for WAL files.
+  DatasetPartition(DatasetDef def, int partition_id, std::string dir,
+                   const adm::TypeRegistry* types);
+
+  common::Status Open();
+
+  /// Inserts (upserts) one record: WAL append, primary index insert,
+  /// secondary index maintenance. Thread-safe.
+  common::Status Insert(const adm::Value& record);
+
+  /// Point lookup by primary key value.
+  common::Result<adm::Value> Get(const adm::Value& primary_key) const;
+
+  /// Visits all records in primary key order.
+  void Scan(const std::function<void(const adm::Value&)>& visitor) const;
+
+  int64_t record_count() const { return primary_.Size(); }
+  int64_t inserts() const { return inserts_.load(); }
+
+  /// Adds a secondary index to a live partition, backfilling it from
+  /// the primary index (the `create index` DDL after data has arrived).
+  common::Status AddIndex(const IndexDef& index_def);
+
+  LsmIndex& primary() { return primary_; }
+  const LsmIndex& primary() const { return primary_; }
+  const Wal& wal() const { return wal_; }
+  /// Flushes buffered WAL entries to the OS.
+  common::Status SyncWal() { return wal_.Sync(); }
+  SecondaryIndex* FindIndex(const std::string& index_name) const;
+  const DatasetDef& def() const { return def_; }
+  int partition_id() const { return partition_id_; }
+
+ private:
+  const DatasetDef def_;
+  const int partition_id_;
+  const adm::TypeRegistry* types_;
+  Wal wal_;
+  LsmIndex primary_;
+  mutable std::mutex indexes_mutex_;  // guards secondaries_ membership
+  std::vector<std::unique_ptr<SecondaryIndex>> secondaries_;
+  std::atomic<int64_t> inserts_{0};
+};
+
+/// Per-node storage manager: owns this node's partitions of every dataset.
+class StorageManager {
+ public:
+  StorageManager(std::string node_id, std::string base_dir);
+
+  /// Creates (opens) this node's partition of `def` with id `partition_id`.
+  common::Status CreatePartition(const DatasetDef& def, int partition_id,
+                                 const adm::TypeRegistry* types);
+
+  /// This node's partition of `dataset`, or nullptr.
+  DatasetPartition* GetPartition(const std::string& dataset) const;
+
+  common::Status DropPartition(const std::string& dataset);
+
+  const std::string& node_id() const { return node_id_; }
+  std::vector<std::string> DatasetNames() const;
+
+ private:
+  const std::string node_id_;
+  const std::string base_dir_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<DatasetPartition>> partitions_;
+};
+
+/// Index of the partition (within `num_partitions`) that owns `key`.
+int PartitionOfKey(const std::string& encoded_key, int num_partitions);
+
+/// Cluster-wide dataset metadata: definitions plus the resolved nodegroup
+/// (the ordered node list hosting partitions 0..n-1).
+class DatasetCatalog {
+ public:
+  struct Entry {
+    DatasetDef def;
+    std::vector<std::string> nodegroup;  // node of partition i
+  };
+
+  common::Status Register(DatasetDef def,
+                          std::vector<std::string> nodegroup);
+  common::Result<Entry> Find(const std::string& name) const;
+  /// Records a secondary index added after dataset creation.
+  common::Status AddIndex(const std::string& dataset,
+                          const IndexDef& index_def);
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace storage
+}  // namespace asterix
+
+#endif  // ASTERIX_STORAGE_DATASET_H_

@@ -1,0 +1,107 @@
+#include "storage/key.h"
+
+#include <cstring>
+
+namespace asterix {
+namespace storage {
+
+using adm::TypeTag;
+using adm::Value;
+using common::Result;
+using common::Status;
+
+namespace {
+
+// Flips the sign bit (and, for negatives, all bits of a double) so that the
+// big-endian byte order of the result matches numeric order.
+uint64_t OrderableBitsFromInt(int64_t i) {
+  return static_cast<uint64_t>(i) ^ (1ull << 63);
+}
+
+int64_t IntFromOrderableBits(uint64_t bits) {
+  return static_cast<int64_t>(bits ^ (1ull << 63));
+}
+
+uint64_t OrderableBitsFromDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  if (bits & (1ull << 63)) {
+    return ~bits;  // negative: flip everything
+  }
+  return bits | (1ull << 63);  // positive: flip sign bit
+}
+
+double DoubleFromOrderableBits(uint64_t bits) {
+  if (bits & (1ull << 63)) {
+    bits &= ~(1ull << 63);
+  } else {
+    bits = ~bits;
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+void AppendBigEndian64(uint64_t v, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+uint64_t ReadBigEndian64(const std::string& s, size_t offset) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(s[offset + i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<std::string> EncodeKey(const Value& v) {
+  std::string out;
+  out.push_back(static_cast<char>(v.tag()));
+  switch (v.tag()) {
+    case TypeTag::kInt64:
+      AppendBigEndian64(OrderableBitsFromInt(v.AsInt64()), &out);
+      return out;
+    case TypeTag::kDatetime:
+      AppendBigEndian64(OrderableBitsFromInt(v.AsDatetime()), &out);
+      return out;
+    case TypeTag::kDouble:
+      AppendBigEndian64(OrderableBitsFromDouble(v.AsDouble()), &out);
+      return out;
+    case TypeTag::kString:
+      out.append(v.AsString());
+      return out;
+    default:
+      return Status::InvalidArgument(
+          std::string("type '") + adm::TypeTagName(v.tag()) +
+          "' cannot be used as an index key");
+  }
+}
+
+Result<Value> DecodeKey(const std::string& key) {
+  if (key.empty()) return Status::Corruption("empty key");
+  TypeTag tag = static_cast<TypeTag>(key[0]);
+  switch (tag) {
+    case TypeTag::kInt64:
+      if (key.size() != 9) return Status::Corruption("bad int64 key size");
+      return Value::Int64(IntFromOrderableBits(ReadBigEndian64(key, 1)));
+    case TypeTag::kDatetime:
+      if (key.size() != 9) {
+        return Status::Corruption("bad datetime key size");
+      }
+      return Value::Datetime(IntFromOrderableBits(ReadBigEndian64(key, 1)));
+    case TypeTag::kDouble:
+      if (key.size() != 9) return Status::Corruption("bad double key size");
+      return Value::Double(DoubleFromOrderableBits(ReadBigEndian64(key, 1)));
+    case TypeTag::kString:
+      return Value::String(key.substr(1));
+    default:
+      return Status::Corruption("unknown key tag");
+  }
+}
+
+}  // namespace storage
+}  // namespace asterix

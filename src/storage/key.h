@@ -1,0 +1,25 @@
+// Order-preserving key encoding. Primary keys are ADM primitives; encoding
+// them into byte strings whose lexicographic order matches the value order
+// lets the LSM components store keys uniformly.
+#ifndef ASTERIX_STORAGE_KEY_H_
+#define ASTERIX_STORAGE_KEY_H_
+
+#include <string>
+
+#include "adm/value.h"
+#include "common/result.h"
+
+namespace asterix {
+namespace storage {
+
+/// Encodes a primitive ADM value (int64, double, string, datetime) into an
+/// order-preserving byte string. Keys of different type tags order by tag.
+common::Result<std::string> EncodeKey(const adm::Value& v);
+
+/// Decodes a key produced by EncodeKey back into its ADM value.
+common::Result<adm::Value> DecodeKey(const std::string& key);
+
+}  // namespace storage
+}  // namespace asterix
+
+#endif  // ASTERIX_STORAGE_KEY_H_

@@ -1,0 +1,118 @@
+#include "storage/lsm_index.h"
+
+#include <algorithm>
+
+namespace asterix {
+namespace storage {
+
+using common::Status;
+
+const adm::Value* SortedRun::Get(const std::string& key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.first < k; });
+  if (it != entries_.end() && it->first == key) return &it->second;
+  return nullptr;
+}
+
+Status LsmIndex::Insert(const std::string& key, adm::Value value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t bytes = key.size() + value.ApproxSizeBytes();
+  bool existed = memtable_.count(key) > 0;
+  if (!existed) {
+    for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+      if ((*it)->Get(key) != nullptr) {
+        existed = true;
+        break;
+      }
+    }
+  }
+  memtable_[key] = std::move(value);
+  memtable_bytes_ += bytes;
+  ++stats_.inserts;
+  if (!existed) ++stats_.live_keys;
+  if (memtable_bytes_ >= options_.memtable_bytes_limit) {
+    FlushLocked();
+    if (runs_.size() >= options_.max_runs) MergeLocked();
+  }
+  return Status::OK();
+}
+
+std::optional<adm::Value> LsmIndex::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) return it->second;
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+    const adm::Value* v = (*rit)->Get(key);
+    if (v != nullptr) return *v;
+  }
+  return std::nullopt;
+}
+
+void LsmIndex::Scan(const std::function<void(const std::string&,
+                                             const adm::Value&)>& visitor)
+    const {
+  // Snapshot components under the lock, then merge outside it.
+  std::map<std::string, adm::Value> memtable_copy;
+  std::vector<std::shared_ptr<SortedRun>> runs_copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    memtable_copy = memtable_;
+    runs_copy = runs_;
+  }
+  // Oldest-to-newest apply into one map: newest value wins naturally.
+  std::map<std::string, adm::Value> merged;
+  for (const auto& run : runs_copy) {
+    for (const auto& [k, v] : run->entries()) merged[k] = v;
+  }
+  for (const auto& [k, v] : memtable_copy) merged[k] = v;
+  for (const auto& [k, v] : merged) visitor(k, v);
+}
+
+int64_t LsmIndex::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.live_keys;
+}
+
+void LsmIndex::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlushLocked();
+}
+
+LsmStats LsmIndex::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t LsmIndex::run_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return runs_.size();
+}
+
+void LsmIndex::FlushLocked() {
+  if (memtable_.empty()) return;
+  std::vector<SortedRun::Entry> entries;
+  entries.reserve(memtable_.size());
+  for (auto& [k, v] : memtable_) entries.emplace_back(k, std::move(v));
+  runs_.push_back(std::make_shared<SortedRun>(std::move(entries)));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  ++stats_.flushes;
+}
+
+void LsmIndex::MergeLocked() {
+  if (runs_.size() < 2) return;
+  std::map<std::string, adm::Value> merged;
+  for (const auto& run : runs_) {
+    for (const auto& [k, v] : run->entries()) merged[k] = v;
+  }
+  std::vector<SortedRun::Entry> entries;
+  entries.reserve(merged.size());
+  for (auto& [k, v] : merged) entries.emplace_back(k, std::move(v));
+  runs_.clear();
+  runs_.push_back(std::make_shared<SortedRun>(std::move(entries)));
+  ++stats_.merges;
+}
+
+}  // namespace storage
+}  // namespace asterix

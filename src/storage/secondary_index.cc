@@ -1,0 +1,130 @@
+#include "storage/secondary_index.h"
+
+#include <cmath>
+
+#include "storage/key.h"
+
+namespace asterix {
+namespace storage {
+
+using common::Status;
+
+Status BTreeSecondaryIndex::Insert(const adm::Value& record,
+                                   const std::string& primary_key) {
+  const adm::Value* v = record.GetField(field());
+  if (v == nullptr || v->is_null()) return Status::OK();  // optional field
+  auto key = EncodeKey(*v);
+  if (!key.ok()) {
+    return Status::InvalidArgument("secondary index '" + name() +
+                                   "': " + key.status().message());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.emplace(std::move(key).value(), primary_key);
+  return Status::OK();
+}
+
+int64_t BTreeSecondaryIndex::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+std::vector<std::string> BTreeSecondaryIndex::SearchExact(
+    const adm::Value& v) const {
+  std::vector<std::string> out;
+  auto key = EncodeKey(v);
+  if (!key.ok()) return out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [lo, hi] = entries_.equal_range(key.value());
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+std::vector<std::string> BTreeSecondaryIndex::SearchRange(
+    const adm::Value& lo_v, const adm::Value& hi_v) const {
+  std::vector<std::string> out;
+  auto lo_key = EncodeKey(lo_v);
+  auto hi_key = EncodeKey(hi_v);
+  if (!lo_key.ok() || !hi_key.ok()) return out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.lower_bound(lo_key.value());
+  auto end = entries_.upper_bound(hi_key.value());
+  for (; it != end; ++it) out.push_back(it->second);
+  return out;
+}
+
+std::pair<int64_t, int64_t> SpatialGridIndex::CellOf(
+    const adm::Point& p) const {
+  return {static_cast<int64_t>(std::floor(p.x / cell_size_)),
+          static_cast<int64_t>(std::floor(p.y / cell_size_))};
+}
+
+Status SpatialGridIndex::Insert(const adm::Value& record,
+                                const std::string& primary_key) {
+  const adm::Value* v = record.GetField(field());
+  if (v == nullptr || v->is_null()) return Status::OK();
+  if (v->tag() != adm::TypeTag::kPoint) {
+    return Status::InvalidArgument("spatial index '" + name() +
+                                   "' requires a point field");
+  }
+  const adm::Point& p = v->AsPoint();
+  std::lock_guard<std::mutex> lock(mutex_);
+  cells_[CellOf(p)].emplace_back(p, primary_key);
+  ++entry_count_;
+  return Status::OK();
+}
+
+int64_t SpatialGridIndex::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_count_;
+}
+
+std::vector<std::string> SpatialGridIndex::SearchRect(
+    const Rect& rect) const {
+  std::vector<std::string> out;
+  int64_t cx_min = static_cast<int64_t>(std::floor(rect.x_min / cell_size_));
+  int64_t cx_max = static_cast<int64_t>(std::floor(rect.x_max / cell_size_));
+  int64_t cy_min = static_cast<int64_t>(std::floor(rect.y_min / cell_size_));
+  int64_t cy_max = static_cast<int64_t>(std::floor(rect.y_max / cell_size_));
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Visit only the cells overlapping the query rectangle.
+  auto it = cells_.lower_bound({cx_min, cy_min});
+  for (; it != cells_.end() && it->first.first <= cx_max; ++it) {
+    if (it->first.second < cy_min || it->first.second > cy_max) continue;
+    for (const auto& [point, pk] : it->second) {
+      if (rect.Contains(point)) out.push_back(pk);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<adm::Point, std::string>>
+SpatialGridIndex::SearchRectEntries(const Rect& rect) const {
+  std::vector<std::pair<adm::Point, std::string>> out;
+  int64_t cx_min = static_cast<int64_t>(std::floor(rect.x_min / cell_size_));
+  int64_t cx_max = static_cast<int64_t>(std::floor(rect.x_max / cell_size_));
+  int64_t cy_min = static_cast<int64_t>(std::floor(rect.y_min / cell_size_));
+  int64_t cy_max = static_cast<int64_t>(std::floor(rect.y_max / cell_size_));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cells_.lower_bound({cx_min, cy_min});
+  for (; it != cells_.end() && it->first.first <= cx_max; ++it) {
+    if (it->first.second < cy_min || it->first.second > cy_max) continue;
+    for (const auto& entry : it->second) {
+      if (rect.Contains(entry.first)) out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<SecondaryIndex> MakeSecondaryIndex(IndexKind kind,
+                                                   std::string name,
+                                                   std::string field) {
+  if (kind == IndexKind::kRTree) {
+    return std::make_unique<SpatialGridIndex>(std::move(name),
+                                              std::move(field));
+  }
+  return std::make_unique<BTreeSecondaryIndex>(std::move(name),
+                                               std::move(field));
+}
+
+}  // namespace storage
+}  // namespace asterix

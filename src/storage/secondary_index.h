@@ -1,0 +1,114 @@
+// Secondary indexes, updated in the same insert path as the primary index
+// (AsterixDB co-locates secondary index partitions with the primary).
+// Two kinds reproduce the paper's usage: a B-tree-style value index and a
+// spatial grid index standing in for the R-tree used on tweet locations.
+#ifndef ASTERIX_STORAGE_SECONDARY_INDEX_H_
+#define ASTERIX_STORAGE_SECONDARY_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace storage {
+
+enum class IndexKind { kBTree, kRTree };
+
+/// Rectangle query region (bottom-left / top-right corners).
+struct Rect {
+  double x_min = 0, y_min = 0, x_max = 0, y_max = 0;
+  bool Contains(const adm::Point& p) const {
+    return p.x >= x_min && p.x <= x_max && p.y >= y_min && p.y <= y_max;
+  }
+};
+
+/// Base class: maps a record's indexed field to its primary key.
+class SecondaryIndex {
+ public:
+  SecondaryIndex(std::string name, std::string field)
+      : name_(std::move(name)), field_(std::move(field)) {}
+  virtual ~SecondaryIndex() = default;
+
+  /// Indexes `record` (which must contain `field()`), associating it with
+  /// `primary_key`. Records lacking the field (or with null) are skipped —
+  /// optional fields are legal in ADM.
+  virtual common::Status Insert(const adm::Value& record,
+                                const std::string& primary_key) = 0;
+
+  virtual int64_t entry_count() const = 0;
+
+  const std::string& name() const { return name_; }
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string name_;
+  std::string field_;
+};
+
+/// Value index: encoded secondary key -> primary keys.
+class BTreeSecondaryIndex : public SecondaryIndex {
+ public:
+  using SecondaryIndex::SecondaryIndex;
+
+  common::Status Insert(const adm::Value& record,
+                        const std::string& primary_key) override;
+  int64_t entry_count() const override;
+
+  /// Primary keys whose indexed field equals `v`.
+  std::vector<std::string> SearchExact(const adm::Value& v) const;
+
+  /// Primary keys whose indexed field lies in [lo, hi].
+  std::vector<std::string> SearchRange(const adm::Value& lo,
+                                       const adm::Value& hi) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::multimap<std::string, std::string> entries_;
+};
+
+/// Spatial grid index (R-tree stand-in): points are bucketed into fixed
+/// resolution cells; rectangle queries visit overlapping cells and filter.
+class SpatialGridIndex : public SecondaryIndex {
+ public:
+  SpatialGridIndex(std::string name, std::string field,
+                   double cell_size = 1.0)
+      : SecondaryIndex(std::move(name), std::move(field)),
+        cell_size_(cell_size) {}
+
+  common::Status Insert(const adm::Value& record,
+                        const std::string& primary_key) override;
+  int64_t entry_count() const override;
+
+  /// Primary keys of records whose point lies inside `rect`.
+  std::vector<std::string> SearchRect(const Rect& rect) const;
+
+  /// (point, primary key) pairs inside `rect` — lets callers aggregate
+  /// spatially without re-fetching records.
+  std::vector<std::pair<adm::Point, std::string>> SearchRectEntries(
+      const Rect& rect) const;
+
+ private:
+  std::pair<int64_t, int64_t> CellOf(const adm::Point& p) const;
+
+  const double cell_size_;
+  mutable std::mutex mutex_;
+  std::map<std::pair<int64_t, int64_t>,
+           std::vector<std::pair<adm::Point, std::string>>>
+      cells_;
+  int64_t entry_count_ = 0;
+};
+
+/// Creates an index of the requested kind.
+std::unique_ptr<SecondaryIndex> MakeSecondaryIndex(IndexKind kind,
+                                                   std::string name,
+                                                   std::string field);
+
+}  // namespace storage
+}  // namespace asterix
+
+#endif  // ASTERIX_STORAGE_SECONDARY_INDEX_H_

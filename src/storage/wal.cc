@@ -1,0 +1,93 @@
+#include "storage/wal.h"
+
+#include <cstring>
+#include <vector>
+
+namespace asterix {
+namespace storage {
+
+using common::Status;
+
+Wal::Wal(std::string path, bool durable)
+    : path_(std::move(path)), durable_(durable) {}
+
+Wal::~Wal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status Wal::Open() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) return Status::OK();
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open WAL at " + path_);
+  }
+  return Status::OK();
+}
+
+Status Wal::Append(const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WAL not open: " + path_);
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  if (std::fwrite(&len, sizeof(len), 1, file_) != 1 ||
+      (len > 0 &&
+       std::fwrite(payload.data(), 1, len, file_) != len)) {
+    return Status::IOError("WAL append failed: " + path_);
+  }
+  if (durable_ && std::fflush(file_) != 0) {
+    return Status::IOError("WAL flush failed: " + path_);
+  }
+  ++entry_count_;
+  bytes_written_ += sizeof(len) + len;
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::IOError("WAL sync failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status Wal::Replay(
+    const std::function<void(const std::string&)>& consumer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fflush(file_);
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) {
+    return Status::IOError("cannot open WAL for replay: " + path_);
+  }
+  std::vector<char> buf;
+  while (true) {
+    uint32_t len = 0;
+    size_t got = std::fread(&len, sizeof(len), 1, in);
+    if (got != 1) break;  // clean EOF or torn tail; stop
+    buf.resize(len);
+    if (len > 0 && std::fread(buf.data(), 1, len, in) != len) {
+      break;  // torn entry at tail; ignore (standard WAL recovery)
+    }
+    consumer(std::string(buf.data(), len));
+  }
+  std::fclose(in);
+  return Status::OK();
+}
+
+int64_t Wal::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_count_;
+}
+
+int64_t Wal::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_written_;
+}
+
+}  // namespace storage
+}  // namespace asterix

@@ -1,0 +1,57 @@
+// Write-ahead log. Every record insert appends a log entry before the
+// in-memory indexes are updated; the paper's at-least-once protocol treats
+// "log record written to the local disk" as the persistence point that
+// triggers an ack.
+#ifndef ASTERIX_STORAGE_WAL_H_
+#define ASTERIX_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace asterix {
+namespace storage {
+
+class Wal {
+ public:
+  /// Opens (creating or appending to) the log at `path`. When `durable` is
+  /// true every append is flushed to the OS; this is the knob the
+  /// Storm+MongoDB baseline comparison varies as "write concern".
+  Wal(std::string path, bool durable = false);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  common::Status Open();
+
+  /// Appends one entry (opaque payload). Thread-safe.
+  common::Status Append(const std::string& payload);
+
+  /// Flushes buffered entries to the OS.
+  common::Status Sync();
+
+  /// Replays all entries in append order. Used by node-rejoin recovery.
+  common::Status Replay(
+      const std::function<void(const std::string&)>& consumer) const;
+
+  int64_t entry_count() const;
+  int64_t bytes_written() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  const std::string path_;
+  const bool durable_;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  int64_t entry_count_ = 0;
+  int64_t bytes_written_ = 0;
+};
+
+}  // namespace storage
+}  // namespace asterix
+
+#endif  // ASTERIX_STORAGE_WAL_H_

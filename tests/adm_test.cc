@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "adm/datatype.h"
+#include "adm/parser.h"
+#include "adm/value.h"
+
+namespace asterix {
+namespace adm {
+namespace {
+
+Value SampleTweet() {
+  return Value::Record({
+      {"id", Value::String("t1")},
+      {"user",
+       Value::Record({{"screen_name", Value::String("alice")},
+                      {"followers_count", Value::Int64(42)}})},
+      {"latitude", Value::Double(33.5)},
+      {"longitude", Value::Double(-117.8)},
+      {"created_at", Value::Datetime(1420070400000)},
+      {"message_text", Value::String("hello #world")},
+  });
+}
+
+TEST(ValueTest, PrimitivesRoundTripAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Boolean(true).AsBoolean(), true);
+  EXPECT_EQ(Value::Int64(-5).AsInt64(), -5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_EQ(Value::Datetime(99).AsDatetime(), 99);
+  Point p = Value::MakePoint(1.0, 2.0).AsPoint();
+  EXPECT_DOUBLE_EQ(p.x, 1.0);
+  EXPECT_DOUBLE_EQ(p.y, 2.0);
+}
+
+TEST(ValueTest, RecordFieldAccess) {
+  Value tweet = SampleTweet();
+  ASSERT_NE(tweet.GetField("id"), nullptr);
+  EXPECT_EQ(tweet.GetField("id")->AsString(), "t1");
+  EXPECT_EQ(tweet.GetField("nope"), nullptr);
+  const Value* user = tweet.GetField("user");
+  ASSERT_NE(user, nullptr);
+  EXPECT_EQ(user->GetField("followers_count")->AsInt64(), 42);
+}
+
+TEST(ValueTest, SetFieldAddsAndReplaces) {
+  Value r = Value::Record({{"a", Value::Int64(1)}});
+  r.SetField("b", Value::Int64(2));
+  EXPECT_EQ(r.GetField("b")->AsInt64(), 2);
+  r.SetField("a", Value::Int64(9));
+  EXPECT_EQ(r.GetField("a")->AsInt64(), 9);
+  EXPECT_EQ(r.AsRecord().size(), 2u);
+}
+
+TEST(ValueTest, CopyOnWriteIsolation) {
+  Value a = Value::Record({{"x", Value::Int64(1)}});
+  Value b = a;  // shares payload
+  b.SetField("x", Value::Int64(2));
+  EXPECT_EQ(a.GetField("x")->AsInt64(), 1);
+  EXPECT_EQ(b.GetField("x")->AsInt64(), 2);
+}
+
+TEST(ValueTest, ListAppendCopyOnWrite) {
+  Value a = Value::List({Value::Int64(1)});
+  Value b = a;
+  b.Append(Value::Int64(2));
+  EXPECT_EQ(a.AsList().size(), 1u);
+  EXPECT_EQ(b.AsList().size(), 2u);
+}
+
+TEST(ValueTest, RemoveField) {
+  Value r = Value::Record(
+      {{"a", Value::Int64(1)}, {"b", Value::Int64(2)}});
+  EXPECT_TRUE(r.RemoveField("a"));
+  EXPECT_FALSE(r.RemoveField("a"));
+  EXPECT_EQ(r.GetField("a"), nullptr);
+}
+
+TEST(ValueTest, EqualityIsDeep) {
+  EXPECT_EQ(SampleTweet(), SampleTweet());
+  Value modified = SampleTweet();
+  modified.SetField("id", Value::String("t2"));
+  EXPECT_NE(SampleTweet(), modified);
+}
+
+TEST(ValueTest, ApproxSizeGrowsWithContent) {
+  Value small = Value::Record({{"a", Value::Int64(1)}});
+  Value big = SampleTweet();
+  EXPECT_GT(big.ApproxSizeBytes(), small.ApproxSizeBytes());
+}
+
+TEST(SerializeTest, AdmTextForms) {
+  EXPECT_EQ(Value::Null().ToAdmString(), "null");
+  EXPECT_EQ(Value::Boolean(false).ToAdmString(), "false");
+  EXPECT_EQ(Value::Int64(7).ToAdmString(), "7");
+  EXPECT_EQ(Value::Double(1.5).ToAdmString(), "1.5");
+  EXPECT_EQ(Value::String("a\"b").ToAdmString(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::MakePoint(1, 2).ToAdmString(), "point(1.0, 2.0)");
+  EXPECT_EQ(Value::Datetime(5).ToAdmString(), "datetime(5)");
+  EXPECT_EQ(Value::List({Value::Int64(1), Value::Int64(2)}).ToAdmString(),
+            "[1, 2]");
+}
+
+TEST(ParserTest, RoundTripsComplexValue) {
+  Value tweet = SampleTweet();
+  auto parsed = ParseAdm(tweet.ToAdmString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, tweet);
+}
+
+TEST(ParserTest, ParsesScalars) {
+  EXPECT_EQ(ParseAdm("42").value().AsInt64(), 42);
+  EXPECT_EQ(ParseAdm("-3").value().AsInt64(), -3);
+  EXPECT_DOUBLE_EQ(ParseAdm("2.75").value().AsDouble(), 2.75);
+  EXPECT_DOUBLE_EQ(ParseAdm("1e3").value().AsDouble(), 1000.0);
+  EXPECT_TRUE(ParseAdm("null").value().is_null());
+  EXPECT_TRUE(ParseAdm("true").value().AsBoolean());
+  EXPECT_EQ(ParseAdm("\"hi\\n\"").value().AsString(), "hi\n");
+}
+
+TEST(ParserTest, ParsesConstructors) {
+  Value p = ParseAdm("point(1.5, -2.5)").value();
+  EXPECT_DOUBLE_EQ(p.AsPoint().x, 1.5);
+  EXPECT_DOUBLE_EQ(p.AsPoint().y, -2.5);
+  EXPECT_EQ(ParseAdm("datetime(1000)").value().AsDatetime(), 1000);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseAdm("{").ok());
+  EXPECT_FALSE(ParseAdm("[1,]").ok());
+  EXPECT_FALSE(ParseAdm("\"unterminated").ok());
+  EXPECT_FALSE(ParseAdm("12abc").ok());
+  EXPECT_FALSE(ParseAdm("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseAdm("point(1)").ok());
+  EXPECT_FALSE(ParseAdm("").ok());
+  EXPECT_FALSE(ParseAdm("1 2").ok());
+}
+
+TEST(ParserTest, ErrorsIncludeOffset) {
+  auto r = ParseAdm("{\"a\": @}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+class AdmRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AdmRoundTripTest, ParseSerializeParseIsIdentity) {
+  auto first = ParseAdm(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = ParseAdm(first->ToAdmString());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(*first, *second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, AdmRoundTripTest,
+    ::testing::Values(
+        "null", "true", "false", "0", "-9223372036854775807", "3.25",
+        "-1e-3", "\"\"", "\"escape \\\\ \\\" \\n\"", "[]", "[[[1]]]",
+        "{}", "{\"k\": {\"k\": {\"k\": null}}}",
+        "point(0.0, 0.0)", "datetime(0)",
+        "{\"mixed\": [1, 2.5, \"s\", point(1, 2), {\"n\": []}]}"));
+
+TEST(DatatypeTest, OpenTypeAdmitsExtraFields) {
+  TypeRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(TypeBuilder("T", /*open=*/true)
+                                .Field("id", TypeTag::kString)
+                                .Build())
+                  .ok());
+  Value r = Value::Record(
+      {{"id", Value::String("a")}, {"extra", Value::Int64(1)}});
+  EXPECT_TRUE(registry.Conforms(r, "T").ok());
+}
+
+TEST(DatatypeTest, ClosedTypeRejectsExtraFields) {
+  TypeRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(TypeBuilder("T", /*open=*/false)
+                                .Field("id", TypeTag::kString)
+                                .Build())
+                  .ok());
+  Value r = Value::Record(
+      {{"id", Value::String("a")}, {"extra", Value::Int64(1)}});
+  EXPECT_FALSE(registry.Conforms(r, "T").ok());
+}
+
+TEST(DatatypeTest, MissingRequiredFieldFails) {
+  TypeRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(TypeBuilder("T")
+                                .Field("id", TypeTag::kString)
+                                .Field("n", TypeTag::kInt64)
+                                .Build())
+                  .ok());
+  Value r = Value::Record({{"id", Value::String("a")}});
+  auto status = registry.Conforms(r, "T");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("n"), std::string::npos);
+}
+
+TEST(DatatypeTest, OptionalFieldMayBeAbsentOrNull) {
+  TypeRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(TypeBuilder("T")
+                                .Field("id", TypeTag::kString)
+                                .Field("loc", TypeTag::kPoint,
+                                       /*optional=*/true)
+                                .Build())
+                  .ok());
+  EXPECT_TRUE(
+      registry.Conforms(Value::Record({{"id", Value::String("a")}}), "T")
+          .ok());
+  EXPECT_TRUE(registry
+                  .Conforms(Value::Record({{"id", Value::String("a")},
+                                           {"loc", Value::Null()}}),
+                            "T")
+                  .ok());
+  EXPECT_FALSE(registry
+                   .Conforms(Value::Record({{"id", Value::String("a")},
+                                            {"loc", Value::Int64(3)}}),
+                             "T")
+                   .ok());
+}
+
+TEST(DatatypeTest, NestedRecordValidation) {
+  TypeRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(TypeBuilder("User", /*open=*/false)
+                                .Field("name", TypeTag::kString)
+                                .Build())
+                  .ok());
+  ASSERT_TRUE(registry
+                  .Register(TypeBuilder("Tweet")
+                                .Field("id", TypeTag::kString)
+                                .RecordField("user", "User")
+                                .Build())
+                  .ok());
+  Value good = Value::Record(
+      {{"id", Value::String("1")},
+       {"user", Value::Record({{"name", Value::String("a")}})}});
+  EXPECT_TRUE(registry.Conforms(good, "Tweet").ok());
+  Value bad = Value::Record(
+      {{"id", Value::String("1")},
+       {"user", Value::Record({{"nom", Value::String("a")}})}});
+  EXPECT_FALSE(registry.Conforms(bad, "Tweet").ok());
+}
+
+TEST(DatatypeTest, ListElementValidation) {
+  TypeRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(TypeBuilder("T")
+                                .Field("id", TypeTag::kString)
+                                .ListField("topics", TypeTag::kString)
+                                .Build())
+                  .ok());
+  Value good = Value::Record(
+      {{"id", Value::String("1")},
+       {"topics", Value::List({Value::String("x")})}});
+  EXPECT_TRUE(registry.Conforms(good, "T").ok());
+  Value bad = Value::Record(
+      {{"id", Value::String("1")},
+       {"topics", Value::List({Value::Int64(1)})}});
+  EXPECT_FALSE(registry.Conforms(bad, "T").ok());
+}
+
+TEST(DatatypeTest, DuplicateRegistrationFails) {
+  TypeRegistry registry;
+  EXPECT_TRUE(registry.Register(TypeBuilder("T").Build()).ok());
+  EXPECT_FALSE(registry.Register(TypeBuilder("T").Build()).ok());
+}
+
+}  // namespace
+}  // namespace adm
+}  // namespace asterix

@@ -1,0 +1,307 @@
+// Tests of the 'glued' comparison system: the mini MongoDB document
+// store (write concerns, journaling, crash loss) and the mini Storm
+// runtime (groupings, acking, replay), plus the full glue assembly.
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/glue.h"
+#include "baseline/mongo.h"
+#include "baseline/storm.h"
+#include "common/clock.h"
+#include "gen/tweetgen.h"
+
+namespace asterix {
+namespace baseline {
+namespace {
+
+using adm::Value;
+using common::Status;
+
+std::string TempDir(const std::string& name) {
+  std::string dir = "/tmp/asterix_test/baseline_" + name + "_" +
+                    std::to_string(common::NowMicros());
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Value Doc(int i) {
+  return Value::Record({{"_id", Value::String("d" + std::to_string(i))},
+                        {"n", Value::Int64(i)}});
+}
+
+TEST(MongoTest, DurableInsertJournalsImmediately) {
+  MongoCollection collection("c", TempDir("durable"),
+                             WriteConcern::kDurable);
+  ASSERT_TRUE(collection.Open().ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(collection.Insert(Doc(i)).ok());
+  }
+  EXPECT_EQ(collection.Count(), 50);
+  EXPECT_EQ(collection.JournaledCount(), 50);
+  EXPECT_EQ(collection.Crash(), 0);  // nothing unjournaled
+}
+
+TEST(MongoTest, NonDurableJournalLags) {
+  MongoCollection collection("c", TempDir("nondurable"),
+                             WriteConcern::kNonDurable);
+  ASSERT_TRUE(collection.Open().ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(collection.Insert(Doc(i)).ok());
+  }
+  EXPECT_EQ(collection.Count(), 50);
+  // Background journaling catches up within its commit interval.
+  common::Stopwatch watch;
+  while (collection.JournaledCount() < 50 &&
+         watch.ElapsedMillis() < 2000) {
+    common::SleepMillis(10);
+  }
+  EXPECT_EQ(collection.JournaledCount(), 50);
+}
+
+TEST(MongoTest, NonDurableCrashLosesWindow) {
+  MongoCollection collection("c", TempDir("crash"),
+                             WriteConcern::kNonDurable);
+  ASSERT_TRUE(collection.Open().ok());
+  // Insert then crash immediately: most documents are unjournaled.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(collection.Insert(Doc(i)).ok());
+  }
+  int64_t lost = collection.Crash();
+  EXPECT_GT(lost, 0);  // acknowledged but gone: the data-loss window
+}
+
+TEST(MongoTest, RejectsDocumentsWithoutId) {
+  MongoCollection collection("c", TempDir("noid"),
+                             WriteConcern::kDurable);
+  ASSERT_TRUE(collection.Open().ok());
+  EXPECT_FALSE(
+      collection.Insert(Value::Record({{"x", Value::Int64(1)}})).ok());
+  EXPECT_FALSE(collection.Insert(Value::Int64(1)).ok());
+}
+
+TEST(MongoTest, ServerManagesCollections) {
+  MongoServer server(TempDir("server"));
+  ASSERT_TRUE(server.CreateCollection("a", WriteConcern::kDurable).ok());
+  EXPECT_FALSE(server.CreateCollection("a", WriteConcern::kDurable).ok());
+  EXPECT_NE(server.GetCollection("a"), nullptr);
+  EXPECT_EQ(server.GetCollection("b"), nullptr);
+}
+
+// A spout emitting n integers, reliable (replays on Fail).
+class CountingSpout : public storm::Spout {
+ public:
+  explicit CountingSpout(int64_t n) : n_(n) {}
+  std::optional<Value> NextTuple(int64_t tuple_id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!replay_.empty()) {
+      Value v = std::move(replay_.back());
+      replay_.pop_back();
+      pending_[tuple_id] = v;
+      return v;
+    }
+    if (next_ >= n_) return std::nullopt;
+    Value v = Value::Record(
+        {{"_id", Value::String("t" + std::to_string(next_))},
+         {"n", Value::Int64(next_)}});
+    ++next_;
+    pending_[tuple_id] = v;
+    return v;
+  }
+  void Ack(int64_t tuple_id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.erase(tuple_id);
+  }
+  void Fail(int64_t tuple_id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(tuple_id);
+    if (it == pending_.end()) return;
+    replay_.push_back(std::move(it->second));
+    pending_.erase(it);
+  }
+  bool Exhausted() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_ >= n_ && replay_.empty();
+  }
+
+ private:
+  const int64_t n_;
+  mutable std::mutex mutex_;
+  int64_t next_ = 0;
+  std::map<int64_t, Value> pending_;
+  std::vector<Value> replay_;
+};
+
+// Collects tuples into a shared set keyed by _id.
+class CollectBolt : public storm::Bolt {
+ public:
+  struct Shared {
+    std::mutex mutex;
+    std::set<std::string> ids;
+    std::atomic<int64_t> executions{0};
+  };
+  explicit CollectBolt(std::shared_ptr<Shared> shared)
+      : shared_(std::move(shared)) {}
+  Status Execute(const Value& tuple, storm::Emitter* emitter) override {
+    (void)emitter;
+    shared_->executions.fetch_add(1);
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->ids.insert(tuple.GetField("_id")->AsString());
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<Shared> shared_;
+};
+
+TEST(StormTest, TopologyDeliversAllTuples) {
+  auto shared = std::make_shared<CollectBolt::Shared>();
+  storm::LocalCluster cluster;
+  storm::TopologyDef topology;
+  topology.name = "t";
+  topology.spout = [](int) { return std::make_unique<CountingSpout>(500); };
+  topology.bolts.push_back(
+      {"collect",
+       [shared](int) { return std::make_unique<CollectBolt>(shared); },
+       3,
+       storm::Grouping::kShuffle,
+       nullptr});
+  ASSERT_TRUE(cluster.Submit(std::move(topology)).ok());
+  ASSERT_TRUE(cluster.WaitUntilDrained(10000));
+  cluster.Shutdown();
+  EXPECT_EQ(shared->ids.size(), 500u);
+  EXPECT_EQ(cluster.stats().acked.load(), 500);
+  EXPECT_EQ(cluster.stats().failed.load(), 0);
+}
+
+// Tracks which task saw each grouping key (fields grouping check).
+struct KeyTrackerState {
+  std::mutex mutex;
+  std::map<std::string, int> key_to_task;
+  std::atomic<int> violations{0};
+};
+
+class KeyTrackerBolt : public storm::Bolt {
+ public:
+  KeyTrackerBolt(std::shared_ptr<KeyTrackerState> state, int task)
+      : state_(std::move(state)), task_(task) {}
+  Status Execute(const Value& tuple, storm::Emitter*) override {
+    std::string key = std::to_string(tuple.GetField("n")->AsInt64() % 7);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    auto [it, inserted] = state_->key_to_task.emplace(key, task_);
+    if (!inserted && it->second != task_) state_->violations.fetch_add(1);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<KeyTrackerState> state_;
+  int task_;
+};
+
+TEST(StormTest, FieldsGroupingRoutesByKey) {
+  auto state = std::make_shared<KeyTrackerState>();
+  storm::LocalCluster cluster;
+  storm::TopologyDef topology;
+  topology.spout = [](int) { return std::make_unique<CountingSpout>(200); };
+  topology.bolts.push_back(
+      {"tracker",
+       [state](int t) {
+         return std::make_unique<KeyTrackerBolt>(state, t);
+       },
+       4,
+       storm::Grouping::kFields,
+       [](const Value& v) {
+         return std::to_string(v.GetField("n")->AsInt64() % 7);
+       }});
+  ASSERT_TRUE(cluster.Submit(std::move(topology)).ok());
+  ASSERT_TRUE(cluster.WaitUntilDrained(10000));
+  cluster.Shutdown();
+  EXPECT_EQ(state->violations.load(), 0);
+}
+
+// Fails each tuple exactly once, then succeeds: exercises replay.
+struct FlakyState {
+  std::mutex mutex;
+  std::set<std::string> seen;
+  std::atomic<int64_t> successes{0};
+};
+
+class FlakyBolt : public storm::Bolt {
+ public:
+  explicit FlakyBolt(std::shared_ptr<FlakyState> state)
+      : state_(std::move(state)) {}
+  Status Execute(const Value& tuple, storm::Emitter*) override {
+    std::string id = tuple.GetField("_id")->AsString();
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->seen.insert(id).second) {
+      return Status::Internal("first attempt fails");
+    }
+    state_->successes.fetch_add(1);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FlakyState> state_;
+};
+
+TEST(StormTest, FailedExecutionIsReplayed) {
+  auto state = std::make_shared<FlakyState>();
+  storm::LocalCluster cluster;
+  storm::TopologyDef topology;
+  topology.spout = [](int) { return std::make_unique<CountingSpout>(100); };
+  topology.bolts.push_back(
+      {"flaky",
+       [state](int) { return std::make_unique<FlakyBolt>(state); }, 2,
+       storm::Grouping::kShuffle, nullptr});
+  ASSERT_TRUE(cluster.Submit(std::move(topology)).ok());
+  ASSERT_TRUE(cluster.WaitUntilDrained(15000));
+  cluster.Shutdown();
+  EXPECT_EQ(state->successes.load(), 100);
+  EXPECT_EQ(cluster.stats().failed.load(), 100);  // one fail per tuple
+}
+
+TEST(GlueTest, StormPlusMongoEndToEnd) {
+  // The full Chapter 7 assembly: TweetGen -> channel -> spout -> parse
+  // bolt -> hashtag bolt -> mongo insert bolt (durable).
+  gen::TweetGenServer source(0, gen::Pattern::Constant(2000, 1000));
+  MongoServer mongo(TempDir("glue"));
+  ASSERT_TRUE(
+      mongo.CreateCollection("tweets", WriteConcern::kDurable).ok());
+  MongoCollection* collection = mongo.GetCollection("tweets");
+
+  storm::LocalCluster cluster;
+  storm::TopologyDef topology;
+  topology.name = "glue";
+  gen::Channel* channel = &source.channel();
+  topology.spout = [channel](int) {
+    return std::make_unique<ChannelSpout>(channel);
+  };
+  topology.bolts.push_back(
+      {"parse", [](int) { return std::make_unique<ParseBolt>(); }, 2,
+       storm::Grouping::kShuffle, nullptr});
+  auto udf = feeds::AqlUdf::ExtractHashtags("tags");
+  topology.bolts.push_back(
+      {"tags", [udf](int) { return std::make_unique<UdfBolt>(udf); }, 2,
+       storm::Grouping::kShuffle, nullptr});
+  topology.bolts.push_back(
+      {"mongo",
+       [collection](int) {
+         return std::make_unique<MongoInsertBolt>(collection);
+       },
+       2, storm::Grouping::kFields, [](const Value& v) {
+         return v.GetField("id")->AsString();
+       }});
+  ASSERT_TRUE(cluster.Submit(std::move(topology)).ok());
+
+  source.Start();
+  source.Join();
+  ASSERT_TRUE(cluster.WaitUntilDrained(20000))
+      << "pending=" << cluster.pending_trees();
+  cluster.Shutdown();
+  EXPECT_EQ(collection->Count(), source.tweets_sent());
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace asterix

@@ -1,0 +1,153 @@
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/blocking_queue.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace asterix {
+namespace common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+}
+
+TEST(StringsTest, SplitAndTrim) {
+  auto pieces = SplitAndTrim(" a, b ,c ,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(StringsTest, TrimEdges) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(Join(pieces, ","), "x,y,z");
+}
+
+TEST(StringsTest, Fnv1aIsStableAndSpread) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+}
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(BlockingQueueTest, TryPushRespectsCapacity) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: this is the Discard-policy hook
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenStops) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, PushBlocksUntilSpace) {
+  BlockingQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    q.Push(2);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // back-pressure in action
+  q.Pop();
+  t.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BlockingQueueTest, PopForTimesOut) {
+  BlockingQueue<int> q;
+  auto item = q.PopFor(std::chrono::milliseconds(10));
+  EXPECT_FALSE(item.has_value());
+}
+
+TEST(BlockingQueueTest, ConcurrentProducersConsumers) {
+  BlockingQueue<int> q(16);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.Push(i);
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (popped.load() < kProducers * kPerProducer) {
+        auto v = q.PopFor(std::chrono::milliseconds(50));
+        if (v.has_value()) {
+          sum.fetch_add(*v);
+          popped.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  int64_t expected =
+      static_cast<int64_t>(kProducers) * kPerProducer * (kPerProducer + 1) / 2;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace asterix

@@ -1,0 +1,379 @@
+// Chapter 6 machinery: hard failures, the zombie/buffer/handoff protocol,
+// fault isolation inside a cascade network, at-least-once delivery, and
+// the elastic rescale path shared with Chapter 7.
+#include <gtest/gtest.h>
+
+#include "asterix/asterix.h"
+#include "common/clock.h"
+#include "feeds/udf.h"
+#include "gen/tweetgen.h"
+
+namespace asterix {
+namespace {
+
+using adm::Value;
+
+bool WaitFor(const std::function<bool()>& predicate, int64_t timeout_ms) {
+  common::Stopwatch watch;
+  while (watch.ElapsedMillis() < timeout_ms) {
+    if (predicate()) return true;
+    common::SleepMillis(10);
+  }
+  return predicate();
+}
+
+storage::DatasetDef Dataset(const std::string& name,
+                            std::vector<std::string> nodegroup = {}) {
+  storage::DatasetDef def;
+  def.name = name;
+  def.datatype = "Tweet";
+  def.primary_key_field = "id";
+  def.nodegroup = std::move(nodegroup);
+  return def;
+}
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceOptions options;
+    options.num_nodes = 6;  // A..F; spare nodes for substitution
+    options.heartbeat_period_ms = 10;
+    options.heartbeat_timeout_ms = 100;
+    db_ = std::make_unique<AsterixInstance>(options);
+    ASSERT_TRUE(db_->Start().ok());
+  }
+
+  /// A feed with a hashtag UDF whose compute runs on specific nodes.
+  void SetupFeed(const std::string& source_addr, gen::Channel* channel,
+                 std::vector<std::string> store_nodes) {
+    feeds::ExternalSourceRegistry::Instance().RegisterChannel(source_addr,
+                                                              channel);
+    ASSERT_TRUE(
+        db_->CreateDataset(Dataset("Sink", std::move(store_nodes))).ok());
+    ASSERT_TRUE(
+        db_->InstallUdf(feeds::AqlUdf::ExtractHashtags("tags")).ok());
+    feeds::FeedDef primary;
+    primary.name = "Feed";
+    primary.adaptor_alias = "socket_adaptor";
+    primary.adaptor_config = {{"sockets", source_addr}};
+    primary.udf = "tags";
+    ASSERT_TRUE(db_->CreateFeed(primary).ok());
+  }
+
+  std::unique_ptr<AsterixInstance> db_;
+};
+
+TEST_F(FaultToleranceTest, ComputeNodeFailureRecovers) {
+  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 4000));
+  SetupFeed("ft:1", &source.channel(), {"E", "F"});
+  // Pin the compute stage away from the intake/collect and store nodes:
+  // this test exercises a *pure* compute-node loss (Figure 6.3), where
+  // at-least-once makes the recovery lossless. (Losing the intake node
+  // additionally loses in-flight intake data — covered separately.)
+  feeds::ConnectOptions copts;
+  ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant",
+                               {.compute_count = 1})
+                  .ok());
+  auto pre = db_->feed_manager().GetConnection("Feed", "Sink");
+  ASSERT_TRUE(pre.ok());
+  std::string intake_node = pre->intake_locations[0];
+  ASSERT_TRUE(db_->DisconnectFeed("Feed", "Sink").ok());
+  for (const std::string& node : {"A", "B", "C", "D"}) {
+    if (node != intake_node && copts.compute_locations.size() < 2) {
+      copts.compute_locations.push_back(node);
+    }
+  }
+  ASSERT_TRUE(
+      db_->ConnectFeed("Feed", "Sink", "FaultTolerant", copts).ok());
+  auto conn = db_->feed_manager().GetConnection("Feed", "Sink");
+  ASSERT_TRUE(conn.ok());
+  ASSERT_EQ(conn->assign_locations.size(), 1u);
+  std::string compute_node = conn->assign_locations[0][0];
+  ASSERT_NE(compute_node, conn->intake_locations[0]);
+
+  source.Start();
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Sink").value() > 500; }, 5000));
+
+  db_->KillNode(compute_node);
+
+  source.Join();
+  int64_t sent = source.tweets_sent();
+  // At-least-once + upsert-by-key: every sent record is eventually
+  // persisted exactly once despite the failure.
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Sink").value() == sent; }, 20000))
+      << "sent=" << sent
+      << " stored=" << db_->CountDataset("Sink").value();
+
+  // The pipeline was rescheduled around the dead node.
+  conn = db_->feed_manager().GetConnection("Feed", "Sink");
+  ASSERT_TRUE(conn.ok());
+  EXPECT_FALSE(conn->terminated);
+  for (const auto& stage : conn->assign_locations) {
+    for (const auto& node : stage) EXPECT_NE(node, compute_node);
+  }
+  feeds::ExternalSourceRegistry::Instance().UnregisterChannel("ft:1");
+}
+
+TEST_F(FaultToleranceTest, IntakeNodeFailureRecovers) {
+  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 4000));
+  SetupFeed("ft:2", &source.channel(), {"E", "F"});
+  ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant",
+                               {.compute_count = 2})
+                  .ok());
+  auto conn = db_->feed_manager().GetConnection("Feed", "Sink");
+  ASSERT_TRUE(conn.ok());
+  std::string intake_node = conn->intake_locations[0];
+
+  source.Start();
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Sink").value() > 500; }, 5000));
+
+  db_->KillNode(intake_node);
+
+  source.Join();
+  int64_t sent = source.tweets_sent();
+  // The head section is rebuilt on a substitute node; records pending in
+  // the in-process channel are re-drained there, and at-least-once
+  // replays anything lost between intake and store. Records that were
+  // inside the dead collect instance are genuinely lost (the paper does
+  // not guarantee lossless ingestion across intake-node loss), so accept
+  // a small gap.
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return db_->CountDataset("Sink").value() >= sent * 95 / 100;
+      },
+      20000))
+      << "sent=" << sent
+      << " stored=" << db_->CountDataset("Sink").value();
+
+  conn = db_->feed_manager().GetConnection("Feed", "Sink");
+  ASSERT_TRUE(conn.ok());
+  EXPECT_FALSE(conn->terminated);
+  for (const auto& node : conn->intake_locations) {
+    EXPECT_NE(node, intake_node);
+  }
+  feeds::ExternalSourceRegistry::Instance().UnregisterChannel("ft:2");
+}
+
+TEST_F(FaultToleranceTest, StoreNodeFailureTerminatesFeed) {
+  gen::TweetGenServer source(0, gen::Pattern::Constant(1000, 3000));
+  SetupFeed("ft:3", &source.channel(), {"E", "F"});
+  ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant").ok());
+  source.Start();
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Sink").value() > 200; }, 5000));
+
+  // Loss of a store node = loss of a dataset partition; without
+  // replication the feed terminates early (§6.2.3).
+  db_->KillNode("E");
+  ASSERT_TRUE(WaitFor(
+      [&] { return !db_->feed_manager().IsConnected("Feed", "Sink"); },
+      5000));
+  source.Stop();
+  source.Join();
+  feeds::ExternalSourceRegistry::Instance().UnregisterChannel("ft:3");
+}
+
+TEST_F(FaultToleranceTest, NoRecoveryPolicyTerminatesOnAnyFailure) {
+  gen::TweetGenServer source(0, gen::Pattern::Constant(1000, 3000));
+  SetupFeed("ft:4", &source.channel(), {"E", "F"});
+  ASSERT_TRUE(db_->CreatePolicy("Fragile", "Basic",
+                                {{"recover.hard.failure", "false"}})
+                  .ok());
+  ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "Fragile",
+                               {.compute_count = 2})
+                  .ok());
+  auto conn = db_->feed_manager().GetConnection("Feed", "Sink");
+  ASSERT_TRUE(conn.ok());
+
+  source.Start();
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Sink").value() > 100; }, 5000));
+  db_->KillNode(conn->assign_locations[0][0]);
+  ASSERT_TRUE(WaitFor(
+      [&] { return !db_->feed_manager().IsConnected("Feed", "Sink"); },
+      5000));
+  source.Stop();
+  source.Join();
+  feeds::ExternalSourceRegistry::Instance().UnregisterChannel("ft:4");
+}
+
+TEST_F(FaultToleranceTest, FaultIsolationInCascade) {
+  // Figure 6.3: losing a compute node of the secondary feed must not
+  // disturb the primary feed sharing the head section.
+  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 4000));
+  feeds::ExternalSourceRegistry::Instance().RegisterChannel(
+      "ft:5", &source.channel());
+  ASSERT_TRUE(db_->CreateDataset(Dataset("Raw", {"E"})).ok());
+  ASSERT_TRUE(db_->CreateDataset(Dataset("Cooked", {"F"})).ok());
+  ASSERT_TRUE(db_->InstallUdf(feeds::AqlUdf::ExtractHashtags("tags")).ok());
+
+  feeds::FeedDef primary;
+  primary.name = "Feed";
+  primary.adaptor_alias = "socket_adaptor";
+  primary.adaptor_config = {{"sockets", "ft:5"}};
+  ASSERT_TRUE(db_->CreateFeed(primary).ok());
+  feeds::FeedDef secondary;
+  secondary.name = "CookedFeed";
+  secondary.is_primary = false;
+  secondary.parent_feed = "Feed";
+  secondary.udf = "tags";
+  ASSERT_TRUE(db_->CreateFeed(secondary).ok());
+
+  ASSERT_TRUE(db_->ConnectFeed("Feed", "Raw", "FaultTolerant").ok());
+  // Pin the secondary's compute away from the intake and store nodes so
+  // killing it cannot collaterally damage the primary's pipeline.
+  auto raw = db_->feed_manager().GetConnection("Feed", "Raw");
+  ASSERT_TRUE(raw.ok());
+  std::string cooked_compute;
+  for (const std::string& node : {"A", "B", "C", "D"}) {
+    if (node != raw->intake_locations[0]) {
+      cooked_compute = node;
+      break;
+    }
+  }
+  feeds::ConnectOptions copts;
+  copts.compute_locations = {cooked_compute};
+  ASSERT_TRUE(
+      db_->ConnectFeed("CookedFeed", "Cooked", "FaultTolerant", copts)
+          .ok());
+  auto cooked = db_->feed_manager().GetConnection("CookedFeed", "Cooked");
+  ASSERT_TRUE(cooked.ok());
+  ASSERT_EQ(cooked->assign_locations[0][0], cooked_compute);
+
+  source.Start();
+  source.Join();
+  int64_t sent = source.tweets_sent();
+
+  // Kill the secondary's compute node mid-drain.
+  db_->KillNode(cooked_compute);
+
+  // The primary is fully isolated: every record lands.
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Raw").value() == sent; }, 20000))
+      << "sent=" << sent << " raw=" << db_->CountDataset("Raw").value();
+  // And the secondary recovers to (at least-once implies at least) all.
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Cooked").value() == sent; }, 20000))
+      << "sent=" << sent
+      << " cooked=" << db_->CountDataset("Cooked").value();
+  feeds::ExternalSourceRegistry::Instance().UnregisterChannel("ft:5");
+}
+
+TEST_F(FaultToleranceTest, ElasticRescaleKeepsDataFlowing) {
+  gen::TweetGenServer source(0, gen::Pattern::Constant(1200, 4000));
+  SetupFeed("ft:6", &source.channel(), {"E", "F"});
+  ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant",
+                               {.compute_count = 1})
+                  .ok());
+  source.Start();
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Sink").value() > 300; }, 5000));
+
+  // Scale the compute stage out, then in, mid-stream.
+  ASSERT_TRUE(db_->feed_manager().Rescale("Feed", "Sink", 3).ok());
+  auto conn = db_->feed_manager().GetConnection("Feed", "Sink");
+  ASSERT_TRUE(conn.ok());
+  EXPECT_EQ(conn->compute_width, 3);
+  common::SleepMillis(300);
+  ASSERT_TRUE(db_->feed_manager().Rescale("Feed", "Sink", 2).ok());
+
+  source.Join();
+  int64_t sent = source.tweets_sent();
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Sink").value() == sent; }, 20000))
+      << "sent=" << sent
+      << " stored=" << db_->CountDataset("Sink").value();
+  feeds::ExternalSourceRegistry::Instance().UnregisterChannel("ft:6");
+}
+
+TEST_F(FaultToleranceTest, PartialDisconnectKeepsDependentsFlowing) {
+  gen::TweetGenServer source(0, gen::Pattern::Constant(1200, 3000));
+  feeds::ExternalSourceRegistry::Instance().RegisterChannel(
+      "ft:7", &source.channel());
+  ASSERT_TRUE(db_->CreateDataset(Dataset("Mid", {"E"})).ok());
+  ASSERT_TRUE(db_->CreateDataset(Dataset("Deep", {"F"})).ok());
+  ASSERT_TRUE(db_->InstallUdf(feeds::AqlUdf::ExtractHashtags("tags")).ok());
+  ASSERT_TRUE(db_->InstallUdf(std::make_shared<feeds::JavaUdf>(
+                      "lib", "sentiment",
+                      [](const Value& record) -> std::optional<Value> {
+                        Value out = record;
+                        out.SetField(
+                            "sentiment",
+                            Value::Double(feeds::PseudoSentiment(
+                                record.GetField("message_text")
+                                    ->AsString())));
+                        return out;
+                      }))
+                  .ok());
+
+  feeds::FeedDef primary;
+  primary.name = "Feed";
+  primary.adaptor_alias = "socket_adaptor";
+  primary.adaptor_config = {{"sockets", "ft:7"}};
+  primary.udf = "tags";
+  ASSERT_TRUE(db_->CreateFeed(primary).ok());
+  feeds::FeedDef sentiment;
+  sentiment.name = "SentimentFeed";
+  sentiment.is_primary = false;
+  sentiment.parent_feed = "Feed";
+  sentiment.udf = "lib#sentiment";
+  ASSERT_TRUE(db_->CreateFeed(sentiment).ok());
+
+  ASSERT_TRUE(
+      db_->ConnectFeed("Feed", "Mid", "Basic", {.compute_count = 1}).ok());
+  ASSERT_TRUE(db_->ConnectFeed("SentimentFeed", "Deep", "Basic",
+                               {.compute_count = 1})
+                  .ok());
+  // The sentiment feed must source from the parent's compute joint.
+  auto deep = db_->feed_manager().GetConnection("SentimentFeed", "Deep");
+  ASSERT_TRUE(deep.ok());
+  EXPECT_EQ(deep->source_joint, "Feed:tags");
+
+  source.Start();
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Mid").value() > 200; }, 5000));
+
+  // Disconnect the parent: partial dismantling only (Figure 5.10(b)).
+  int64_t mid_at_disconnect = 0;
+  ASSERT_TRUE(db_->DisconnectFeed("Feed", "Mid").ok());
+  mid_at_disconnect = db_->CountDataset("Mid").value();
+
+  source.Join();
+  int64_t sent = source.tweets_sent();
+  // The dependent keeps ingesting everything...
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Deep").value() == sent; }, 20000))
+      << "sent=" << sent
+      << " deep=" << db_->CountDataset("Deep").value();
+  // ...while the disconnected parent's dataset stops growing (modulo
+  // records already in flight at disconnect time).
+  common::SleepMillis(200);
+  int64_t mid_final = db_->CountDataset("Mid").value();
+  EXPECT_LT(mid_final, sent);
+  EXPECT_GE(mid_final, mid_at_disconnect);
+  feeds::ExternalSourceRegistry::Instance().UnregisterChannel("ft:7");
+}
+
+TEST_F(FaultToleranceTest, AtLeastOnceReplaysGroupAcks) {
+  // Steady flow with FaultTolerant policy: the ack bus sees grouped
+  // messages and the pending ledger drains.
+  gen::TweetGenServer source(0, gen::Pattern::Constant(1000, 2000));
+  SetupFeed("ft:8", &source.channel(), {"E"});
+  ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant").ok());
+  source.Start();
+  source.Join();
+  int64_t sent = source.tweets_sent();
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Sink").value() == sent; }, 15000));
+  // Grouping means far fewer ack messages than records (§5.6).
+  int64_t acks = db_->feed_manager().ack_bus()->messages_published();
+  EXPECT_GT(acks, 0);
+  EXPECT_LT(acks, sent / 2);
+  feeds::ExternalSourceRegistry::Instance().UnregisterChannel("ft:8");
+}
+
+}  // namespace
+}  // namespace asterix

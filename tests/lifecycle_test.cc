@@ -1,0 +1,332 @@
+// Connection lifecycle tests at the CentralFeedManager level: deep
+// cascades and source selection, head sharing/release, reconnect after
+// full and partial disconnects, store-node rejoin rescheduling, the feed
+// console report, elastic auto-scaling, and the spatial query path fed
+// by an ingesting feed.
+#include <gtest/gtest.h>
+
+#include "asterix/asterix.h"
+#include "common/clock.h"
+#include "feeds/udf.h"
+#include "gen/tweetgen.h"
+
+namespace asterix {
+namespace {
+
+using adm::Value;
+
+bool WaitFor(const std::function<bool()>& predicate, int64_t timeout_ms) {
+  common::Stopwatch watch;
+  while (watch.ElapsedMillis() < timeout_ms) {
+    if (predicate()) return true;
+    common::SleepMillis(10);
+  }
+  return predicate();
+}
+
+storage::DatasetDef Dataset(const std::string& name,
+                            std::vector<std::string> nodegroup = {}) {
+  storage::DatasetDef def;
+  def.name = name;
+  def.datatype = "Tweet";
+  def.primary_key_field = "id";
+  def.nodegroup = std::move(nodegroup);
+  return def;
+}
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceOptions options;
+    options.num_nodes = 5;
+    options.heartbeat_period_ms = 10;
+    options.heartbeat_timeout_ms = 100;
+    db_ = std::make_unique<AsterixInstance>(options);
+    ASSERT_TRUE(db_->Start().ok());
+  }
+
+  void InstallChain() {
+    ASSERT_TRUE(
+        db_->InstallUdf(feeds::AqlUdf::ExtractHashtags("f1")).ok());
+    ASSERT_TRUE(db_->InstallUdf(std::make_shared<feeds::JavaUdf>(
+                        "lib", "f2",
+                        [](const Value& v) -> std::optional<Value> {
+                          Value out = v;
+                          out.SetField("mark2", Value::Int64(2));
+                          return out;
+                        }))
+                    .ok());
+    ASSERT_TRUE(db_->InstallUdf(std::make_shared<feeds::JavaUdf>(
+                        "lib", "f3",
+                        [](const Value& v) -> std::optional<Value> {
+                          Value out = v;
+                          out.SetField("mark3", Value::Int64(3));
+                          return out;
+                        }))
+                    .ok());
+    feeds::FeedDef root;
+    root.name = "Root";
+    root.adaptor_alias = "synthetic_tweets";
+    root.adaptor_config = {{"rate", "3000"}};
+    ASSERT_TRUE(db_->CreateFeed(root).ok());
+    feeds::FeedDef mid;
+    mid.name = "Mid";
+    mid.is_primary = false;
+    mid.parent_feed = "Root";
+    mid.udf = "f1";
+    ASSERT_TRUE(db_->CreateFeed(mid).ok());
+    feeds::FeedDef leaf;
+    leaf.name = "Leaf";
+    leaf.is_primary = false;
+    leaf.parent_feed = "Mid";
+    leaf.udf = "lib#f2";
+    ASSERT_TRUE(db_->CreateFeed(leaf).ok());
+  }
+
+  std::unique_ptr<AsterixInstance> db_;
+};
+
+TEST_F(LifecycleTest, DeepCascadeChainsJointsCorrectly) {
+  InstallChain();
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D1")).ok());
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D2")).ok());
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D3")).ok());
+
+  // Connect leaf first: its tail applies the FULL chain from the head.
+  ASSERT_TRUE(db_->ConnectFeed("Leaf", "D3").ok());
+  auto leaf = db_->feed_manager().GetConnection("Leaf", "D3");
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(leaf->source_joint, "Root");
+  ASSERT_EQ(leaf->udf_chain.size(), 2u);
+  EXPECT_EQ(leaf->exposed_joints.back(), "Root:f1:lib#f2");
+
+  // Connecting Mid now finds its own records' joint already flowing.
+  ASSERT_TRUE(db_->ConnectFeed("Mid", "D2").ok());
+  auto mid = db_->feed_manager().GetConnection("Mid", "D2");
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->source_joint, "Root:f1");
+  EXPECT_TRUE(mid->udf_chain.empty());  // records are ready-made
+
+  // And the primary taps the raw head joint.
+  ASSERT_TRUE(db_->ConnectFeed("Root", "D1").ok());
+  auto root = db_->feed_manager().GetConnection("Root", "D1");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->source_joint, "Root");
+
+  // All three datasets fill at the same pace (fetch-once).
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return db_->CountDataset("D1").value() > 500 &&
+               db_->CountDataset("D2").value() > 500 &&
+               db_->CountDataset("D3").value() > 500;
+      },
+      10000));
+  // Chain semantics: D3 records carry both marks, D2 only topics.
+  bool checked = false;
+  db_->ScanDataset("D3", [&](const Value& record) {
+    checked = true;
+    EXPECT_NE(record.GetField("topics"), nullptr);
+    EXPECT_NE(record.GetField("mark2"), nullptr);
+  });
+  EXPECT_TRUE(checked);
+  db_->ScanDataset("D2", [&](const Value& record) {
+    EXPECT_NE(record.GetField("topics"), nullptr);
+    EXPECT_EQ(record.GetField("mark2"), nullptr);
+  });
+
+  EXPECT_TRUE(db_->DisconnectFeed("Root", "D1").ok());
+  EXPECT_TRUE(db_->DisconnectFeed("Mid", "D2").ok());
+  EXPECT_TRUE(db_->DisconnectFeed("Leaf", "D3").ok());
+}
+
+TEST_F(LifecycleTest, HeadReleasedOnlyWhenLastConnectionCloses) {
+  InstallChain();
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D1")).ok());
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D2")).ok());
+  ASSERT_TRUE(db_->ConnectFeed("Root", "D1").ok());
+  ASSERT_TRUE(db_->ConnectFeed("Mid", "D2").ok());
+  EXPECT_NE(db_->feed_manager().GetHeadMetrics("Root"), nullptr);
+
+  ASSERT_TRUE(db_->DisconnectFeed("Root", "D1").ok());
+  // Mid still draws from the head: it must survive.
+  EXPECT_NE(db_->feed_manager().GetHeadMetrics("Root"), nullptr);
+  ASSERT_TRUE(db_->DisconnectFeed("Mid", "D2").ok());
+  EXPECT_EQ(db_->feed_manager().GetHeadMetrics("Root"), nullptr);
+}
+
+TEST_F(LifecycleTest, ReconnectAfterFullDisconnectRebuildsHead) {
+  InstallChain();
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D1")).ok());
+  ASSERT_TRUE(db_->ConnectFeed("Root", "D1").ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("D1").value() > 100; }, 5000));
+  ASSERT_TRUE(db_->DisconnectFeed("Root", "D1").ok());
+  int64_t after_first = db_->CountDataset("D1").value();
+
+  ASSERT_TRUE(db_->ConnectFeed("Root", "D1").ok());
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return db_->CountDataset("D1").value() > after_first + 100;
+      },
+      5000));
+  ASSERT_TRUE(db_->DisconnectFeed("Root", "D1").ok());
+}
+
+TEST_F(LifecycleTest, ReconnectAfterPartialDisconnectReusesSegment) {
+  InstallChain();
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D2")).ok());
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D3")).ok());
+  ASSERT_TRUE(
+      db_->ConnectFeed("Mid", "D2", "Basic", {.compute_count = 1}).ok());
+  ASSERT_TRUE(
+      db_->ConnectFeed("Leaf", "D3", "Basic", {.compute_count = 1}).ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("D2").value() > 100; }, 5000));
+
+  // Partial: Leaf depends on Mid's compute joint.
+  ASSERT_TRUE(db_->DisconnectFeed("Mid", "D2").ok());
+  auto mid = db_->feed_manager().GetConnection("Mid", "D2");
+  ASSERT_TRUE(mid.ok());
+  EXPECT_TRUE(mid->store_detached);
+
+  // Reconnecting Mid reattaches the store stage to the live segment
+  // (Figure 5.10's reconnect discussion): the cascade returns to its
+  // pre-disconnect shape.
+  ASSERT_TRUE(db_->ConnectFeed("Mid", "D2").ok());
+  auto again = db_->feed_manager().GetConnection("Mid", "D2");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->store_detached);
+  EXPECT_EQ(again->source_joint, "Root");
+  ASSERT_EQ(again->udf_chain.size(), 1u);
+  int64_t at_reconnect = db_->CountDataset("D2").value();
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return db_->CountDataset("D2").value() > at_reconnect + 100;
+      },
+      5000));
+  ASSERT_TRUE(db_->DisconnectFeed("Leaf", "D3").ok());
+  ASSERT_TRUE(db_->DisconnectFeed("Mid", "D2").ok());
+}
+
+TEST_F(LifecycleTest, StoreNodeRejoinReschedulesTerminatedFeed) {
+  InstallChain();
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D1", {"E"})).ok());
+  ASSERT_TRUE(db_->ConnectFeed("Root", "D1", "FaultTolerant").ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("D1").value() > 100; }, 5000));
+
+  // Store-node loss terminates the feed (no replication, §6.2.3)...
+  db_->KillNode("E");
+  ASSERT_TRUE(WaitFor(
+      [&] { return !db_->feed_manager().IsConnected("Root", "D1"); },
+      5000));
+
+  // ...but when the node rejoins (after its log-based recovery), the
+  // pipeline is rescheduled and ingestion resumes.
+  db_->RestartNode("E");
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->feed_manager().IsConnected("Root", "D1"); },
+      5000));
+  int64_t at_rejoin = db_->CountDataset("D1").value();
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("D1").value() > at_rejoin + 100; },
+      5000))
+      << db_->CountDataset("D1").value();
+  ASSERT_TRUE(db_->DisconnectFeed("Root", "D1").ok());
+}
+
+TEST_F(LifecycleTest, FeedConsoleDescribesConnections) {
+  InstallChain();
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D2")).ok());
+  ASSERT_TRUE(db_->ConnectFeed("Mid", "D2").ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("D2").value() > 50; }, 5000));
+  std::string report = db_->feed_manager().DescribeFeeds();
+  EXPECT_NE(report.find("connection Mid->D2"), std::string::npos);
+  EXPECT_NE(report.find("intake"), std::string::npos);
+  EXPECT_NE(report.find("compute"), std::string::npos);
+  EXPECT_NE(report.find("udf f1"), std::string::npos);
+  EXPECT_NE(report.find("head Root"), std::string::npos);
+  ASSERT_TRUE(db_->DisconnectFeed("Mid", "D2").ok());
+}
+
+TEST_F(LifecycleTest, ElasticMonitorScalesOutUnderCongestion) {
+  // An expensive UDF (service time) with width 1 cannot keep pace; the
+  // congestion monitor must scale the compute stage out on its own.
+  ASSERT_TRUE(db_->InstallUdf(std::make_shared<feeds::JavaUdf>(
+                      "lib", "slow",
+                      [](const Value& v) -> std::optional<Value> {
+                        common::SleepMicros(1500);
+                        return v;
+                      }))
+                  .ok());
+  feeds::FeedDef feed;
+  feed.name = "F";
+  feed.adaptor_alias = "synthetic_tweets";
+  feed.adaptor_config = {{"rate", "2000"}};
+  feed.udf = "lib#slow";
+  ASSERT_TRUE(db_->CreateFeed(feed).ok());
+  ASSERT_TRUE(db_->CreateDataset(Dataset("D")).ok());
+  ASSERT_TRUE(db_->CreatePolicy("TightElastic", "Elastic",
+                                {{"memory.budget", "256KB"}})
+                  .ok());
+  ASSERT_TRUE(db_->ConnectFeed("F", "D", "TightElastic",
+                               {.compute_count = 1})
+                  .ok());
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        auto conn = db_->feed_manager().GetConnection("F", "D");
+        return conn.ok() && conn->compute_width > 1;
+      },
+      15000));
+  ASSERT_TRUE(db_->DisconnectFeed("F", "D").ok());
+}
+
+TEST_F(LifecycleTest, SpatialAggregateOverIngestedTweets) {
+  // Chapter 8's Twitter-analysis use case: ingest with a lat/long ->
+  // point UDF, then aggregate per grid cell off the spatial index.
+  ASSERT_TRUE(db_->InstallUdf(std::make_shared<feeds::AqlUdf>(
+                      "geo",
+                      std::vector<feeds::AqlUdf::Step>{
+                          {feeds::AqlUdf::Step::Op::kLatLongToPoint,
+                           {"latitude", "longitude", "location"},
+                           Value::Null()}}))
+                  .ok());
+  storage::DatasetDef def = Dataset("Geo");
+  def.indexes.push_back(
+      {"locationIndex", "location", storage::IndexKind::kRTree});
+  ASSERT_TRUE(db_->CreateDataset(def).ok());
+  feeds::FeedDef feed;
+  feed.name = "GeoFeed";
+  feed.adaptor_alias = "synthetic_tweets";
+  feed.adaptor_config = {{"rate", "20000"}, {"limit", "2000"}};
+  feed.udf = "geo";
+  ASSERT_TRUE(db_->CreateFeed(feed).ok());
+  ASSERT_TRUE(db_->ConnectFeed("GeoFeed", "Geo").ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return db_->CountDataset("Geo").value() == 2000; }, 10000));
+
+  // The US bounding box of Listing 3.3 (TweetGen points lie inside it).
+  storage::Rect us{24.0, -124.0, 49.0, -66.0};
+  auto cells = db_->SpatialAggregate("Geo", "locationIndex", us,
+                                     /*lat_resolution=*/5.0,
+                                     /*long_resolution=*/10.0);
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  int64_t total = 0;
+  for (const auto& [cell, count] : *cells) {
+    EXPECT_GE(cell.first, 0);
+    EXPECT_GE(cell.second, 0);
+    total += count;
+  }
+  EXPECT_EQ(total, 2000);   // every tweet lands in exactly one cell
+  EXPECT_GT(cells->size(), 4u);  // spread across the grid
+
+  // Unknown index and bad resolutions are rejected.
+  EXPECT_FALSE(db_->SpatialAggregate("Geo", "nope", us, 1, 1).ok());
+  EXPECT_FALSE(
+      db_->SpatialAggregate("Geo", "locationIndex", us, 0, 1).ok());
+  ASSERT_TRUE(db_->DisconnectFeed("GeoFeed", "Geo").ok());
+}
+
+}  // namespace
+}  // namespace asterix

@@ -1,0 +1,239 @@
+// Unit tests of the MetaFeedOperator sandbox (§6.1): exception slicing,
+// skip bounds, error-log/dataset logging, zombie-state restoration, and
+// signal pass-through — driven directly through a fake task context.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "feeds/meta.h"
+#include "feeds/operators.h"
+#include "hyracks/node.h"
+
+namespace asterix {
+namespace feeds {
+namespace {
+
+using adm::Value;
+using common::Status;
+using hyracks::FramePtr;
+using hyracks::MakeFrame;
+
+/// Collects frames written by the wrapped operator.
+class CollectingWriter : public hyracks::IFrameWriter {
+ public:
+  Status NextFrame(const FramePtr& frame) override {
+    for (const Value& record : frame->records()) {
+      records.push_back(record);
+    }
+    return Status::OK();
+  }
+  std::vector<Value> records;
+};
+
+class FakeContext : public hyracks::TaskContext {
+ public:
+  FakeContext(hyracks::NodeController* node, std::string op_name)
+      : node_(node), op_name_(std::move(op_name)) {}
+
+  const std::string& node_id() const override { return node_->id(); }
+  int partition() const override { return 0; }
+  int partition_count() const override { return 1; }
+  int64_t job_id() const override { return 1; }
+  const std::string& operator_name() const override { return op_name_; }
+  hyracks::IFrameWriter* writer() override { return &writer_; }
+  bool ShouldStop() const override { return false; }
+  bool GracefulStopRequested() const override { return false; }
+  hyracks::NodeController* node() const override { return node_; }
+
+  CollectingWriter& collected() { return writer_; }
+
+ private:
+  hyracks::NodeController* node_;
+  std::string op_name_;
+  CollectingWriter writer_;
+};
+
+/// An operator that throws on records whose "n" is divisible by `k`.
+class ExplodingOperator : public hyracks::Operator {
+ public:
+  explicit ExplodingOperator(int64_t k) : k_(k) {}
+  Status ProcessFrame(const FramePtr& frame,
+                      hyracks::TaskContext* ctx) override {
+    for (const Value& record : frame->records()) {
+      if (record.GetField("n")->AsInt64() % k_ == 0) {
+        throw std::runtime_error("boom on n=" + std::to_string(
+                                     record.GetField("n")->AsInt64()));
+      }
+      RETURN_IF_ERROR(ctx->writer()->NextFrame(MakeFrame({record})));
+    }
+    return Status::OK();
+  }
+
+ private:
+  const int64_t k_;
+};
+
+FramePtr FrameOf(int n, int start = 0) {
+  std::vector<Value> records;
+  for (int i = start; i < start + n; ++i) {
+    records.push_back(
+        Value::Record({{"id", Value::String("r" + std::to_string(i))},
+                       {"n", Value::Int64(i)}}));
+  }
+  return MakeFrame(std::move(records));
+}
+
+std::unique_ptr<hyracks::NodeController> MakeNode() {
+  return std::make_unique<hyracks::NodeController>(
+      "X", "/tmp/asterix_test/meta_" +
+               std::to_string(common::NowMicros()));
+}
+
+TEST(MetaFeedTest, SandboxSkipsOnlyOffendingRecords) {
+  auto node = MakeNode();
+  FakeContext ctx(node.get(), "assign");
+  MetaFeedOptions options;
+  MetaFeedOperator meta(std::make_unique<ExplodingOperator>(5), options);
+  ASSERT_TRUE(meta.Open(&ctx).ok());
+  ASSERT_TRUE(meta.ProcessFrame(FrameOf(20), &ctx).ok());
+  // n = 0, 5, 10, 15 threw; the 16 healthy records all got through.
+  EXPECT_EQ(ctx.collected().records.size(), 16u);
+  EXPECT_EQ(meta.soft_failures(), 4);
+  for (const Value& record : ctx.collected().records) {
+    EXPECT_NE(record.GetField("n")->AsInt64() % 5, 0);
+  }
+}
+
+TEST(MetaFeedTest, HealthyFramesPayNoSlicingCost) {
+  auto node = MakeNode();
+  FakeContext ctx(node.get(), "assign");
+  MetaFeedOptions options;
+  MetaFeedOperator meta(std::make_unique<ExplodingOperator>(1000000),
+                        options);
+  ASSERT_TRUE(meta.Open(&ctx).ok());
+  // n starts at 1: no throw — the frame goes through in one call.
+  ASSERT_TRUE(meta.ProcessFrame(FrameOf(50, 1), &ctx).ok());
+  EXPECT_EQ(ctx.collected().records.size(), 50u);
+  EXPECT_EQ(meta.soft_failures(), 0);
+}
+
+TEST(MetaFeedTest, DisabledSandboxLetsExceptionsEscape) {
+  auto node = MakeNode();
+  FakeContext ctx(node.get(), "assign");
+  MetaFeedOptions options;
+  options.sandbox_soft_failures = false;  // recover.soft.failure=false
+  MetaFeedOperator meta(std::make_unique<ExplodingOperator>(2), options);
+  ASSERT_TRUE(meta.Open(&ctx).ok());
+  EXPECT_THROW(meta.ProcessFrame(FrameOf(4), &ctx),
+               std::runtime_error);
+}
+
+TEST(MetaFeedTest, ConsecutiveFailureBoundEndsFeed) {
+  auto node = MakeNode();
+  FakeContext ctx(node.get(), "assign");
+  MetaFeedOptions options;
+  options.max_consecutive_soft_failures = 10;
+  // Every record throws: a bug, not bad data — the feed must end.
+  MetaFeedOperator meta(std::make_unique<ExplodingOperator>(1), options);
+  ASSERT_TRUE(meta.Open(&ctx).ok());
+  Status status = meta.ProcessFrame(FrameOf(64), &ctx);
+  EXPECT_TRUE(status.IsAborted());
+}
+
+TEST(MetaFeedTest, HealthyRecordResetsConsecutiveCount) {
+  auto node = MakeNode();
+  FakeContext ctx(node.get(), "assign");
+  MetaFeedOptions options;
+  options.max_consecutive_soft_failures = 5;
+  // Every 3rd record throws: never 5 in a row, so the feed survives
+  // arbitrarily many total failures.
+  MetaFeedOperator meta(std::make_unique<ExplodingOperator>(3), options);
+  ASSERT_TRUE(meta.Open(&ctx).ok());
+  for (int batch = 0; batch < 10; ++batch) {
+    ASSERT_TRUE(meta.ProcessFrame(FrameOf(30, batch * 30), &ctx).ok());
+  }
+  EXPECT_EQ(meta.soft_failures(), 100);  // 300 records / 3
+  EXPECT_EQ(ctx.collected().records.size(), 200u);
+}
+
+TEST(MetaFeedTest, LogsExceptionsToDedicatedDataset) {
+  auto node = MakeNode();
+  storage::DatasetDef exceptions;
+  exceptions.name = "FeedExceptions";
+  exceptions.datatype = "any";
+  exceptions.primary_key_field = "id";
+  ASSERT_TRUE(
+      node->storage().CreatePartition(exceptions, 0, nullptr).ok());
+
+  FakeContext ctx(node.get(), "assign");
+  MetaFeedOptions options;
+  options.log_to_dataset = true;  // soft.failure.log.data=true
+  MetaFeedOperator meta(std::make_unique<ExplodingOperator>(4), options);
+  ASSERT_TRUE(meta.Open(&ctx).ok());
+  ASSERT_TRUE(meta.ProcessFrame(FrameOf(16), &ctx).ok());
+
+  auto* partition = node->storage().GetPartition("FeedExceptions");
+  EXPECT_EQ(partition->record_count(), 4);  // n = 0, 4, 8, 12
+  partition->Scan([](const Value& entry) {
+    EXPECT_NE(entry.GetField("message"), nullptr);
+    EXPECT_NE(entry.GetField("record"), nullptr);
+    EXPECT_EQ(entry.GetField("operator")->AsString(), "assign");
+  });
+}
+
+TEST(MetaFeedTest, RestoresZombieStateOnOpen) {
+  auto node = MakeNode();
+  auto fm = FeedManager::Of(node.get());
+  fm->SaveZombieState("conn:assign:0", {FrameOf(5, 1), FrameOf(3, 100)});
+
+  FakeContext ctx(node.get(), "assign");
+  MetaFeedOptions options;
+  options.state_key_prefix = "conn:assign";
+  MetaFeedOperator meta(std::make_unique<ExplodingOperator>(1000000),
+                        options);
+  ASSERT_TRUE(meta.Open(&ctx).ok());
+  // The saved frames were processed during Open, before any new input.
+  EXPECT_EQ(ctx.collected().records.size(), 8u);
+  // State is consumed exactly once.
+  EXPECT_TRUE(fm->TakeZombieState("conn:assign:0").empty());
+}
+
+TEST(MetaFeedTest, SignalsReachTheCoreOperator) {
+  class SignalProbe : public hyracks::Operator {
+   public:
+    Status ProcessFrame(const FramePtr&, hyracks::TaskContext*) override {
+      return Status::OK();
+    }
+    void OnSignal(const std::string& signal) override { last = signal; }
+    std::string last;
+  };
+  auto probe = std::make_unique<SignalProbe>();
+  SignalProbe* raw = probe.get();
+  MetaFeedOperator meta(std::move(probe), MetaFeedOptions{});
+  meta.OnSignal("buffer");
+  EXPECT_EQ(raw->last, "buffer");
+}
+
+TEST(MetaFeedTest, SourcePassThrough) {
+  class TinySource : public hyracks::Operator {
+   public:
+    bool is_source() const override { return true; }
+    Status Run(hyracks::TaskContext* ctx) override {
+      return ctx->writer()->NextFrame(FrameOf(2));
+    }
+    Status ProcessFrame(const FramePtr&, hyracks::TaskContext*) override {
+      return Status::NotSupported("source");
+    }
+  };
+  auto node = MakeNode();
+  FakeContext ctx(node.get(), "collect");
+  MetaFeedOperator meta(std::make_unique<TinySource>(), MetaFeedOptions{});
+  EXPECT_TRUE(meta.is_source());
+  ASSERT_TRUE(meta.Run(&ctx).ok());
+  EXPECT_EQ(ctx.collected().records.size(), 2u);
+}
+
+}  // namespace
+}  // namespace feeds
+}  // namespace asterix

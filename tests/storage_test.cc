@@ -1,0 +1,361 @@
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/dataset.h"
+#include "storage/key.h"
+#include "storage/lsm_index.h"
+#include "storage/secondary_index.h"
+#include "storage/wal.h"
+
+namespace asterix {
+namespace storage {
+namespace {
+
+using adm::TypeTag;
+using adm::Value;
+
+std::string TempDir(const std::string& name) {
+  std::string dir = "/tmp/asterix_test/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(KeyTest, IntOrderPreserved) {
+  auto k1 = EncodeKey(Value::Int64(-100)).value();
+  auto k2 = EncodeKey(Value::Int64(-1)).value();
+  auto k3 = EncodeKey(Value::Int64(0)).value();
+  auto k4 = EncodeKey(Value::Int64(1)).value();
+  auto k5 = EncodeKey(Value::Int64(1LL << 40)).value();
+  EXPECT_LT(k1, k2);
+  EXPECT_LT(k2, k3);
+  EXPECT_LT(k3, k4);
+  EXPECT_LT(k4, k5);
+}
+
+TEST(KeyTest, DoubleOrderPreserved) {
+  auto keys = {
+      EncodeKey(Value::Double(-1e9)).value(),
+      EncodeKey(Value::Double(-1.5)).value(),
+      EncodeKey(Value::Double(-0.0)).value(),
+      EncodeKey(Value::Double(0.25)).value(),
+      EncodeKey(Value::Double(3.14)).value(),
+      EncodeKey(Value::Double(1e12)).value(),
+  };
+  std::string prev;
+  bool first = true;
+  for (const auto& k : keys) {
+    if (!first) EXPECT_LE(prev, k);
+    prev = k;
+    first = false;
+  }
+}
+
+TEST(KeyTest, RoundTrip) {
+  for (const Value& v :
+       {Value::Int64(-7), Value::Double(2.5), Value::String("abc"),
+        Value::Datetime(12345)}) {
+    auto key = EncodeKey(v).value();
+    auto back = DecodeKey(key);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(KeyTest, NonKeyableTypesRejected) {
+  EXPECT_FALSE(EncodeKey(Value::Null()).ok());
+  EXPECT_FALSE(EncodeKey(Value::Record({})).ok());
+  EXPECT_FALSE(EncodeKey(Value::List({})).ok());
+}
+
+TEST(KeyTest, PropertyRandomIntsSortLikeValues) {
+  common::Rng rng(7);
+  std::vector<int64_t> ints;
+  for (int i = 0; i < 500; ++i) {
+    ints.push_back(rng.Uniform(INT64_MIN / 2, INT64_MAX / 2));
+  }
+  std::vector<std::pair<std::string, int64_t>> keyed;
+  for (int64_t i : ints) {
+    keyed.emplace_back(EncodeKey(Value::Int64(i)).value(), i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  for (size_t i = 1; i < keyed.size(); ++i) {
+    EXPECT_LE(keyed[i - 1].second, keyed[i].second);
+  }
+}
+
+TEST(WalTest, AppendAndReplay) {
+  std::string dir = TempDir("wal");
+  Wal wal(dir + "/test.wal");
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_TRUE(wal.Append("one").ok());
+  ASSERT_TRUE(wal.Append("two").ok());
+  ASSERT_TRUE(wal.Append("").ok());
+  EXPECT_EQ(wal.entry_count(), 3);
+  std::vector<std::string> replayed;
+  ASSERT_TRUE(
+      wal.Replay([&](const std::string& e) { replayed.push_back(e); })
+          .ok());
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(replayed[0], "one");
+  EXPECT_EQ(replayed[1], "two");
+  EXPECT_EQ(replayed[2], "");
+}
+
+TEST(WalTest, AppendWithoutOpenFails) {
+  Wal wal("/tmp/asterix_test/never_opened.wal");
+  EXPECT_FALSE(wal.Append("x").ok());
+}
+
+TEST(LsmTest, InsertThenGet) {
+  LsmIndex index;
+  auto key = EncodeKey(Value::Int64(1)).value();
+  ASSERT_TRUE(index.Insert(key, Value::String("v")).ok());
+  auto got = index.Get(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->AsString(), "v");
+  EXPECT_FALSE(index.Get("missing").has_value());
+}
+
+TEST(LsmTest, UpsertNewestWins) {
+  LsmIndex index;
+  auto key = EncodeKey(Value::Int64(1)).value();
+  ASSERT_TRUE(index.Insert(key, Value::Int64(1)).ok());
+  ASSERT_TRUE(index.Insert(key, Value::Int64(2)).ok());
+  EXPECT_EQ(index.Get(key)->AsInt64(), 2);
+  EXPECT_EQ(index.Size(), 1);
+}
+
+TEST(LsmTest, UpsertAcrossFlushBoundary) {
+  LsmOptions options;
+  options.memtable_bytes_limit = 1;  // flush on every insert
+  LsmIndex index(options);
+  auto key = EncodeKey(Value::Int64(1)).value();
+  ASSERT_TRUE(index.Insert(key, Value::Int64(1)).ok());
+  ASSERT_TRUE(index.Insert(key, Value::Int64(2)).ok());
+  EXPECT_EQ(index.Get(key)->AsInt64(), 2);
+  EXPECT_EQ(index.Size(), 1);
+  EXPECT_GE(index.stats().flushes, 2);
+}
+
+TEST(LsmTest, FlushAndMergeMaintainContents) {
+  LsmOptions options;
+  options.memtable_bytes_limit = 256;  // frequent flushes
+  options.max_runs = 3;
+  LsmIndex index(options);
+  constexpr int kRecords = 500;
+  for (int i = 0; i < kRecords; ++i) {
+    auto key = EncodeKey(Value::Int64(i)).value();
+    ASSERT_TRUE(index.Insert(key, Value::Int64(i * 10)).ok());
+  }
+  EXPECT_GT(index.stats().flushes, 0);
+  EXPECT_GT(index.stats().merges, 0);
+  EXPECT_EQ(index.Size(), kRecords);
+  for (int i = 0; i < kRecords; i += 37) {
+    auto key = EncodeKey(Value::Int64(i)).value();
+    auto got = index.Get(key);
+    ASSERT_TRUE(got.has_value()) << "missing key " << i;
+    EXPECT_EQ(got->AsInt64(), i * 10);
+  }
+}
+
+TEST(LsmTest, ScanIsSortedAndComplete) {
+  LsmOptions options;
+  options.memtable_bytes_limit = 128;
+  LsmIndex index(options);
+  common::Rng rng(3);
+  std::set<int64_t> inserted;
+  for (int i = 0; i < 300; ++i) {
+    int64_t v = rng.Uniform(0, 10000);
+    inserted.insert(v);
+    auto key = EncodeKey(Value::Int64(v)).value();
+    ASSERT_TRUE(index.Insert(key, Value::Int64(v)).ok());
+  }
+  std::vector<int64_t> scanned;
+  index.Scan([&](const std::string&, const Value& v) {
+    scanned.push_back(v.AsInt64());
+  });
+  ASSERT_EQ(scanned.size(), inserted.size());
+  auto it = inserted.begin();
+  for (size_t i = 0; i < scanned.size(); ++i, ++it) {
+    EXPECT_EQ(scanned[i], *it);  // key encoding preserves order
+  }
+}
+
+TEST(SecondaryIndexTest, BTreeExactAndRange) {
+  BTreeSecondaryIndex index("byCount", "count");
+  for (int i = 0; i < 10; ++i) {
+    Value r = Value::Record({{"id", Value::String("k" + std::to_string(i))},
+                             {"count", Value::Int64(i % 3)}});
+    ASSERT_TRUE(
+        index.Insert(r, EncodeKey(*r.GetField("id")).value()).ok());
+  }
+  EXPECT_EQ(index.SearchExact(Value::Int64(0)).size(), 4u);
+  EXPECT_EQ(index.SearchExact(Value::Int64(1)).size(), 3u);
+  EXPECT_EQ(index.SearchExact(Value::Int64(9)).size(), 0u);
+  EXPECT_EQ(index.SearchRange(Value::Int64(1), Value::Int64(2)).size(), 6u);
+  EXPECT_EQ(index.entry_count(), 10);
+}
+
+TEST(SecondaryIndexTest, SkipsRecordsLackingField) {
+  BTreeSecondaryIndex index("byX", "x");
+  Value r = Value::Record({{"id", Value::String("a")}});
+  ASSERT_TRUE(index.Insert(r, "pk").ok());
+  EXPECT_EQ(index.entry_count(), 0);
+}
+
+TEST(SecondaryIndexTest, SpatialGridRectQuery) {
+  SpatialGridIndex index("byLoc", "location", /*cell_size=*/1.0);
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      Value r = Value::Record(
+          {{"id", Value::String(std::to_string(x) + "," +
+                                std::to_string(y))},
+           {"location", Value::MakePoint(x + 0.5, y + 0.5)}});
+      ASSERT_TRUE(
+          index.Insert(r, EncodeKey(*r.GetField("id")).value()).ok());
+    }
+  }
+  // A 3x3 box.
+  auto hits = index.SearchRect({2.0, 2.0, 4.99, 4.99});
+  EXPECT_EQ(hits.size(), 9u);
+  // Whole space.
+  EXPECT_EQ(index.SearchRect({0, 0, 10, 10}).size(), 100u);
+  // Empty corner.
+  EXPECT_EQ(index.SearchRect({-5, -5, -1, -1}).size(), 0u);
+}
+
+TEST(SecondaryIndexTest, SpatialRejectsNonPoint) {
+  SpatialGridIndex index("byLoc", "location");
+  Value r = Value::Record({{"location", Value::Int64(1)}});
+  EXPECT_FALSE(index.Insert(r, "pk").ok());
+}
+
+DatasetDef TweetsDef(const std::string& name = "Tweets") {
+  DatasetDef def;
+  def.name = name;
+  def.datatype = "Tweet";
+  def.primary_key_field = "id";
+  def.indexes.push_back({"locationIndex", "location", IndexKind::kRTree});
+  return def;
+}
+
+TEST(DatasetPartitionTest, InsertMaintainsPrimaryAndSecondary) {
+  std::string dir = TempDir("partition");
+  DatasetPartition partition(TweetsDef(), 0, dir, nullptr);
+  ASSERT_TRUE(partition.Open().ok());
+  for (int i = 0; i < 20; ++i) {
+    Value r = Value::Record(
+        {{"id", Value::String("t" + std::to_string(i))},
+         {"location", Value::MakePoint(i, i)},
+         {"text", Value::String("hello")}});
+    ASSERT_TRUE(partition.Insert(r).ok());
+  }
+  EXPECT_EQ(partition.record_count(), 20);
+  auto got = partition.Get(Value::String("t7"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->GetField("text")->AsString(), "hello");
+  auto* index =
+      static_cast<SpatialGridIndex*>(partition.FindIndex("locationIndex"));
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->SearchRect({0, 0, 5.5, 5.5}).size(), 6u);
+}
+
+TEST(DatasetPartitionTest, RejectsMissingPrimaryKey) {
+  std::string dir = TempDir("partition_pk");
+  DatasetPartition partition(TweetsDef(), 0, dir, nullptr);
+  ASSERT_TRUE(partition.Open().ok());
+  EXPECT_FALSE(
+      partition.Insert(Value::Record({{"x", Value::Int64(1)}})).ok());
+  EXPECT_FALSE(partition.Insert(Value::Int64(1)).ok());
+}
+
+TEST(DatasetPartitionTest, ValidatesTypeWhenRequested) {
+  std::string dir = TempDir("partition_type");
+  adm::TypeRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(adm::TypeBuilder("Tweet", /*open=*/false)
+                                .Field("id", TypeTag::kString)
+                                .Build())
+                  .ok());
+  DatasetDef def = TweetsDef();
+  def.indexes.clear();
+  def.validate_type = true;
+  DatasetPartition partition(def, 0, dir, &registry);
+  ASSERT_TRUE(partition.Open().ok());
+  EXPECT_TRUE(
+      partition.Insert(Value::Record({{"id", Value::String("a")}})).ok());
+  EXPECT_FALSE(partition
+                   .Insert(Value::Record({{"id", Value::String("b")},
+                                          {"zzz", Value::Int64(1)}}))
+                   .ok());
+}
+
+TEST(DatasetPartitionTest, WalRecordsEveryInsert) {
+  std::string dir = TempDir("partition_wal");
+  DatasetDef def = TweetsDef();
+  def.indexes.clear();
+  DatasetPartition partition(def, 0, dir, nullptr);
+  ASSERT_TRUE(partition.Open().ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(partition
+                    .Insert(Value::Record(
+                        {{"id", Value::String(std::to_string(i))}}))
+                    .ok());
+  }
+  EXPECT_EQ(partition.wal().entry_count(), 5);
+  ASSERT_TRUE(partition.SyncWal().ok());
+  std::string wal_path = dir + "/Tweets.p0.wal";
+  ASSERT_TRUE(std::filesystem::exists(wal_path));
+  EXPECT_GT(std::filesystem::file_size(wal_path), 0u);
+  // Replay returns exactly the inserted records.
+  std::vector<std::string> entries;
+  ASSERT_TRUE(partition.wal()
+                  .Replay([&](const std::string& e) {
+                    entries.push_back(e);
+                  })
+                  .ok());
+  EXPECT_EQ(entries.size(), 5u);
+}
+
+TEST(StorageManagerTest, PartitionLifecycle) {
+  std::string dir = TempDir("manager");
+  StorageManager manager("nodeA", dir);
+  ASSERT_TRUE(manager.CreatePartition(TweetsDef(), 0, nullptr).ok());
+  EXPECT_FALSE(manager.CreatePartition(TweetsDef(), 1, nullptr).ok());
+  EXPECT_NE(manager.GetPartition("Tweets"), nullptr);
+  EXPECT_EQ(manager.GetPartition("Nope"), nullptr);
+  EXPECT_EQ(manager.DatasetNames().size(), 1u);
+  ASSERT_TRUE(manager.DropPartition("Tweets").ok());
+  EXPECT_EQ(manager.GetPartition("Tweets"), nullptr);
+  EXPECT_FALSE(manager.DropPartition("Tweets").ok());
+}
+
+TEST(PartitioningTest, KeysSpreadAcrossPartitions) {
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto key = EncodeKey(Value::String("key" + std::to_string(i))).value();
+    int p = PartitionOfKey(key, 4);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 4);
+    seen.insert(p);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all partitions receive data
+}
+
+TEST(PartitioningTest, SinglePartitionAlwaysZero) {
+  EXPECT_EQ(PartitionOfKey("anything", 1), 0);
+  EXPECT_EQ(PartitionOfKey("anything", 0), 0);
+}
+
+TEST(PartitioningTest, Deterministic) {
+  auto key = EncodeKey(Value::String("stable")).value();
+  EXPECT_EQ(PartitionOfKey(key, 8), PartitionOfKey(key, 8));
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace asterix
