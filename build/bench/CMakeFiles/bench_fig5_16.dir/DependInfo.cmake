@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_16.cc" "bench/CMakeFiles/bench_fig5_16.dir/bench_fig5_16.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_16.dir/bench_fig5_16.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asterix/CMakeFiles/ax_asterix.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ax_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/feeds/CMakeFiles/ax_feeds.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ax_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyracks/CMakeFiles/ax_hyracks.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ax_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/adm/CMakeFiles/ax_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

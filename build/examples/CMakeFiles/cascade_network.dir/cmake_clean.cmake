@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_network.dir/cascade_network.cpp.o"
+  "CMakeFiles/cascade_network.dir/cascade_network.cpp.o.d"
+  "cascade_network"
+  "cascade_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

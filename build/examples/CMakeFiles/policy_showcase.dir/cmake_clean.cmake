@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_showcase.dir/policy_showcase.cpp.o"
+  "CMakeFiles/policy_showcase.dir/policy_showcase.cpp.o.d"
+  "policy_showcase"
+  "policy_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adm/datatype.cc" "src/adm/CMakeFiles/ax_adm.dir/datatype.cc.o" "gcc" "src/adm/CMakeFiles/ax_adm.dir/datatype.cc.o.d"
+  "/root/repo/src/adm/parser.cc" "src/adm/CMakeFiles/ax_adm.dir/parser.cc.o" "gcc" "src/adm/CMakeFiles/ax_adm.dir/parser.cc.o.d"
+  "/root/repo/src/adm/value.cc" "src/adm/CMakeFiles/ax_adm.dir/value.cc.o" "gcc" "src/adm/CMakeFiles/ax_adm.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

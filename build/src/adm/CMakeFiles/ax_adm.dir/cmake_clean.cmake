@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ax_adm.dir/datatype.cc.o"
+  "CMakeFiles/ax_adm.dir/datatype.cc.o.d"
+  "CMakeFiles/ax_adm.dir/parser.cc.o"
+  "CMakeFiles/ax_adm.dir/parser.cc.o.d"
+  "CMakeFiles/ax_adm.dir/value.cc.o"
+  "CMakeFiles/ax_adm.dir/value.cc.o.d"
+  "libax_adm.a"
+  "libax_adm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ax_adm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

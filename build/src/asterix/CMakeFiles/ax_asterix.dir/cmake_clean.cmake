@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ax_asterix.dir/aql.cc.o"
+  "CMakeFiles/ax_asterix.dir/aql.cc.o.d"
+  "CMakeFiles/ax_asterix.dir/asterix.cc.o"
+  "CMakeFiles/ax_asterix.dir/asterix.cc.o.d"
+  "libax_asterix.a"
+  "libax_asterix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ax_asterix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ax_baseline.dir/mongo.cc.o"
+  "CMakeFiles/ax_baseline.dir/mongo.cc.o.d"
+  "CMakeFiles/ax_baseline.dir/storm.cc.o"
+  "CMakeFiles/ax_baseline.dir/storm.cc.o.d"
+  "libax_baseline.a"
+  "libax_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ax_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ax_common.dir/logging.cc.o"
+  "CMakeFiles/ax_common.dir/logging.cc.o.d"
+  "CMakeFiles/ax_common.dir/status.cc.o"
+  "CMakeFiles/ax_common.dir/status.cc.o.d"
+  "CMakeFiles/ax_common.dir/strings.cc.o"
+  "CMakeFiles/ax_common.dir/strings.cc.o.d"
+  "libax_common.a"
+  "libax_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ax_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feeds/adaptor.cc" "src/feeds/CMakeFiles/ax_feeds.dir/adaptor.cc.o" "gcc" "src/feeds/CMakeFiles/ax_feeds.dir/adaptor.cc.o.d"
+  "/root/repo/src/feeds/catalog.cc" "src/feeds/CMakeFiles/ax_feeds.dir/catalog.cc.o" "gcc" "src/feeds/CMakeFiles/ax_feeds.dir/catalog.cc.o.d"
+  "/root/repo/src/feeds/central.cc" "src/feeds/CMakeFiles/ax_feeds.dir/central.cc.o" "gcc" "src/feeds/CMakeFiles/ax_feeds.dir/central.cc.o.d"
+  "/root/repo/src/feeds/feed_manager.cc" "src/feeds/CMakeFiles/ax_feeds.dir/feed_manager.cc.o" "gcc" "src/feeds/CMakeFiles/ax_feeds.dir/feed_manager.cc.o.d"
+  "/root/repo/src/feeds/joint.cc" "src/feeds/CMakeFiles/ax_feeds.dir/joint.cc.o" "gcc" "src/feeds/CMakeFiles/ax_feeds.dir/joint.cc.o.d"
+  "/root/repo/src/feeds/meta.cc" "src/feeds/CMakeFiles/ax_feeds.dir/meta.cc.o" "gcc" "src/feeds/CMakeFiles/ax_feeds.dir/meta.cc.o.d"
+  "/root/repo/src/feeds/operators.cc" "src/feeds/CMakeFiles/ax_feeds.dir/operators.cc.o" "gcc" "src/feeds/CMakeFiles/ax_feeds.dir/operators.cc.o.d"
+  "/root/repo/src/feeds/policy.cc" "src/feeds/CMakeFiles/ax_feeds.dir/policy.cc.o" "gcc" "src/feeds/CMakeFiles/ax_feeds.dir/policy.cc.o.d"
+  "/root/repo/src/feeds/subscriber.cc" "src/feeds/CMakeFiles/ax_feeds.dir/subscriber.cc.o" "gcc" "src/feeds/CMakeFiles/ax_feeds.dir/subscriber.cc.o.d"
+  "/root/repo/src/feeds/udf.cc" "src/feeds/CMakeFiles/ax_feeds.dir/udf.cc.o" "gcc" "src/feeds/CMakeFiles/ax_feeds.dir/udf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hyracks/CMakeFiles/ax_hyracks.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ax_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ax_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/adm/CMakeFiles/ax_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

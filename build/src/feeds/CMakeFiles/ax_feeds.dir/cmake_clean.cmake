@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ax_feeds.dir/adaptor.cc.o"
+  "CMakeFiles/ax_feeds.dir/adaptor.cc.o.d"
+  "CMakeFiles/ax_feeds.dir/catalog.cc.o"
+  "CMakeFiles/ax_feeds.dir/catalog.cc.o.d"
+  "CMakeFiles/ax_feeds.dir/central.cc.o"
+  "CMakeFiles/ax_feeds.dir/central.cc.o.d"
+  "CMakeFiles/ax_feeds.dir/feed_manager.cc.o"
+  "CMakeFiles/ax_feeds.dir/feed_manager.cc.o.d"
+  "CMakeFiles/ax_feeds.dir/joint.cc.o"
+  "CMakeFiles/ax_feeds.dir/joint.cc.o.d"
+  "CMakeFiles/ax_feeds.dir/meta.cc.o"
+  "CMakeFiles/ax_feeds.dir/meta.cc.o.d"
+  "CMakeFiles/ax_feeds.dir/operators.cc.o"
+  "CMakeFiles/ax_feeds.dir/operators.cc.o.d"
+  "CMakeFiles/ax_feeds.dir/policy.cc.o"
+  "CMakeFiles/ax_feeds.dir/policy.cc.o.d"
+  "CMakeFiles/ax_feeds.dir/subscriber.cc.o"
+  "CMakeFiles/ax_feeds.dir/subscriber.cc.o.d"
+  "CMakeFiles/ax_feeds.dir/udf.cc.o"
+  "CMakeFiles/ax_feeds.dir/udf.cc.o.d"
+  "libax_feeds.a"
+  "libax_feeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ax_feeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

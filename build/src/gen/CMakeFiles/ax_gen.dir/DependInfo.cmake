@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/pattern.cc" "src/gen/CMakeFiles/ax_gen.dir/pattern.cc.o" "gcc" "src/gen/CMakeFiles/ax_gen.dir/pattern.cc.o.d"
+  "/root/repo/src/gen/tweetgen.cc" "src/gen/CMakeFiles/ax_gen.dir/tweetgen.cc.o" "gcc" "src/gen/CMakeFiles/ax_gen.dir/tweetgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adm/CMakeFiles/ax_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

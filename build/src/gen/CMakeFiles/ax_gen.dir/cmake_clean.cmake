@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ax_gen.dir/pattern.cc.o"
+  "CMakeFiles/ax_gen.dir/pattern.cc.o.d"
+  "CMakeFiles/ax_gen.dir/tweetgen.cc.o"
+  "CMakeFiles/ax_gen.dir/tweetgen.cc.o.d"
+  "libax_gen.a"
+  "libax_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ax_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hyracks/cluster.cc" "src/hyracks/CMakeFiles/ax_hyracks.dir/cluster.cc.o" "gcc" "src/hyracks/CMakeFiles/ax_hyracks.dir/cluster.cc.o.d"
+  "/root/repo/src/hyracks/node.cc" "src/hyracks/CMakeFiles/ax_hyracks.dir/node.cc.o" "gcc" "src/hyracks/CMakeFiles/ax_hyracks.dir/node.cc.o.d"
+  "/root/repo/src/hyracks/task.cc" "src/hyracks/CMakeFiles/ax_hyracks.dir/task.cc.o" "gcc" "src/hyracks/CMakeFiles/ax_hyracks.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ax_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/adm/CMakeFiles/ax_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

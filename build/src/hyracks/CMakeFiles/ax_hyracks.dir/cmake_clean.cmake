@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ax_hyracks.dir/cluster.cc.o"
+  "CMakeFiles/ax_hyracks.dir/cluster.cc.o.d"
+  "CMakeFiles/ax_hyracks.dir/node.cc.o"
+  "CMakeFiles/ax_hyracks.dir/node.cc.o.d"
+  "CMakeFiles/ax_hyracks.dir/task.cc.o"
+  "CMakeFiles/ax_hyracks.dir/task.cc.o.d"
+  "libax_hyracks.a"
+  "libax_hyracks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ax_hyracks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

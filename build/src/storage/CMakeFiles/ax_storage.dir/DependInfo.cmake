@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/dataset.cc" "src/storage/CMakeFiles/ax_storage.dir/dataset.cc.o" "gcc" "src/storage/CMakeFiles/ax_storage.dir/dataset.cc.o.d"
+  "/root/repo/src/storage/key.cc" "src/storage/CMakeFiles/ax_storage.dir/key.cc.o" "gcc" "src/storage/CMakeFiles/ax_storage.dir/key.cc.o.d"
+  "/root/repo/src/storage/lsm_index.cc" "src/storage/CMakeFiles/ax_storage.dir/lsm_index.cc.o" "gcc" "src/storage/CMakeFiles/ax_storage.dir/lsm_index.cc.o.d"
+  "/root/repo/src/storage/secondary_index.cc" "src/storage/CMakeFiles/ax_storage.dir/secondary_index.cc.o" "gcc" "src/storage/CMakeFiles/ax_storage.dir/secondary_index.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/ax_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/ax_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adm/CMakeFiles/ax_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ax_storage.dir/dataset.cc.o"
+  "CMakeFiles/ax_storage.dir/dataset.cc.o.d"
+  "CMakeFiles/ax_storage.dir/key.cc.o"
+  "CMakeFiles/ax_storage.dir/key.cc.o.d"
+  "CMakeFiles/ax_storage.dir/lsm_index.cc.o"
+  "CMakeFiles/ax_storage.dir/lsm_index.cc.o.d"
+  "CMakeFiles/ax_storage.dir/secondary_index.cc.o"
+  "CMakeFiles/ax_storage.dir/secondary_index.cc.o.d"
+  "CMakeFiles/ax_storage.dir/wal.cc.o"
+  "CMakeFiles/ax_storage.dir/wal.cc.o.d"
+  "libax_storage.a"
+  "libax_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ax_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

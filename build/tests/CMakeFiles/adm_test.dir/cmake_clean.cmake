@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adm_test.dir/adm_test.cc.o"
+  "CMakeFiles/adm_test.dir/adm_test.cc.o.d"
+  "adm_test"
+  "adm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyracks_extra_test.dir/hyracks_extra_test.cc.o"
+  "CMakeFiles/hyracks_extra_test.dir/hyracks_extra_test.cc.o.d"
+  "hyracks_extra_test"
+  "hyracks_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyracks_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

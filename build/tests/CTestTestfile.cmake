@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(adm_test "/root/repo/build/tests/adm_test")
+set_tests_properties(adm_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hyracks_test "/root/repo/build/tests/hyracks_test")
+set_tests_properties(hyracks_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fault_tolerance_test "/root/repo/build/tests/fault_tolerance_test")
+set_tests_properties(fault_tolerance_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(feeds_test "/root/repo/build/tests/feeds_test")
+set_tests_properties(feeds_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baseline_test "/root/repo/build/tests/baseline_test")
+set_tests_properties(baseline_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(meta_test "/root/repo/build/tests/meta_test")
+set_tests_properties(meta_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lifecycle_test "/root/repo/build/tests/lifecycle_test")
+set_tests_properties(lifecycle_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hyracks_extra_test "/root/repo/build/tests/hyracks_extra_test")
+set_tests_properties(hyracks_extra_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(aql_test "/root/repo/build/tests/aql_test")
+set_tests_properties(aql_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(edge_case_test "/root/repo/build/tests/edge_case_test")
+set_tests_properties(edge_case_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;23;ax_add_test;/root/repo/tests/CMakeLists.txt;0;")
