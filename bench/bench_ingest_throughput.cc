@@ -1,0 +1,166 @@
+// Sustained LSM ingest throughput vs. hash partition count — the storage
+// side of the paper's "partitioned parallelism" claim (Chapter 7). W
+// concurrent writers insert pre-generated records into a
+// PartitionedLsmIndex configured with small memtables so flush/merge work
+// dominates, exactly the regime where a single global-lock LSM stalls.
+// Two effects are measured:
+//   1. partitioning: each partition holds 1/P of the data, so the total
+//      merge work drops ~P-fold (merges re-read the whole partition), and
+//      writers stop contending on one mutex;
+//   2. async maintenance: Insert never blocks on a flush or merge (the
+//      sync row reproduces the pre-optimization write path for contrast;
+//      its insert_stall_ms shows the stop-the-world compactions).
+// Reported records/s include draining the maintenance backlog, so deferred
+// work cannot inflate the figure. Results go to BENCH_ingest.json.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adm/value.h"
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "storage/key.h"
+#include "storage/lsm_index.h"
+
+namespace asterix {
+namespace bench {
+namespace {
+
+using adm::Value;
+using storage::LsmOptions;
+using storage::LsmStats;
+using storage::PartitionedLsmIndex;
+
+constexpr size_t kMemtableBytes = 16 << 10;
+constexpr size_t kMaxRuns = 4;
+constexpr int kWriterThreads = 4;
+
+struct RunResult {
+  size_t partitions = 0;
+  bool async = true;
+  double insert_secs = 0;   // all Insert calls returned
+  double total_secs = 0;    // ... and the maintenance backlog drained
+  double records_per_sec = 0;
+  LsmStats stats;
+};
+
+RunResult RunOnce(size_t partitions, bool async,
+                  const std::vector<std::string>& keys,
+                  const std::string& payload) {
+  LsmOptions options;
+  options.memtable_bytes_limit = kMemtableBytes;
+  options.max_runs = kMaxRuns;
+  options.partitions = partitions;
+  options.async_maintenance = async;
+  PartitionedLsmIndex index(options);
+
+  const size_t n = keys.size();
+  common::Stopwatch watch;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriterThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < n; i += kWriterThreads) {
+        index.Insert(keys[i], Value::String(payload));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  double insert_secs = watch.ElapsedSeconds();
+  index.Drain();
+  double total_secs = watch.ElapsedSeconds();
+
+  RunResult result;
+  result.partitions = partitions;
+  result.async = async;
+  result.insert_secs = insert_secs;
+  result.total_secs = total_secs;
+  result.records_per_sec = static_cast<double>(n) / total_secs;
+  result.stats = index.stats();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  size_t records = 80000;
+  if (argc > 1) records = static_cast<size_t>(std::atoll(argv[1]));
+
+  Banner("BENCH ingest", "partitioned LSM write path: records/s vs. "
+                         "partition count (incl. maintenance drain)");
+  std::printf("records=%zu writers=%d memtable=%zuB max_runs=%zu "
+              "hw_concurrency=%u\n",
+              records, kWriterThreads, kMemtableBytes, kMaxRuns,
+              std::thread::hardware_concurrency());
+
+  std::vector<std::string> keys;
+  keys.reserve(records);
+  for (size_t i = 0; i < records; ++i) {
+    keys.push_back(
+        storage::EncodeKey(Value::Int64(static_cast<int64_t>(i))).value());
+  }
+  std::string payload(64, 'x');
+
+  // Warm-up pass so allocator state does not favor the first config.
+  RunOnce(1, true, keys, payload);
+
+  std::vector<RunResult> results;
+  results.push_back(RunOnce(1, false, keys, payload));  // sync baseline
+  for (size_t partitions : {1, 2, 4, 8}) {
+    results.push_back(RunOnce(partitions, true, keys, payload));
+  }
+
+  std::printf("\n%-6s %-5s %12s %12s %14s %8s %7s %10s\n", "parts", "mode",
+              "insert_s", "total_s", "records/s", "flushes", "merges",
+              "stall_ms");
+  double rate_1p = 0, rate_4p = 0;
+  for (const RunResult& r : results) {
+    std::printf("%-6zu %-5s %12.3f %12.3f %14.0f %8lld %7lld %10lld\n",
+                r.partitions, r.async ? "async" : "sync", r.insert_secs,
+                r.total_secs, r.records_per_sec,
+                static_cast<long long>(r.stats.flushes),
+                static_cast<long long>(r.stats.merges),
+                static_cast<long long>(r.stats.insert_stall_ms));
+    if (r.async && r.partitions == 1) rate_1p = r.records_per_sec;
+    if (r.async && r.partitions == 4) rate_4p = r.records_per_sec;
+  }
+  double speedup = rate_1p > 0 ? rate_4p / rate_1p : 0;
+  std::printf("\nspeedup 4 partitions vs 1: %.2fx\n", speedup);
+
+  std::FILE* out = std::fopen("BENCH_ingest.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_ingest.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"ingest_throughput\",\n"
+               "  \"records\": %zu,\n  \"writer_threads\": %d,\n"
+               "  \"memtable_bytes_limit\": %zu,\n  \"max_runs\": %zu,\n"
+               "  \"hardware_concurrency\": %u,\n  \"results\": [\n",
+               records, kWriterThreads, kMemtableBytes, kMaxRuns,
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"partitions\": %zu, \"mode\": \"%s\", "
+        "\"insert_secs\": %.6f, \"total_secs\": %.6f, "
+        "\"records_per_sec\": %.1f, \"flushes\": %lld, \"merges\": %lld, "
+        "\"insert_stall_ms\": %lld}%s\n",
+        r.partitions, r.async ? "async" : "sync", r.insert_secs,
+        r.total_secs, r.records_per_sec,
+        static_cast<long long>(r.stats.flushes),
+        static_cast<long long>(r.stats.merges),
+        static_cast<long long>(r.stats.insert_stall_ms),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"speedup_4p_vs_1p\": %.3f\n}\n", speedup);
+  std::fclose(out);
+  std::printf("wrote BENCH_ingest.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace asterix
+
+int main(int argc, char** argv) { return asterix::bench::Main(argc, argv); }

@@ -10,6 +10,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace asterix {
 namespace common {
@@ -82,6 +83,33 @@ class BlockingQueue {
     return item;
   }
 
+  /// Blocks until at least one item is available (or the queue is closed
+  /// and drained), then drains everything queued under one lock
+  /// acquisition. A batch of k frames costs one lock op instead of k.
+  /// Returns an empty vector only when the queue is closed and drained.
+  std::vector<T> PopAll() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return DrainLocked();
+  }
+
+  /// PopAll with a deadline; an empty vector on timeout or on
+  /// closed-and-drained.
+  std::vector<T> PopAllFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [this] { return closed_ || !items_.empty(); })) {
+      return {};
+    }
+    return DrainLocked();
+  }
+
+  /// Non-blocking drain of everything currently queued.
+  std::vector<T> TryPopAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return DrainLocked();
+  }
+
   std::optional<T> TryPop() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (items_.empty()) return std::nullopt;
@@ -115,6 +143,16 @@ class BlockingQueue {
   bool empty() const { return size() == 0; }
 
  private:
+  /// Moves all queued items out. Caller holds mutex_.
+  std::vector<T> DrainLocked() {
+    std::vector<T> drained;
+    drained.reserve(items_.size());
+    for (T& item : items_) drained.push_back(std::move(item));
+    items_.clear();
+    if (!drained.empty()) not_full_.notify_all();
+    return drained;
+  }
+
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;

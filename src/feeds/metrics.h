@@ -66,6 +66,14 @@ struct ConnectionMetrics {
   std::atomic<int64_t> soft_failures{0};
   std::atomic<int64_t> records_replayed{0};  // at-least-once re-sends
 
+  // Storage maintenance backlog behind the store stage (gauges, sampled by
+  // the store operator): sealed memtables awaiting background flush and
+  // pending merges. Rising values mean persistence is falling behind the
+  // inflow without stalling it — the signal the congestion monitor watches
+  // instead of an insert-path stall.
+  std::atomic<int64_t> store_flush_backlog{0};
+  std::atomic<int64_t> store_merge_backlog{0};
+
   /// Instantaneous persisted-records throughput.
   IntervalCounter store_timeline{250};
 

@@ -134,8 +134,10 @@ Status FeedIntakeOperator::Open(TaskContext* ctx) {
       queue_ = handoff->queue;
     } else {
       handoff->joint->Unsubscribe(handoff->queue);
-      while (auto frame = handoff->queue->Next(0)) {
-        held_.push_back(std::move(*frame));
+      for (;;) {
+        std::vector<FramePtr> batch = handoff->queue->NextBatch(0);
+        if (batch.empty()) break;
+        for (FramePtr& frame : batch) held_.push_back(std::move(frame));
       }
     }
   }
@@ -202,8 +204,12 @@ Status FeedIntakeOperator::Run(TaskContext* ctx) {
       source_joint_->Unsubscribe(queue_);
       for (FramePtr& frame : held_) RETURN_IF_ERROR(ForwardFrame(frame, ctx));
       held_.clear();
-      while (auto frame = queue_->Next(0)) {
-        RETURN_IF_ERROR(ForwardFrame(*frame, ctx));
+      for (;;) {
+        std::vector<FramePtr> batch = queue_->NextBatch(0);
+        if (batch.empty()) break;
+        for (FramePtr& frame : batch) {
+          RETURN_IF_ERROR(ForwardFrame(frame, ctx));
+        }
       }
       return Status::OK();
     }
@@ -240,12 +246,15 @@ Status FeedIntakeOperator::Run(TaskContext* ctx) {
 
     if (queue_->failed()) return queue_->failure();
 
-    auto frame = queue_->Next(/*timeout_ms=*/20);
-    if (frame.has_value()) {
-      if (mode_.load() == Mode::kBuffer) {
-        held_.push_back(std::move(*frame));
-      } else {
-        RETURN_IF_ERROR(ForwardFrame(*frame, ctx));
+    // Batched hand-off: one lock acquisition drains everything queued.
+    std::vector<FramePtr> batch = queue_->NextBatch(/*timeout_ms=*/20);
+    if (!batch.empty()) {
+      for (FramePtr& frame : batch) {
+        if (mode_.load() == Mode::kBuffer) {
+          held_.push_back(std::move(frame));
+        } else {
+          RETURN_IF_ERROR(ForwardFrame(frame, ctx));
+        }
       }
     } else if (queue_->ended()) {
       return Status::OK();
@@ -367,6 +376,12 @@ Status FeedStoreOperator::ProcessFrame(const FramePtr& frame,
     pipeline_.metrics->store_timeline.Add(1);
     if (acks_ != nullptr && tid >= 0) acks_->OnPersisted(tid);
   }
+  pipeline_.metrics->store_flush_backlog.store(
+      static_cast<int64_t>(partition_->primary().flush_backlog()),
+      std::memory_order_relaxed);
+  pipeline_.metrics->store_merge_backlog.store(
+      static_cast<int64_t>(partition_->primary().merge_backlog()),
+      std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -282,6 +282,29 @@ std::optional<FramePtr> SubscriberQueue::Next(int64_t timeout_ms) {
   return entry.frame;
 }
 
+std::vector<FramePtr> SubscriberQueue::NextBatch(int64_t timeout_ms,
+                                                 size_t max_frames) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool ready = not_empty_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [this] {
+        return !entries_.empty() || spill_pending_frames_ > 0 || ended_ ||
+               failed_.load();
+      });
+  std::vector<FramePtr> batch;
+  if (!ready) return batch;
+  if (entries_.empty() && spill_pending_frames_ > 0) {
+    RestoreFromSpillLocked();
+  }
+  while (!entries_.empty() && batch.size() < max_frames) {
+    Entry entry = std::move(entries_.front());
+    entries_.pop_front();
+    pending_bytes_ -= static_cast<int64_t>(entry.frame->ApproxBytes());
+    if (entry.bucket != nullptr) entry.bucket->Consume();
+    batch.push_back(std::move(entry.frame));
+  }
+  return batch;
+}
+
 bool SubscriberQueue::ended() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return ended_ && entries_.empty() && spill_pending_frames_ == 0;

@@ -107,6 +107,13 @@ class SubscriberQueue {
   /// Consumer side: next frame, waiting up to `timeout_ms`.
   std::optional<hyracks::FramePtr> Next(int64_t timeout_ms);
 
+  /// Consumer side, batched: waits up to `timeout_ms` for data, then
+  /// drains up to `max_frames` queued frames under one lock acquisition
+  /// (one lock op per batch instead of one per frame). Empty result on
+  /// timeout or when the queue ended/failed with nothing buffered.
+  std::vector<hyracks::FramePtr> NextBatch(int64_t timeout_ms,
+                                           size_t max_frames = SIZE_MAX);
+
   bool ended() const;
   /// Set when the Basic policy exhausted its memory budget (feed must
   /// terminate) or spillage overflowed without a throttle fallback.

@@ -19,27 +19,37 @@ class Frame {
  public:
   Frame() = default;
   explicit Frame(std::vector<adm::Value> records)
-      : records_(std::move(records)) {}
+      : records_(std::move(records)) {
+    for (const auto& r : records_) approx_bytes_ += r.ApproxSizeBytes();
+  }
+  /// Constructor for producers that already know the payload size (e.g.
+  /// FrameAppender tracks a running byte count), skipping the walk.
+  Frame(std::vector<adm::Value> records, size_t approx_bytes)
+      : records_(std::move(records)), approx_bytes_(approx_bytes) {}
 
   const std::vector<adm::Value>& records() const { return records_; }
   size_t record_count() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
 
-  /// Approximate payload bytes (memory budgeting for policies).
-  size_t ApproxBytes() const {
-    size_t total = 0;
-    for (const auto& r : records_) total += r.ApproxSizeBytes();
-    return total;
-  }
+  /// Approximate payload bytes (memory budgeting for policies). Computed
+  /// once at construction — frames are immutable — so per-frame policy and
+  /// budget checks don't re-walk every record.
+  size_t ApproxBytes() const { return approx_bytes_; }
 
  private:
   std::vector<adm::Value> records_;
+  size_t approx_bytes_ = 0;
 };
 
 using FramePtr = std::shared_ptr<const Frame>;
 
 inline FramePtr MakeFrame(std::vector<adm::Value> records) {
   return std::make_shared<const Frame>(std::move(records));
+}
+
+inline FramePtr MakeFrame(std::vector<adm::Value> records,
+                          size_t approx_bytes) {
+  return std::make_shared<const Frame>(std::move(records), approx_bytes);
 }
 
 /// Control-or-data message travelling between operator instances.
@@ -93,7 +103,7 @@ class FrameAppender {
   /// Emits any buffered records as a final (possibly short) frame.
   common::Status FlushFrame() {
     if (pending_.empty()) return common::Status::OK();
-    FramePtr frame = MakeFrame(std::move(pending_));
+    FramePtr frame = MakeFrame(std::move(pending_), pending_bytes_);
     pending_.clear();
     pending_bytes_ = 0;
     return writer_->NextFrame(frame);

@@ -51,10 +51,18 @@ std::vector<FrameMessage> Task::FreezeAndDrain() {
   killed_.store(true);
   input_.Close();
   Join();
+  // Older-first: frames stranded in the thread's in-flight batch precede
+  // anything still sitting in the queue.
   std::vector<FrameMessage> pending;
-  while (auto msg = input_.TryPop()) {
-    if (msg->kind == FrameMessage::Kind::kData) {
-      pending.push_back(std::move(*msg));
+  for (FrameMessage& msg : residual_) {
+    if (msg.kind == FrameMessage::Kind::kData) {
+      pending.push_back(std::move(msg));
+    }
+  }
+  residual_.clear();
+  for (FrameMessage& msg : input_.TryPopAll()) {
+    if (msg.kind == FrameMessage::Kind::kData) {
+      pending.push_back(std::move(msg));
     }
   }
   return pending;
@@ -100,31 +108,53 @@ void Task::ThreadMain() {
       aborted = killed_.load() || !node_->alive();
     } else {
       int eos_count = 0;
-      while (true) {
-        auto msg = input_.Pop();
-        if (!msg.has_value()) {
+      bool done = false;
+      while (!done) {
+        // Drain everything queued under one lock acquisition: a frame
+        // costs ~1 lock op per hop instead of 2 once batches form.
+        std::vector<FrameMessage> batch = input_.PopAll();
+        if (batch.empty()) {
           // Queue closed: hard abort (node death / job abort).
           aborted = true;
           break;
         }
-        if (killed_.load() || !node_->alive()) {
-          aborted = true;
-          break;
+        for (size_t bi = 0; bi < batch.size(); ++bi) {
+          // In-flight frame included: it is accepted but not yet done.
+          batch_pending_.store(batch.size() - bi,
+                               std::memory_order_relaxed);
+          if (killed_.load() || !node_->alive()) {
+            // Stash the unprocessed tail so FreezeAndDrain can reclaim it
+            // — the frames would have still been queued under per-item
+            // hand-off.
+            for (size_t j = bi; j < batch.size(); ++j) {
+              residual_.push_back(std::move(batch[j]));
+            }
+            aborted = true;
+            done = true;
+            break;
+          }
+          FrameMessage& msg = batch[bi];
+          if (msg.kind == FrameMessage::Kind::kEos) {
+            if (++eos_count >= expected_producers_) {
+              done = true;
+              break;
+            }
+            continue;
+          }
+          if (msg.kind == FrameMessage::Kind::kFail) {
+            failed = true;
+            done = true;
+            break;
+          }
+          status = guarded(
+              [&] { return op_->ProcessFrame(msg.frame, this); });
+          if (!status.ok()) {
+            failed = true;
+            done = true;
+            break;
+          }
         }
-        if (msg->kind == FrameMessage::Kind::kEos) {
-          if (++eos_count >= expected_producers_) break;
-          continue;
-        }
-        if (msg->kind == FrameMessage::Kind::kFail) {
-          failed = true;
-          break;
-        }
-        status = guarded(
-            [&] { return op_->ProcessFrame(msg->frame, this); });
-        if (!status.ok()) {
-          failed = true;
-          break;
-        }
+        batch_pending_.store(0, std::memory_order_relaxed);
       }
     }
   }

@@ -73,7 +73,11 @@ class Task : public TaskContext,
   void Signal(const std::string& signal);
 
   /// Current input queue depth (congestion monitoring).
-  size_t queue_depth() const { return input_.size(); }
+  // Frames accepted but not yet processed: still queued, plus the tail of
+  // the batch the pump thread has popped but not consumed.
+  size_t queue_depth() const {
+    return input_.size() + batch_pending_.load(std::memory_order_relaxed);
+  }
   size_t queue_capacity() const { return input_.capacity(); }
 
   Operator* op() { return op_.get(); }
@@ -89,6 +93,11 @@ class Task : public TaskContext,
   NodeController* node_;
   std::unique_ptr<Operator> op_;
   common::BlockingQueue<FrameMessage> input_;
+  // Unprocessed tail of the in-flight pop batch when the task is killed
+  // mid-batch. Written only by the task thread; read by FreezeAndDrain
+  // after Join() (the join is the synchronization point).
+  std::vector<FrameMessage> residual_;
+  std::atomic<size_t> batch_pending_{0};
   std::shared_ptr<IFrameWriter> output_;
   int expected_producers_ = 0;
 

@@ -19,7 +19,8 @@ DatasetPartition::DatasetPartition(DatasetDef def, int partition_id,
       types_(types),
       wal_(dir + "/" + def_.name + ".p" + std::to_string(partition_id) +
                ".wal",
-           def_.durable_writes) {
+           def_.durable_writes),
+      primary_(def_.lsm) {
   for (const IndexDef& index : def_.indexes) {
     secondaries_.push_back(
         MakeSecondaryIndex(index.kind, index.name, index.field));

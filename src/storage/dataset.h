@@ -1,6 +1,8 @@
 // Datasets: named collections of ADM records hash-partitioned by primary
-// key across the nodes of a nodegroup. Each partition is an LSM primary
-// index plus co-located secondary indexes, fronted by a WAL.
+// key across the nodes of a nodegroup. Each node-local partition is itself
+// a hash-partitioned LSM primary index (independent sub-partitions with
+// background flush/merge) plus co-located secondary indexes, fronted by a
+// WAL.
 #ifndef ASTERIX_STORAGE_DATASET_H_
 #define ASTERIX_STORAGE_DATASET_H_
 
@@ -41,6 +43,9 @@ struct DatasetDef {
   bool validate_type = false;
   /// Flush the WAL on every insert (durability knob).
   bool durable_writes = false;
+  /// Storage write-path knobs for this dataset's primary index (hash
+  /// partition count, memtable size, async maintenance).
+  LsmOptions lsm;
 };
 
 /// One node-local partition of a dataset.
@@ -69,8 +74,8 @@ class DatasetPartition {
   /// the primary index (the `create index` DDL after data has arrived).
   common::Status AddIndex(const IndexDef& index_def);
 
-  LsmIndex& primary() { return primary_; }
-  const LsmIndex& primary() const { return primary_; }
+  PartitionedLsmIndex& primary() { return primary_; }
+  const PartitionedLsmIndex& primary() const { return primary_; }
   const Wal& wal() const { return wal_; }
   /// Flushes buffered WAL entries to the OS.
   common::Status SyncWal() { return wal_.Sync(); }
@@ -83,7 +88,7 @@ class DatasetPartition {
   const int partition_id_;
   const adm::TypeRegistry* types_;
   Wal wal_;
-  LsmIndex primary_;
+  PartitionedLsmIndex primary_;
   mutable std::mutex indexes_mutex_;  // guards secondaries_ membership
   std::vector<std::unique_ptr<SecondaryIndex>> secondaries_;
   std::atomic<int64_t> inserts_{0};

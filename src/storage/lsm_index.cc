@@ -1,6 +1,10 @@
 #include "storage/lsm_index.h"
 
 #include <algorithm>
+#include <unordered_set>
+
+#include "common/clock.h"
+#include "common/strings.h"
 
 namespace asterix {
 namespace storage {
@@ -15,34 +19,103 @@ const adm::Value* SortedRun::Get(const std::string& key) const {
   return nullptr;
 }
 
+LsmIndex::LsmIndex(LsmOptions options) : options_(options) {
+  if (options_.async_maintenance) {
+    maintenance_running_ = true;
+    maintenance_ = std::thread([this] { MaintenanceMain(); });
+  }
+}
+
+LsmIndex::~LsmIndex() { Close(); }
+
+std::shared_ptr<SortedRun> LsmIndex::BuildRun(const Memtable& memtable) {
+  std::vector<SortedRun::Entry> entries;
+  entries.reserve(memtable.size());
+  for (const auto& [k, v] : memtable) entries.emplace_back(k, v);
+  return std::make_shared<SortedRun>(std::move(entries));
+}
+
+std::shared_ptr<SortedRun> LsmIndex::MergeRuns(
+    const std::vector<std::shared_ptr<SortedRun>>& runs) {
+  // Oldest-to-newest apply: the newest value for a key wins.
+  std::map<std::string, adm::Value> merged;
+  for (const auto& run : runs) {
+    for (const auto& [k, v] : run->entries()) merged[k] = v;
+  }
+  std::vector<SortedRun::Entry> entries;
+  entries.reserve(merged.size());
+  for (auto& [k, v] : merged) entries.emplace_back(k, std::move(v));
+  return std::make_shared<SortedRun>(std::move(entries));
+}
+
+void LsmIndex::SealLocked() {
+  if (memtable_.empty()) return;
+  immutables_.push_back(
+      std::make_shared<const Memtable>(std::move(memtable_)));
+  memtable_ = Memtable();
+  memtable_bytes_ = 0;
+  ++stats_.flushes;
+  maintenance_cv_.notify_one();
+}
+
+void LsmIndex::FlushNowLocked() {
+  if (memtable_.empty()) return;
+  runs_.push_back(BuildRun(memtable_));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  ++stats_.flushes;
+}
+
+void LsmIndex::MergeNowLocked() {
+  if (runs_.size() < 2) return;
+  runs_ = {MergeRuns(runs_)};
+  ++stats_.merges;
+}
+
 Status LsmIndex::Insert(const std::string& key, adm::Value value) {
-  std::lock_guard<std::mutex> lock(mutex_);
   size_t bytes = key.size() + value.ApproxSizeBytes();
-  bool existed = memtable_.count(key) > 0;
-  if (!existed) {
-    for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
-      if ((*it)->Get(key) != nullptr) {
-        existed = true;
-        break;
-      }
-    }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (options_.async_maintenance && options_.max_immutable_memtables > 0 &&
+      immutables_.size() >= options_.max_immutable_memtables && !stop_) {
+    common::Stopwatch stall;
+    drained_cv_.wait(lock, [this] {
+      return stop_ ||
+             immutables_.size() < options_.max_immutable_memtables;
+    });
+    stats_.insert_stall_ms += stall.ElapsedMillis();
   }
   memtable_[key] = std::move(value);
   memtable_bytes_ += bytes;
   ++stats_.inserts;
-  if (!existed) ++stats_.live_keys;
   if (memtable_bytes_ >= options_.memtable_bytes_limit) {
-    FlushLocked();
-    if (runs_.size() >= options_.max_runs) MergeLocked();
+    if (options_.async_maintenance && maintenance_running_) {
+      SealLocked();
+    } else {
+      common::Stopwatch stall;
+      FlushNowLocked();
+      if (MergePendingLocked()) MergeNowLocked();
+      stats_.insert_stall_ms += stall.ElapsedMillis();
+    }
   }
   return Status::OK();
 }
 
 std::optional<adm::Value> LsmIndex::Get(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = memtable_.find(key);
-  if (it != memtable_.end()) return it->second;
-  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+  // Snapshot the immutable components under the lock, search lock-free.
+  std::deque<std::shared_ptr<const Memtable>> immutables;
+  std::vector<std::shared_ptr<SortedRun>> runs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = memtable_.find(key);
+    if (it != memtable_.end()) return it->second;
+    immutables = immutables_;
+    runs = runs_;
+  }
+  for (auto rit = immutables.rbegin(); rit != immutables.rend(); ++rit) {
+    auto it = (*rit)->find(key);
+    if (it != (*rit)->end()) return it->second;
+  }
+  for (auto rit = runs.rbegin(); rit != runs.rend(); ++rit) {
     const adm::Value* v = (*rit)->Get(key);
     if (v != nullptr) return *v;
   }
@@ -53,35 +126,132 @@ void LsmIndex::Scan(const std::function<void(const std::string&,
                                              const adm::Value&)>& visitor)
     const {
   // Snapshot components under the lock, then merge outside it.
-  std::map<std::string, adm::Value> memtable_copy;
-  std::vector<std::shared_ptr<SortedRun>> runs_copy;
+  Memtable memtable_copy;
+  std::deque<std::shared_ptr<const Memtable>> immutables;
+  std::vector<std::shared_ptr<SortedRun>> runs;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     memtable_copy = memtable_;
-    runs_copy = runs_;
+    immutables = immutables_;
+    runs = runs_;
   }
   // Oldest-to-newest apply into one map: newest value wins naturally.
   std::map<std::string, adm::Value> merged;
-  for (const auto& run : runs_copy) {
+  for (const auto& run : runs) {
     for (const auto& [k, v] : run->entries()) merged[k] = v;
+  }
+  for (const auto& imm : immutables) {
+    for (const auto& [k, v] : *imm) merged[k] = v;
   }
   for (const auto& [k, v] : memtable_copy) merged[k] = v;
   for (const auto& [k, v] : merged) visitor(k, v);
 }
 
 int64_t LsmIndex::Size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_.live_keys;
+  std::vector<std::string> memtable_keys;
+  std::deque<std::shared_ptr<const Memtable>> immutables;
+  std::vector<std::shared_ptr<SortedRun>> runs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    memtable_keys.reserve(memtable_.size());
+    for (const auto& [k, v] : memtable_) memtable_keys.push_back(k);
+    immutables = immutables_;
+    runs = runs_;
+  }
+  std::unordered_set<std::string_view> keys;
+  for (const auto& run : runs) {
+    for (const auto& [k, v] : run->entries()) keys.insert(k);
+  }
+  for (const auto& imm : immutables) {
+    for (const auto& [k, v] : *imm) keys.insert(k);
+  }
+  for (const auto& k : memtable_keys) keys.insert(k);
+  return static_cast<int64_t>(keys.size());
 }
 
 void LsmIndex::Flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  FlushLocked();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.async_maintenance && maintenance_running_) {
+      SealLocked();
+    } else {
+      FlushNowLocked();
+      return;
+    }
+  }
+  Drain();
+}
+
+void LsmIndex::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock, [this] {
+    return !maintenance_running_ ||
+           (immutables_.empty() && !MergePendingLocked());
+  });
+}
+
+void LsmIndex::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    maintenance_cv_.notify_all();
+    drained_cv_.notify_all();
+  }
+  if (maintenance_.joinable()) maintenance_.join();
+}
+
+void LsmIndex::MaintenanceMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    maintenance_cv_.wait(lock, [this] {
+      return stop_ || !immutables_.empty() || MergePendingLocked();
+    });
+    if (MergePendingLocked()) {
+      // Merge before flushing the next memtable so run counts honor
+      // max_runs even under a flush backlog — otherwise hundreds of runs
+      // pile up and collapse in one degenerate end-of-stream merge. Only
+      // this thread mutates runs_ in async mode, so the snapshot prefix
+      // is stable while the merge runs off-lock.
+      std::vector<std::shared_ptr<SortedRun>> to_merge = runs_;
+      lock.unlock();
+      std::shared_ptr<SortedRun> merged = MergeRuns(to_merge);
+      lock.lock();
+      runs_.erase(runs_.begin(),
+                  runs_.begin() + static_cast<ptrdiff_t>(to_merge.size()));
+      runs_.insert(runs_.begin(), std::move(merged));
+      ++stats_.merges;
+      drained_cv_.notify_all();
+      continue;
+    }
+    if (!immutables_.empty()) {
+      // Flush the oldest sealed memtable. The memtable stays visible to
+      // readers (newer than every run) while the run is built off-lock;
+      // the swap is a single atomic step under the lock.
+      std::shared_ptr<const Memtable> imm = immutables_.front();
+      lock.unlock();
+      std::shared_ptr<SortedRun> run = BuildRun(*imm);
+      lock.lock();
+      runs_.push_back(std::move(run));
+      immutables_.pop_front();
+      drained_cv_.notify_all();
+      continue;
+    }
+    if (stop_) break;
+  }
+  maintenance_running_ = false;
+  drained_cv_.notify_all();
 }
 
 LsmStats LsmIndex::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  LsmStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats = stats_;
+    stats.flush_backlog = static_cast<int64_t>(immutables_.size());
+    stats.merge_backlog = MergePendingLocked() ? 1 : 0;
+  }
+  stats.live_keys = Size();
+  return stats;
 }
 
 size_t LsmIndex::run_count() const {
@@ -89,29 +259,123 @@ size_t LsmIndex::run_count() const {
   return runs_.size();
 }
 
-void LsmIndex::FlushLocked() {
-  if (memtable_.empty()) return;
-  std::vector<SortedRun::Entry> entries;
-  entries.reserve(memtable_.size());
-  for (auto& [k, v] : memtable_) entries.emplace_back(k, std::move(v));
-  runs_.push_back(std::make_shared<SortedRun>(std::move(entries)));
-  memtable_.clear();
-  memtable_bytes_ = 0;
-  ++stats_.flushes;
+size_t LsmIndex::flush_backlog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return immutables_.size();
 }
 
-void LsmIndex::MergeLocked() {
-  if (runs_.size() < 2) return;
-  std::map<std::string, adm::Value> merged;
-  for (const auto& run : runs_) {
-    for (const auto& [k, v] : run->entries()) merged[k] = v;
+size_t LsmIndex::merge_backlog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return MergePendingLocked() ? 1 : 0;
+}
+
+PartitionedLsmIndex::PartitionedLsmIndex(LsmOptions options) {
+  size_t n = options.partitions;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  partitions_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    partitions_.push_back(std::make_unique<LsmIndex>(options));
   }
-  std::vector<SortedRun::Entry> entries;
-  entries.reserve(merged.size());
-  for (auto& [k, v] : merged) entries.emplace_back(k, std::move(v));
-  runs_.clear();
-  runs_.push_back(std::make_shared<SortedRun>(std::move(entries)));
-  ++stats_.merges;
+}
+
+size_t PartitionedLsmIndex::PartitionOf(const std::string& key) const {
+  if (partitions_.size() <= 1) return 0;
+  return static_cast<size_t>(common::Fnv1a(key) % partitions_.size());
+}
+
+Status PartitionedLsmIndex::Insert(const std::string& key,
+                                   adm::Value value) {
+  return partitions_[PartitionOf(key)]->Insert(key, std::move(value));
+}
+
+std::optional<adm::Value> PartitionedLsmIndex::Get(
+    const std::string& key) const {
+  return partitions_[PartitionOf(key)]->Get(key);
+}
+
+void PartitionedLsmIndex::Scan(
+    const std::function<void(const std::string&, const adm::Value&)>&
+        visitor) const {
+  if (partitions_.size() == 1) {
+    partitions_[0]->Scan(visitor);
+    return;
+  }
+  // Collect each partition's (sorted) contents, then k-way merge. Keys are
+  // disjoint across partitions, so no newest-wins arbitration is needed.
+  std::vector<std::vector<SortedRun::Entry>> streams(partitions_.size());
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    partitions_[i]->Scan([&](const std::string& k, const adm::Value& v) {
+      streams[i].emplace_back(k, v);
+    });
+  }
+  std::vector<size_t> heads(streams.size(), 0);
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < streams.size(); ++i) {
+      if (heads[i] >= streams[i].size()) continue;
+      if (best < 0 || streams[i][heads[i]].first <
+                          streams[static_cast<size_t>(best)]
+                                 [heads[static_cast<size_t>(best)]]
+                                     .first) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    auto& entry = streams[static_cast<size_t>(best)]
+                         [heads[static_cast<size_t>(best)]++];
+    visitor(entry.first, entry.second);
+  }
+}
+
+int64_t PartitionedLsmIndex::Size() const {
+  int64_t total = 0;
+  for (const auto& p : partitions_) total += p->Size();
+  return total;
+}
+
+void PartitionedLsmIndex::Flush() {
+  for (auto& p : partitions_) p->Flush();
+}
+
+void PartitionedLsmIndex::Drain() {
+  for (auto& p : partitions_) p->Drain();
+}
+
+void PartitionedLsmIndex::Close() {
+  for (auto& p : partitions_) p->Close();
+}
+
+LsmStats PartitionedLsmIndex::stats() const {
+  LsmStats total;
+  for (const auto& p : partitions_) {
+    LsmStats s = p->stats();
+    total.inserts += s.inserts;
+    total.flushes += s.flushes;
+    total.merges += s.merges;
+    total.live_keys += s.live_keys;
+    total.insert_stall_ms += s.insert_stall_ms;
+    total.flush_backlog += s.flush_backlog;
+    total.merge_backlog += s.merge_backlog;
+  }
+  return total;
+}
+
+size_t PartitionedLsmIndex::run_count() const {
+  size_t total = 0;
+  for (const auto& p : partitions_) total += p->run_count();
+  return total;
+}
+
+size_t PartitionedLsmIndex::flush_backlog() const {
+  size_t total = 0;
+  for (const auto& p : partitions_) total += p->flush_backlog();
+  return total;
+}
+
+size_t PartitionedLsmIndex::merge_backlog() const {
+  size_t total = 0;
+  for (const auto& p : partitions_) total += p->merge_backlog();
+  return total;
 }
 
 }  // namespace storage

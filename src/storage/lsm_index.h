@@ -1,17 +1,22 @@
-// LSM-style primary index: an in-memory memtable absorbing writes, flushed
-// into immutable sorted runs when full, with runs merged when their count
-// exceeds a threshold. AsterixDB stores datasets as partitioned LSM-based
-// B+-trees; this component reproduces that write path's cost structure
-// (cheap inserts, periodic flush/merge work).
+// LSM-style primary index: an in-memory memtable absorbing writes, sealed
+// into immutable memtables when full, flushed into immutable sorted runs
+// and merged by a background maintenance thread. AsterixDB stores datasets
+// as *partitioned* LSM-based B+-trees whose flush/merge work never stalls
+// the ingestion pipeline; this component reproduces that write path's cost
+// structure (cheap inserts, asynchronous flush/merge work) and
+// PartitionedLsmIndex reproduces the partitioned parallelism.
 #ifndef ASTERIX_STORAGE_LSM_INDEX_H_
 #define ASTERIX_STORAGE_LSM_INDEX_H_
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adm/value.h"
@@ -37,54 +42,150 @@ class SortedRun {
 };
 
 struct LsmOptions {
-  /// Memtable flush threshold (approximate payload bytes).
+  /// Memtable seal threshold (approximate payload bytes).
   size_t memtable_bytes_limit = 4 << 20;
   /// Merge all runs into one when the run count reaches this.
   size_t max_runs = 8;
+  /// Run flush/merge on a per-index background thread; Insert only seals
+  /// the full memtable and enqueues it (never blocks on a merge). When
+  /// false, flush and merge run synchronously on the insert path (the
+  /// pre-optimization behavior, kept for ablation benches).
+  bool async_maintenance = true;
+  /// Backpressure: Insert waits while this many sealed memtables await
+  /// flushing. 0 = unbounded, Insert never stalls (waits are recorded in
+  /// stats().insert_stall_ms either way).
+  size_t max_immutable_memtables = 0;
+  /// PartitionedLsmIndex: number of hash partitions. 0 = hardware
+  /// concurrency.
+  size_t partitions = 0;
 };
 
 struct LsmStats {
   int64_t inserts = 0;
+  /// Memtables sealed for flushing (counted at seal time, so the figure is
+  /// deterministic whether maintenance has caught up or not).
   int64_t flushes = 0;
   int64_t merges = 0;
   int64_t live_keys = 0;
+  /// Total milliseconds Insert spent blocked on storage maintenance
+  /// (inline flush/merge in sync mode, backpressure waits in async mode).
+  int64_t insert_stall_ms = 0;
+  /// Gauges sampled when stats() is called.
+  int64_t flush_backlog = 0;  // sealed memtables awaiting background flush
+  int64_t merge_backlog = 0;  // 1 when a merge is pending/overdue
 };
 
 /// Thread-safe LSM index mapping encoded keys to ADM values (upsert
-/// semantics: the newest write for a key wins).
+/// semantics: the newest write for a key wins). Readers take a consistent
+/// snapshot of the components under the lock and then search lock-free.
 class LsmIndex {
  public:
-  explicit LsmIndex(LsmOptions options = {}) : options_(options) {}
+  explicit LsmIndex(LsmOptions options = {});
+  ~LsmIndex();
+
+  LsmIndex(const LsmIndex&) = delete;
+  LsmIndex& operator=(const LsmIndex&) = delete;
 
   common::Status Insert(const std::string& key, adm::Value value);
 
-  /// Point lookup across memtable + runs (newest component wins).
+  /// Point lookup across memtable + sealed memtables + runs (newest
+  /// component wins).
   std::optional<adm::Value> Get(const std::string& key) const;
 
   /// Visits every live (key, value) pair in key order.
   void Scan(const std::function<void(const std::string&,
                                      const adm::Value&)>& visitor) const;
 
-  /// Number of live (distinct) keys.
+  /// Number of live (distinct) keys. Computed on demand from a component
+  /// snapshot (the insert path no longer probes runs for key existence).
   int64_t Size() const;
 
-  /// Forces a memtable flush (used by tests and shutdown paths).
+  /// Seals the current memtable and waits until it reaches a run (used by
+  /// tests and shutdown paths).
   void Flush();
+
+  /// Blocks until the background maintenance backlog is empty (all sealed
+  /// memtables flushed, no merge pending). No-op in sync mode.
+  void Drain();
+
+  /// Drains pending maintenance work and stops the background thread.
+  /// Idempotent; called by the destructor.
+  void Close();
 
   LsmStats stats() const;
   size_t run_count() const;
+  /// Cheap gauges for metrics sampling on hot paths.
+  size_t flush_backlog() const;
+  size_t merge_backlog() const;
 
  private:
-  void FlushLocked();
-  void MergeLocked();
+  using Memtable = std::map<std::string, adm::Value>;
+
+  /// Moves the active memtable onto the sealed queue. Caller holds mutex_.
+  void SealLocked();
+  /// Sync mode: memtable -> run and merge inline. Caller holds mutex_.
+  void FlushNowLocked();
+  void MergeNowLocked();
+  bool MergePendingLocked() const {
+    return runs_.size() >= options_.max_runs && runs_.size() >= 2;
+  }
+  void MaintenanceMain();
+
+  static std::shared_ptr<SortedRun> BuildRun(const Memtable& memtable);
+  static std::shared_ptr<SortedRun> MergeRuns(
+      const std::vector<std::shared_ptr<SortedRun>>& runs);
 
   const LsmOptions options_;
   mutable std::mutex mutex_;
-  std::map<std::string, adm::Value> memtable_;
+  std::condition_variable maintenance_cv_;  // wakes the maintenance thread
+  std::condition_variable drained_cv_;      // wakes Drain()/stalled inserts
+  Memtable memtable_;
   size_t memtable_bytes_ = 0;
+  /// Sealed memtables awaiting background flush, oldest first.
+  std::deque<std::shared_ptr<const Memtable>> immutables_;
   /// Newest run last.
   std::vector<std::shared_ptr<SortedRun>> runs_;
   LsmStats stats_;
+  bool stop_ = false;
+  bool maintenance_running_ = false;
+  std::thread maintenance_;
+};
+
+/// Hash-partitioned LSM index: keys are spread across N independent
+/// LsmIndex partitions, each with its own mutex and maintenance thread, so
+/// concurrent writers (feed store operators, parallel loaders) do not
+/// contend (the paper's partitioned parallelism, Chapter 7).
+class PartitionedLsmIndex {
+ public:
+  explicit PartitionedLsmIndex(LsmOptions options = {});
+
+  common::Status Insert(const std::string& key, adm::Value value);
+  std::optional<adm::Value> Get(const std::string& key) const;
+
+  /// Visits every live (key, value) pair in global key order (k-way merge
+  /// of the per-partition scans; partitions hold disjoint key sets).
+  void Scan(const std::function<void(const std::string&,
+                                     const adm::Value&)>& visitor) const;
+
+  int64_t Size() const;
+  void Flush();
+  void Drain();
+  void Close();
+
+  /// Aggregated over partitions (keys are disjoint, so sums are exact).
+  LsmStats stats() const;
+  size_t run_count() const;
+  size_t flush_backlog() const;
+  size_t merge_backlog() const;
+
+  size_t partition_count() const { return partitions_.size(); }
+  LsmIndex& partition(size_t i) { return *partitions_[i]; }
+  const LsmIndex& partition(size_t i) const { return *partitions_[i]; }
+  /// Index of the partition owning `key`.
+  size_t PartitionOf(const std::string& key) const;
+
+ private:
+  std::vector<std::unique_ptr<LsmIndex>> partitions_;
 };
 
 }  // namespace storage

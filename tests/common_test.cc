@@ -119,6 +119,66 @@ TEST(BlockingQueueTest, PopForTimesOut) {
   EXPECT_FALSE(item.has_value());
 }
 
+TEST(BlockingQueueTest, PopAllDrainsEverythingInOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.Push(i);
+  auto batch = q.PopAll();
+  ASSERT_EQ(batch.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(batch[static_cast<size_t>(i)], i);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueueTest, PopAllBlocksUntilItemArrives) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Push(42);
+  });
+  auto batch = q.PopAll();  // blocks until the producer delivers
+  producer.join();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 42);
+}
+
+TEST(BlockingQueueTest, PopAllCloseAndDrainSemantics) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  auto batch = q.PopAll();  // close drains the remaining items first
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 1);
+  EXPECT_EQ(batch[1], 2);
+  EXPECT_TRUE(q.PopAll().empty());  // closed and drained
+  EXPECT_TRUE(q.TryPopAll().empty());
+}
+
+TEST(BlockingQueueTest, PopAllForTimesOut) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.PopAllFor(std::chrono::milliseconds(10)).empty());
+  q.Push(7);
+  auto batch = q.PopAllFor(std::chrono::milliseconds(10));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 7);
+}
+
+TEST(BlockingQueueTest, PopAllReleasesBlockedProducers) {
+  BlockingQueue<int> q(2);
+  q.Push(1);
+  q.Push(2);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(3);  // blocks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  auto batch = q.PopAll();  // one drain frees all waiting producers
+  EXPECT_GE(batch.size(), 2u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
 TEST(BlockingQueueTest, ConcurrentProducersConsumers) {
   BlockingQueue<int> q(16);
   constexpr int kPerProducer = 500;

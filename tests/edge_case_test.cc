@@ -95,6 +95,7 @@ TEST(LsmEdgeTest, MergeCollapsesRunsToOne) {
     auto key = storage::EncodeKey(Value::Int64(i)).value();
     ASSERT_TRUE(index.Insert(key, Value::Int64(i)).ok());
   }
+  index.Drain();  // wait for background flush/merge to catch up
   auto stats = index.stats();
   EXPECT_GT(stats.merges, 0);
   EXPECT_LT(index.run_count(), 4u);

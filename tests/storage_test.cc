@@ -1,5 +1,7 @@
+#include <atomic>
 #include <filesystem>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -151,6 +153,7 @@ TEST(LsmTest, FlushAndMergeMaintainContents) {
     auto key = EncodeKey(Value::Int64(i)).value();
     ASSERT_TRUE(index.Insert(key, Value::Int64(i * 10)).ok());
   }
+  index.Drain();  // wait for background flush/merge to catch up
   EXPECT_GT(index.stats().flushes, 0);
   EXPECT_GT(index.stats().merges, 0);
   EXPECT_EQ(index.Size(), kRecords);
@@ -332,6 +335,150 @@ TEST(StorageManagerTest, PartitionLifecycle) {
   ASSERT_TRUE(manager.DropPartition("Tweets").ok());
   EXPECT_EQ(manager.GetPartition("Tweets"), nullptr);
   EXPECT_FALSE(manager.DropPartition("Tweets").ok());
+}
+
+TEST(PartitionedLsmTest, RoutesAcrossPartitionsAndScansInOrder) {
+  LsmOptions options;
+  options.partitions = 4;
+  options.memtable_bytes_limit = 256;
+  PartitionedLsmIndex index(options);
+  ASSERT_EQ(index.partition_count(), 4u);
+  constexpr int kRecords = 300;
+  for (int i = 0; i < kRecords; ++i) {
+    auto key = EncodeKey(Value::Int64(i)).value();
+    ASSERT_TRUE(index.Insert(key, Value::Int64(i * 3)).ok());
+  }
+  EXPECT_EQ(index.Size(), kRecords);
+  // Every partition received data (FNV spreads 300 keys over 4 shards).
+  for (size_t p = 0; p < index.partition_count(); ++p) {
+    EXPECT_GT(index.partition(p).Size(), 0) << "partition " << p;
+  }
+  // Global scan is in key order despite hash partitioning.
+  int64_t expected = 0;
+  std::string prev_key;
+  index.Scan([&](const std::string& key, const Value& v) {
+    if (!prev_key.empty()) EXPECT_LT(prev_key, key);
+    prev_key = key;
+    EXPECT_EQ(v.AsInt64(), expected * 3);
+    ++expected;
+  });
+  EXPECT_EQ(expected, kRecords);
+  for (int i = 0; i < kRecords; i += 23) {
+    auto key = EncodeKey(Value::Int64(i)).value();
+    auto got = index.Get(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->AsInt64(), i * 3);
+  }
+}
+
+TEST(LsmConcurrencyTest, EightWritersWithConcurrentReaders) {
+  LsmOptions options;
+  options.memtable_bytes_limit = 512;  // force many flushes and merges
+  options.max_runs = 3;
+  options.partitions = 4;
+  PartitionedLsmIndex index(options);
+  constexpr int kThreads = 8;
+  constexpr int kKeysPerThread = 300;
+
+  std::atomic<bool> stop_readers{false};
+  // Concurrent point reader: observed values must always be one of the
+  // versions a writer produced for that key (no torn or phantom values).
+  std::thread reader([&] {
+    common::Rng rng(99);
+    while (!stop_readers.load()) {
+      int64_t k = rng.Uniform(0, kThreads * kKeysPerThread);
+      auto key = EncodeKey(Value::Int64(k)).value();
+      auto got = index.Get(key);
+      if (got.has_value()) {
+        int64_t v = got->AsInt64();
+        EXPECT_TRUE(v == -1 || v == k * 7) << "key " << k << " -> " << v;
+      }
+    }
+  });
+  // Concurrent scanner: sorted keys, valid values, never crashes while
+  // flushes and merges swap components underneath.
+  std::thread scanner([&] {
+    while (!stop_readers.load()) {
+      std::string prev;
+      index.Scan([&](const std::string& key, const Value& v) {
+        if (!prev.empty()) EXPECT_LT(prev, key);
+        prev = key;
+        int64_t raw = v.AsInt64();
+        EXPECT_TRUE(raw == -1 || raw % 7 == 0);
+      });
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&index, t] {
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        int64_t k = t * kKeysPerThread + i;
+        auto key = EncodeKey(Value::Int64(k)).value();
+        // Two writes per key: the second must win (newest-wins across
+        // memtable, sealed memtables, and runs).
+        ASSERT_TRUE(index.Insert(key, Value::Int64(-1)).ok());
+        ASSERT_TRUE(index.Insert(key, Value::Int64(k * 7)).ok());
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop_readers.store(true);
+  reader.join();
+  scanner.join();
+
+  index.Drain();
+  LsmStats stats = index.stats();
+  EXPECT_EQ(stats.inserts, kThreads * kKeysPerThread * 2);
+  EXPECT_EQ(index.Size(), kThreads * kKeysPerThread);  // no lost keys
+  EXPECT_GT(stats.flushes, 0);
+  EXPECT_GT(stats.merges, 0);
+  // The insert path never blocked on a flush or merge.
+  EXPECT_EQ(stats.insert_stall_ms, 0);
+  for (int64_t k = 0; k < kThreads * kKeysPerThread; ++k) {
+    auto key = EncodeKey(Value::Int64(k)).value();
+    auto got = index.Get(key);
+    ASSERT_TRUE(got.has_value()) << "lost key " << k;
+    EXPECT_EQ(got->AsInt64(), k * 7) << "stale value for key " << k;
+  }
+}
+
+TEST(LsmConcurrencyTest, CloseDrainsPendingWorkDeterministically) {
+  LsmOptions options;
+  options.memtable_bytes_limit = 1;  // seal on every insert
+  options.max_runs = 4;
+  LsmIndex index(options);
+  constexpr int kRecords = 200;
+  for (int i = 0; i < kRecords; ++i) {
+    auto key = EncodeKey(Value::Int64(i)).value();
+    ASSERT_TRUE(index.Insert(key, Value::Int64(i)).ok());
+  }
+  // Close without an explicit Drain: every sealed memtable must still
+  // reach a run before shutdown completes.
+  index.Close();
+  EXPECT_EQ(index.flush_backlog(), 0u);
+  EXPECT_GT(index.run_count(), 0u);
+  EXPECT_EQ(index.Size(), kRecords);
+  for (int i = 0; i < kRecords; i += 17) {
+    auto key = EncodeKey(Value::Int64(i)).value();
+    ASSERT_TRUE(index.Get(key).has_value()) << "lost key " << i;
+  }
+}
+
+TEST(LsmConcurrencyTest, BoundedImmutablesRecordStallTime) {
+  LsmOptions options;
+  options.memtable_bytes_limit = 1;     // seal on every insert
+  options.max_immutable_memtables = 1;  // force backpressure waits
+  LsmIndex index(options);
+  for (int i = 0; i < 500; ++i) {
+    auto key = EncodeKey(Value::Int64(i)).value();
+    ASSERT_TRUE(index.Insert(key, Value::Int64(i)).ok());
+  }
+  index.Drain();
+  EXPECT_EQ(index.Size(), 500);
+  // Stall accounting is wired (stalls may round to 0ms on a fast flush
+  // path, so only sanity-check the counter is non-negative).
+  EXPECT_GE(index.stats().insert_stall_ms, 0);
 }
 
 TEST(PartitioningTest, KeysSpreadAcrossPartitions) {
