@@ -1,0 +1,283 @@
+// Deterministic fault injection. A FailPoint is a named site compiled into
+// a hot seam of the system (adaptor fetch, WAL append, task pump, ...).
+// Tests arm sites with a policy — fire once, fire every Nth pass, fire with
+// a seeded probability — and an action: inject a Status error, throw (at
+// sandbox boundaries that speak exceptions), sleep, or run a callback.
+//
+// Design goals, in order:
+//   1. Zero overhead when nothing is armed: the macros check one relaxed
+//      atomic counter and fall through.
+//   2. Compiled out entirely when ASTERIX_FAILPOINTS is not defined (the
+//      CMake option of the same name controls this), so release builds
+//      carry no trace of the instrumentation.
+//   3. Determinism: probability triggers draw from a per-site Rng seeded
+//      at arm time, so a failing run is reproducible from its seed.
+//
+// Site naming convention: "<layer>.<component>.<verb>", e.g.
+// "storage.wal.append" or "hyracks.node.heartbeat". Sites that differ per
+// runtime instance (one heartbeat loop per node) pass an instance string;
+// a policy may restrict firing to one instance.
+#ifndef ASTERIX_COMMON_FAILPOINT_H_
+#define ASTERIX_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace asterix {
+namespace common {
+
+/// When and what a failpoint does once armed.
+struct FailPointPolicy {
+  enum class Trigger {
+    kAlways,       // every pass through the site
+    kOnce,         // the first pass only (shorthand: max_fires = 1)
+    kEveryNth,     // passes N, 2N, 3N, ... (N = every_nth)
+    kProbability,  // Bernoulli(probability) under the site's seeded Rng
+  };
+  enum class Action {
+    kError,     // Evaluate() returns `error`; ASTERIX_FAILPOINT returns it
+    kThrow,     // ASTERIX_FAILPOINT_THROW raises std::runtime_error
+    kDelay,     // sleep delay_ms, then continue normally
+    kCallback,  // run `callback`, then continue normally
+  };
+
+  Trigger trigger = Trigger::kAlways;
+  Action action = Action::kError;
+
+  int64_t every_nth = 1;       // for kEveryNth
+  double probability = 1.0;    // for kProbability
+  uint64_t seed = 42;          // seeds the site Rng for kProbability
+  int64_t skip_first = 0;      // ignore the first K passes
+  int64_t max_fires = -1;      // stop firing after this many (-1 = no cap)
+  std::string instance;        // fire only for this instance ("" = all)
+
+  Status error = Status::Internal("injected fault");
+  int64_t delay_ms = 0;
+  std::function<void()> callback;
+
+  // --- fluent builders for test brevity -------------------------------
+  static FailPointPolicy Error(Status status) {
+    FailPointPolicy p;
+    p.action = Action::kError;
+    p.error = std::move(status);
+    return p;
+  }
+  static FailPointPolicy Throw(std::string message) {
+    FailPointPolicy p;
+    p.action = Action::kThrow;
+    p.error = Status::Internal(std::move(message));
+    return p;
+  }
+  static FailPointPolicy Delay(int64_t ms) {
+    FailPointPolicy p;
+    p.action = Action::kDelay;
+    p.delay_ms = ms;
+    return p;
+  }
+  static FailPointPolicy Call(std::function<void()> fn) {
+    FailPointPolicy p;
+    p.action = Action::kCallback;
+    p.callback = std::move(fn);
+    return p;
+  }
+  FailPointPolicy& Once() {
+    trigger = Trigger::kOnce;
+    return *this;
+  }
+  FailPointPolicy& EveryNth(int64_t n) {
+    trigger = Trigger::kEveryNth;
+    every_nth = n;
+    return *this;
+  }
+  // Leave `rng_seed` at its default inside a ChaosSchedule step to have a
+  // per-step seed derived from the schedule seed.
+  FailPointPolicy& WithProbability(double p, uint64_t rng_seed = 42) {
+    trigger = Trigger::kProbability;
+    probability = p;
+    seed = rng_seed;
+    return *this;
+  }
+  FailPointPolicy& SkipFirst(int64_t k) {
+    skip_first = k;
+    return *this;
+  }
+  FailPointPolicy& MaxFires(int64_t n) {
+    max_fires = n;
+    return *this;
+  }
+  FailPointPolicy& OnInstance(std::string id) {
+    instance = std::move(id);
+    return *this;
+  }
+};
+
+/// Global registry of armed failpoints. All methods are thread-safe; the
+/// disarmed fast path (AnyArmed) is one relaxed atomic load.
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Instance();
+
+  /// Arms (or re-arms, resetting counters) the named site.
+  void Arm(const std::string& site, FailPointPolicy policy);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// True if any site is currently armed. The macros gate on this before
+  /// paying for the map lookup.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Evaluates the site: returns non-OK iff an error/throw action fired
+  /// (throw sites convert the status into an exception at the macro).
+  /// Delay/callback actions run here and still return OK.
+  Status Evaluate(const std::string& site, const std::string& instance = "");
+
+  /// Diagnostics: passes through the site while armed / times it fired.
+  int64_t Hits(const std::string& site) const;
+  int64_t Fires(const std::string& site) const;
+
+ private:
+  struct ArmedPoint {
+    FailPointPolicy policy;
+    Rng rng{42};
+    int64_t hits = 0;
+    int64_t fires = 0;
+  };
+
+  FailPointRegistry() = default;
+
+  static std::atomic<int64_t> armed_count_;
+  mutable std::mutex mutex_;
+  std::map<std::string, ArmedPoint> points_;
+};
+
+/// True when the failpoint macros are compiled in (ASTERIX_FAILPOINTS=ON).
+#ifdef ASTERIX_FAILPOINTS
+inline constexpr bool kFailPointsCompiledIn = true;
+#else
+inline constexpr bool kFailPointsCompiledIn = false;
+#endif
+
+/// A scripted fault timeline: arm/disarm steps at offsets from Start().
+/// One seed reproduces the whole run — steps that use probability triggers
+/// and leave the policy seed at its default get a per-step seed derived
+/// from the schedule seed, so `ChaosSchedule(s)` is a single knob.
+class ChaosSchedule {
+ public:
+  explicit ChaosSchedule(uint64_t seed = 42);
+  ~ChaosSchedule();
+
+  uint64_t seed() const { return seed_; }
+
+  /// Arm `site` with `policy` at `at_ms` after Start().
+  ChaosSchedule& ArmAt(int64_t at_ms, std::string site,
+                       FailPointPolicy policy);
+  /// Disarm `site` at `at_ms` after Start().
+  ChaosSchedule& DisarmAt(int64_t at_ms, std::string site);
+
+  /// Launches the driver thread. Steps run in at_ms order.
+  void Start();
+  /// Joins the driver and disarms every site the schedule touched.
+  void Stop();
+
+ private:
+  struct Step {
+    int64_t at_ms;
+    std::string site;
+    std::optional<FailPointPolicy> policy;  // nullopt = disarm
+  };
+
+  void DriverMain();
+
+  const uint64_t seed_;
+  Rng seeder_;
+  std::vector<Step> steps_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread driver_;
+};
+
+}  // namespace common
+}  // namespace asterix
+
+// --- instrumentation macros -------------------------------------------
+//
+// ASTERIX_FAILPOINT(site): statement. In a Status- or Result-returning
+//   function, returns the injected error when the site fires.
+// ASTERIX_FAILPOINT_THROW(site): statement. Throws std::runtime_error when
+//   the site fires — for seams whose failure contract is an exception
+//   (UDFs, operators under the MetaFeed sandbox).
+// ASTERIX_FAILPOINT_TRIGGERED(site[, instance]): expression, true when the
+//   site fires with an error action — for drop/skip semantics where the
+//   caller decides what "failing" means (drop an ack, skip a heartbeat).
+// ASTERIX_FAILPOINT_HIT(site): statement, ignores any error — for sites
+//   that only make sense as delay/callback probes.
+#ifdef ASTERIX_FAILPOINTS
+
+#define ASTERIX_FAILPOINT(site)                                          \
+  do {                                                                   \
+    if (::asterix::common::FailPointRegistry::AnyArmed()) {              \
+      ::asterix::common::Status _fp_status =                             \
+          ::asterix::common::FailPointRegistry::Instance().Evaluate(     \
+              site);                                                     \
+      if (!_fp_status.ok()) return _fp_status;                           \
+    }                                                                    \
+  } while (0)
+
+#define ASTERIX_FAILPOINT_THROW(site)                                    \
+  do {                                                                   \
+    if (::asterix::common::FailPointRegistry::AnyArmed()) {              \
+      ::asterix::common::Status _fp_status =                             \
+          ::asterix::common::FailPointRegistry::Instance().Evaluate(     \
+              site);                                                     \
+      if (!_fp_status.ok()) {                                            \
+        throw std::runtime_error(_fp_status.message());                  \
+      }                                                                  \
+    }                                                                    \
+  } while (0)
+
+#define ASTERIX_FAILPOINT_TRIGGERED(...)                                 \
+  (::asterix::common::FailPointRegistry::AnyArmed() &&                   \
+   !::asterix::common::FailPointRegistry::Instance()                     \
+        .Evaluate(__VA_ARGS__)                                           \
+        .ok())
+
+#define ASTERIX_FAILPOINT_HIT(site)                                      \
+  do {                                                                   \
+    if (::asterix::common::FailPointRegistry::AnyArmed()) {              \
+      (void)::asterix::common::FailPointRegistry::Instance().Evaluate(   \
+          site);                                                         \
+    }                                                                    \
+  } while (0)
+
+#else  // !ASTERIX_FAILPOINTS
+
+#define ASTERIX_FAILPOINT(site) \
+  do {                          \
+  } while (0)
+#define ASTERIX_FAILPOINT_THROW(site) \
+  do {                                \
+  } while (0)
+#define ASTERIX_FAILPOINT_TRIGGERED(...) (false)
+#define ASTERIX_FAILPOINT_HIT(site) \
+  do {                              \
+  } while (0)
+
+#endif  // ASTERIX_FAILPOINTS
+
+#endif  // ASTERIX_COMMON_FAILPOINT_H_

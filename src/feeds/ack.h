@@ -16,6 +16,7 @@
 
 #include "adm/value.h"
 #include "common/clock.h"
+#include "common/failpoint.h"
 
 namespace asterix {
 namespace feeds {
@@ -53,6 +54,10 @@ class AckBus {
   /// Store side: publishes a grouped ack message.
   void Publish(const std::string& conn, int partition,
                const std::vector<int64_t>& tids) {
+    // Error action = the ack message is lost in transit (the records stay
+    // pending at intake and replay after the timeout — at-least-once, not
+    // exactly-once). Delay action = a slow control path.
+    if (ASTERIX_FAILPOINT_TRIGGERED("feeds.ack.publish")) return;
     Handler handler;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -96,6 +101,7 @@ class PendingTracker {
   /// Records whose ack window expired; their timestamps reset so a
   /// single stall does not replay twice immediately.
   std::vector<adm::Value> TakeExpired() {
+    ASTERIX_FAILPOINT_HIT("feeds.ack.replay");
     std::vector<adm::Value> expired;
     int64_t now = common::NowMillis();
     std::lock_guard<std::mutex> lock(mutex_);

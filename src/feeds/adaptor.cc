@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace asterix {
@@ -67,6 +68,9 @@ class SocketAdaptor : public FeedAdaptor {
   }
 
   Result<RawBatch> Fetch(size_t max, int64_t timeout_ms) override {
+    // Before any payload is consumed: an injected fetch failure loses
+    // nothing and must be fully recoverable via Reconnect.
+    ASTERIX_FAILPOINT("feeds.adaptor.fetch");
     if (channel_ == nullptr) {
       return Status::Unavailable("no source listening at " + address_);
     }
@@ -85,6 +89,7 @@ class SocketAdaptor : public FeedAdaptor {
   }
 
   Status Reconnect() override {
+    ASTERIX_FAILPOINT("feeds.adaptor.reconnect");
     // The channel registry is our "DNS": a restarted source re-registers
     // under the same address.
     channel_ = ExternalSourceRegistry::Instance().FindChannel(address_);
@@ -197,6 +202,7 @@ class SyntheticTweetAdaptor : public FeedAdaptor {
       : factory_(source_id), rate_tps_(rate_tps), limit_(limit) {}
 
   Result<RawBatch> Fetch(size_t max, int64_t timeout_ms) override {
+    ASTERIX_FAILPOINT("feeds.adaptor.fetch");
     RawBatch batch;
     if (limit_ >= 0 && produced_ >= limit_) {
       batch.end_of_source = true;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace asterix {
 namespace feeds {
 
@@ -54,6 +56,9 @@ size_t FeedJoint::subscriber_count() const {
 }
 
 Status FeedJoint::NextFrame(const FramePtr& frame) {
+  // Delay actions model a congested joint; error actions fail the
+  // routing task (a hard pipeline fault).
+  ASTERIX_FAILPOINT("feeds.joint.route");
   // Snapshot recipients under the lock, deliver outside it: a slow
   // primary must not block subscriber registration, and vice versa.
   std::shared_ptr<hyracks::IFrameWriter> primary;

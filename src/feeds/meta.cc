@@ -1,6 +1,7 @@
 #include "feeds/meta.h"
 
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "hyracks/node.h"
 
@@ -35,6 +36,7 @@ Status MetaFeedOperator::Open(TaskContext* ctx) {
 
 Status MetaFeedOperator::ProcessFrame(const FramePtr& frame,
                                       TaskContext* ctx) {
+  ASTERIX_FAILPOINT("feeds.meta.process_frame");
   if (!options_.sandbox_soft_failures) {
     return core_->ProcessFrame(frame, ctx);
   }
@@ -50,6 +52,9 @@ Status MetaFeedOperator::ProcessFrame(const FramePtr& frame,
     // exactly once more, every offender is skipped and logged).
     for (const Value& record : frame->records()) {
       try {
+        // Faults injected here hit the record-at-a-time remnant slice —
+        // the second chance a record gets after a whole-frame failure.
+        ASTERIX_FAILPOINT_THROW("feeds.meta.slice");
         RETURN_IF_ERROR(core_->ProcessFrame(
             hyracks::MakeFrame({record}), ctx));
         consecutive_failures_ = 0;

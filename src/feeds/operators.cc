@@ -257,7 +257,13 @@ Status FeedIntakeOperator::Run(TaskContext* ctx) {
         }
       }
     } else if (queue_->ended()) {
-      return Status::OK();
+      // Under at-least-once the pending ledger may still hold records whose
+      // acks never arrived (e.g. the store stage soft-failed them). Closing
+      // now would orphan them, so keep pumping the replay loop below until
+      // the ledger drains.
+      if (!at_least_once_ || pending_->pending_count() == 0) {
+        return Status::OK();
+      }
     }
 
     // Replay of unacked records on timeout (§5.6).

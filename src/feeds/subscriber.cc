@@ -5,6 +5,7 @@
 
 #include "adm/parser.h"
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -146,6 +147,9 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
 }
 
 void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
+  // Delay action = a stalled subscriber back-pressuring the joint.
+  // Deliberately before the lock so a stall never blocks Next() readers.
+  ASTERIX_FAILPOINT_HIT("feeds.subscriber.deliver");
   std::lock_guard<std::mutex> lock(mutex_);
   auto consume = [&] {
     if (bucket != nullptr) bucket->Consume();

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace asterix {
@@ -13,6 +14,10 @@ using common::Result;
 using common::Status;
 
 std::optional<Value> AqlUdf::Apply(const Value& record) {
+  // Simulates a poison record: the throw is a soft failure for the
+  // MetaFeed sandbox to catch, exactly like the real missing-field throws
+  // below.
+  ASTERIX_FAILPOINT_THROW("feeds.udf.apply");
   if (!record.is_record()) {
     throw std::invalid_argument("AQL UDF '" + name_ +
                                 "' applied to a non-record value");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace asterix {
@@ -275,6 +276,9 @@ void ClusterController::Stop() {
 
 void ClusterController::MonitorLoop() {
   while (running_.load()) {
+    // Delay action = a slow failure detector (longer gray-failure
+    // windows before substitution kicks in).
+    ASTERIX_FAILPOINT_HIT("hyracks.cluster.monitor");
     int64_t now = common::NowMicros();
     std::vector<std::string> failed;
     {
@@ -291,11 +295,47 @@ void ClusterController::MonitorLoop() {
     for (const std::string& node_id : failed) {
       HandleNodeFailure(node_id);
     }
+    ReapFailedJobs();
     common::SleepMillis(options_.monitor_period_ms);
   }
 }
 
+void ClusterController::ReapFailedJobs() {
+  // A task that fails on its own (operator error — not a kill and not a
+  // node death, which finish with an Aborted status and are the feed
+  // recovery protocol's business) makes the rest of the job undeliverable.
+  // Finite jobs then drain and finish naturally, but a job with a live
+  // source would pump into the dead stage forever: abort it so the job
+  // reaches a terminal state its owner can observe.
+  std::vector<std::shared_ptr<JobHandle>> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_) jobs.push_back(job);
+  }
+  for (const auto& job : jobs) {
+    if (job->Finished()) continue;
+    bool task_failed = false;
+    for (const auto& group : job->tasks()) {
+      for (const auto& task : group) {
+        if (task->finished() && !task->final_status().ok() &&
+            !task->final_status().IsAborted()) {
+          task_failed = true;
+          break;
+        }
+      }
+      if (task_failed) break;
+    }
+    if (!task_failed) continue;
+    LOG_MSG(kWarn) << "aborting job " << job->id() << " ("
+                   << job->spec().name << ") after task failure";
+    job->Abort();
+  }
+}
+
 void ClusterController::HandleNodeFailure(const std::string& node_id) {
+  // Delay widens the window between detection and recovery, letting
+  // tests race ingestion against the rebuild protocol.
+  ASTERIX_FAILPOINT_HIT("hyracks.cluster.handle_failure");
   LOG_MSG(kWarn) << "cluster controller: node " << node_id << " failed";
   std::vector<ClusterListener*> listeners;
   std::vector<std::shared_ptr<JobHandle>> jobs;

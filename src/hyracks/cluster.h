@@ -122,6 +122,7 @@ class ClusterController {
  private:
   void MonitorLoop();
   void HandleNodeFailure(const std::string& node_id);
+  void ReapFailedJobs();
 
   const ClusterOptions options_;
   mutable std::mutex mutex_;

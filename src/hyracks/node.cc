@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace asterix {
@@ -108,7 +109,11 @@ void NodeController::StopHeartbeats() {
 
 void NodeController::HeartbeatLoop(int64_t period_ms) {
   while (heartbeats_on_.load()) {
-    if (alive_.load()) {
+    // A fired failpoint swallows this beat: the node process is healthy
+    // but looks dead to the cluster monitor — the classic gray failure.
+    // Arm with OnInstance(node_id) to silence one node.
+    if (alive_.load() &&
+        !ASTERIX_FAILPOINT_TRIGGERED("hyracks.node.heartbeat", id_)) {
       last_heartbeat_us_.store(common::NowMicros());
     }
     common::SleepMillis(period_ms);

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "hyracks/node.h"
 
@@ -146,8 +147,12 @@ void Task::ThreadMain() {
             done = true;
             break;
           }
-          status = guarded(
-              [&] { return op_->ProcessFrame(msg.frame, this); });
+          status = guarded([&] {
+            // Delay = a slow pump; error = an operator-level task fault
+            // (surfaces exactly like an operator returning non-OK).
+            ASTERIX_FAILPOINT("hyracks.task.pump");
+            return op_->ProcessFrame(msg.frame, this);
+          });
           if (!status.ok()) {
             failed = true;
             done = true;

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "storage/key.h"
 
@@ -45,6 +46,10 @@ Status DatasetPartition::Insert(const adm::Value& record) {
   auto key = EncodeKey(*pk);
   if (!key.ok()) return key.status();
 
+  // Fires before the WAL write: the record is fully rejected, the store
+  // operator reports a soft failure, and the at-least-once protocol must
+  // replay it.
+  ASTERIX_FAILPOINT("storage.dataset.insert");
   // Write-ahead log first: this is the persistence point that the
   // at-least-once protocol acks from.
   RETURN_IF_ERROR(wal_.Append(record.ToAdmString()));

@@ -1,9 +1,10 @@
 #include "storage/lsm_index.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace asterix {
@@ -36,7 +37,8 @@ std::shared_ptr<SortedRun> LsmIndex::BuildRun(const Memtable& memtable) {
 }
 
 std::shared_ptr<SortedRun> LsmIndex::MergeRuns(
-    const std::vector<std::shared_ptr<SortedRun>>& runs) {
+    const std::vector<std::shared_ptr<SortedRun>>& runs,
+    bool drop_tombstones) {
   // Oldest-to-newest apply: the newest value for a key wins.
   std::map<std::string, adm::Value> merged;
   for (const auto& run : runs) {
@@ -44,7 +46,10 @@ std::shared_ptr<SortedRun> LsmIndex::MergeRuns(
   }
   std::vector<SortedRun::Entry> entries;
   entries.reserve(merged.size());
-  for (auto& [k, v] : merged) entries.emplace_back(k, std::move(v));
+  for (auto& [k, v] : merged) {
+    if (drop_tombstones && IsTombstone(v)) continue;
+    entries.emplace_back(k, std::move(v));
+  }
   return std::make_shared<SortedRun>(std::move(entries));
 }
 
@@ -68,11 +73,14 @@ void LsmIndex::FlushNowLocked() {
 
 void LsmIndex::MergeNowLocked() {
   if (runs_.size() < 2) return;
-  runs_ = {MergeRuns(runs_)};
+  // Full merge: the result is the only (hence oldest) run, so tombstones
+  // have shadowed everything they ever will.
+  runs_ = {MergeRuns(runs_, /*drop_tombstones=*/true)};
   ++stats_.merges;
 }
 
 Status LsmIndex::Insert(const std::string& key, adm::Value value) {
+  ASTERIX_FAILPOINT("storage.lsm.insert");
   size_t bytes = key.size() + value.ApproxSizeBytes();
   std::unique_lock<std::mutex> lock(mutex_);
   if (options_.async_maintenance && options_.max_immutable_memtables > 0 &&
@@ -100,24 +108,41 @@ Status LsmIndex::Insert(const std::string& key, adm::Value value) {
   return Status::OK();
 }
 
+Status LsmIndex::Delete(const std::string& key) {
+  // A tombstone is just an upsert of the reserved marker: it rides the
+  // same memtable/flush/merge machinery and shadows older components.
+  return Insert(key, adm::Value::Null());
+}
+
 std::optional<adm::Value> LsmIndex::Get(const std::string& key) const {
   // Snapshot the immutable components under the lock, search lock-free.
+  // The newest component holding the key decides; a tombstone there means
+  // the key is deleted no matter what older components say.
   std::deque<std::shared_ptr<const Memtable>> immutables;
   std::vector<std::shared_ptr<SortedRun>> runs;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = memtable_.find(key);
-    if (it != memtable_.end()) return it->second;
+    if (it != memtable_.end()) {
+      if (IsTombstone(it->second)) return std::nullopt;
+      return it->second;
+    }
     immutables = immutables_;
     runs = runs_;
   }
   for (auto rit = immutables.rbegin(); rit != immutables.rend(); ++rit) {
     auto it = (*rit)->find(key);
-    if (it != (*rit)->end()) return it->second;
+    if (it != (*rit)->end()) {
+      if (IsTombstone(it->second)) return std::nullopt;
+      return it->second;
+    }
   }
   for (auto rit = runs.rbegin(); rit != runs.rend(); ++rit) {
     const adm::Value* v = (*rit)->Get(key);
-    if (v != nullptr) return *v;
+    if (v != nullptr) {
+      if (IsTombstone(*v)) return std::nullopt;
+      return *v;
+    }
   }
   return std::nullopt;
 }
@@ -144,29 +169,38 @@ void LsmIndex::Scan(const std::function<void(const std::string&,
     for (const auto& [k, v] : *imm) merged[k] = v;
   }
   for (const auto& [k, v] : memtable_copy) merged[k] = v;
-  for (const auto& [k, v] : merged) visitor(k, v);
+  for (const auto& [k, v] : merged) {
+    if (IsTombstone(v)) continue;  // deleted key
+    visitor(k, v);
+  }
 }
 
 int64_t LsmIndex::Size() const {
-  std::vector<std::string> memtable_keys;
+  std::vector<std::pair<std::string, bool>> memtable_keys;
   std::deque<std::shared_ptr<const Memtable>> immutables;
   std::vector<std::shared_ptr<SortedRun>> runs;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     memtable_keys.reserve(memtable_.size());
-    for (const auto& [k, v] : memtable_) memtable_keys.push_back(k);
+    for (const auto& [k, v] : memtable_) {
+      memtable_keys.emplace_back(k, IsTombstone(v));
+    }
     immutables = immutables_;
     runs = runs_;
   }
-  std::unordered_set<std::string_view> keys;
+  // Oldest-to-newest: the newest occurrence decides whether the key is
+  // live or deleted.
+  std::unordered_map<std::string_view, bool> live;
   for (const auto& run : runs) {
-    for (const auto& [k, v] : run->entries()) keys.insert(k);
+    for (const auto& [k, v] : run->entries()) live[k] = !IsTombstone(v);
   }
   for (const auto& imm : immutables) {
-    for (const auto& [k, v] : *imm) keys.insert(k);
+    for (const auto& [k, v] : *imm) live[k] = !IsTombstone(v);
   }
-  for (const auto& k : memtable_keys) keys.insert(k);
-  return static_cast<int64_t>(keys.size());
+  for (const auto& [k, dead] : memtable_keys) live[k] = !dead;
+  int64_t count = 0;
+  for (const auto& [k, is_live] : live) count += is_live ? 1 : 0;
+  return count;
 }
 
 void LsmIndex::Flush() {
@@ -214,7 +248,12 @@ void LsmIndex::MaintenanceMain() {
       // is stable while the merge runs off-lock.
       std::vector<std::shared_ptr<SortedRun>> to_merge = runs_;
       lock.unlock();
-      std::shared_ptr<SortedRun> merged = MergeRuns(to_merge);
+      // Delay action = a long-running merge holding the backlog up.
+      ASTERIX_FAILPOINT_HIT("storage.lsm.merge");
+      // to_merge covers every run at snapshot time and the result is
+      // re-inserted as the oldest, so tombstones can be retired here.
+      std::shared_ptr<SortedRun> merged =
+          MergeRuns(to_merge, /*drop_tombstones=*/true);
       lock.lock();
       runs_.erase(runs_.begin(),
                   runs_.begin() + static_cast<ptrdiff_t>(to_merge.size()));
@@ -229,6 +268,9 @@ void LsmIndex::MaintenanceMain() {
       // the swap is a single atomic step under the lock.
       std::shared_ptr<const Memtable> imm = immutables_.front();
       lock.unlock();
+      // Delay action = a slow flush (grows the sealed-memtable backlog,
+      // the window where a crash strands unflushed data behind the WAL).
+      ASTERIX_FAILPOINT_HIT("storage.lsm.flush");
       std::shared_ptr<SortedRun> run = BuildRun(*imm);
       lock.lock();
       runs_.push_back(std::move(run));
@@ -286,6 +328,10 @@ size_t PartitionedLsmIndex::PartitionOf(const std::string& key) const {
 Status PartitionedLsmIndex::Insert(const std::string& key,
                                    adm::Value value) {
   return partitions_[PartitionOf(key)]->Insert(key, std::move(value));
+}
+
+Status PartitionedLsmIndex::Delete(const std::string& key) {
+  return partitions_[PartitionOf(key)]->Delete(key);
 }
 
 std::optional<adm::Value> PartitionedLsmIndex::Get(

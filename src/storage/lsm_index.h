@@ -88,6 +88,17 @@ class LsmIndex {
 
   common::Status Insert(const std::string& key, adm::Value value);
 
+  /// Deletes `key` by writing a tombstone (a null value) that shadows any
+  /// older component. Tombstones are dropped when a merge produces the
+  /// oldest run; until then Get/Scan/Size treat the key as absent.
+  common::Status Delete(const std::string& key);
+
+  /// True if `value` is the tombstone marker. Datasets store only records,
+  /// so null is free to reserve as the deletion sentinel.
+  static bool IsTombstone(const adm::Value& value) {
+    return value.is_null();
+  }
+
   /// Point lookup across memtable + sealed memtables + runs (newest
   /// component wins).
   std::optional<adm::Value> Get(const std::string& key) const;
@@ -132,8 +143,11 @@ class LsmIndex {
   void MaintenanceMain();
 
   static std::shared_ptr<SortedRun> BuildRun(const Memtable& memtable);
+  /// `drop_tombstones` is safe only when the merged result becomes the
+  /// oldest run (nothing below it left to shadow).
   static std::shared_ptr<SortedRun> MergeRuns(
-      const std::vector<std::shared_ptr<SortedRun>>& runs);
+      const std::vector<std::shared_ptr<SortedRun>>& runs,
+      bool drop_tombstones);
 
   const LsmOptions options_;
   mutable std::mutex mutex_;
@@ -160,6 +174,7 @@ class PartitionedLsmIndex {
   explicit PartitionedLsmIndex(LsmOptions options = {});
 
   common::Status Insert(const std::string& key, adm::Value value);
+  common::Status Delete(const std::string& key);
   std::optional<adm::Value> Get(const std::string& key) const;
 
   /// Visits every live (key, value) pair in global key order (k-way merge

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace asterix {
 namespace storage {
 
@@ -30,6 +32,9 @@ Status Wal::Open() {
 }
 
 Status Wal::Append(const std::string& payload) {
+  // Before any byte lands: an injected append failure must leave the log
+  // unchanged so the caller can retry (the at-least-once replay path).
+  ASTERIX_FAILPOINT("storage.wal.append");
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) {
     return Status::FailedPrecondition("WAL not open: " + path_);
@@ -49,6 +54,7 @@ Status Wal::Append(const std::string& payload) {
 }
 
 Status Wal::Sync() {
+  ASTERIX_FAILPOINT("storage.wal.sync");
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr && std::fflush(file_) != 0) {
     return Status::IOError("WAL sync failed: " + path_);

@@ -5,20 +5,13 @@
 #include "asterix/aql.h"
 #include "common/clock.h"
 #include "gen/tweetgen.h"
+#include "testing_util.h"
 
 namespace asterix {
 namespace {
 
 using adm::Value;
-
-bool WaitFor(const std::function<bool()>& predicate, int64_t timeout_ms) {
-  common::Stopwatch watch;
-  while (watch.ElapsedMillis() < timeout_ms) {
-    if (predicate()) return true;
-    common::SleepMillis(10);
-  }
-  return predicate();
-}
+using asterix::testing::WaitFor;
 
 class AqlTest : public ::testing::Test {
  protected:

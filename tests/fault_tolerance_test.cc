@@ -7,30 +7,14 @@
 #include "common/clock.h"
 #include "feeds/udf.h"
 #include "gen/tweetgen.h"
+#include "testing_util.h"
 
 namespace asterix {
 namespace {
 
 using adm::Value;
-
-bool WaitFor(const std::function<bool()>& predicate, int64_t timeout_ms) {
-  common::Stopwatch watch;
-  while (watch.ElapsedMillis() < timeout_ms) {
-    if (predicate()) return true;
-    common::SleepMillis(10);
-  }
-  return predicate();
-}
-
-storage::DatasetDef Dataset(const std::string& name,
-                            std::vector<std::string> nodegroup = {}) {
-  storage::DatasetDef def;
-  def.name = name;
-  def.datatype = "Tweet";
-  def.primary_key_field = "id";
-  def.nodegroup = std::move(nodegroup);
-  return def;
-}
+using asterix::testing::TweetsDataset;
+using asterix::testing::WaitFor;
 
 class FaultToleranceTest : public ::testing::Test {
  protected:
@@ -49,7 +33,7 @@ class FaultToleranceTest : public ::testing::Test {
     feeds::ExternalSourceRegistry::Instance().RegisterChannel(source_addr,
                                                               channel);
     ASSERT_TRUE(
-        db_->CreateDataset(Dataset("Sink", std::move(store_nodes))).ok());
+        db_->CreateDataset(TweetsDataset("Sink", std::move(store_nodes))).ok());
     ASSERT_TRUE(
         db_->InstallUdf(feeds::AqlUdf::ExtractHashtags("tags")).ok());
     feeds::FeedDef primary;
@@ -206,8 +190,8 @@ TEST_F(FaultToleranceTest, FaultIsolationInCascade) {
   gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 4000));
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "ft:5", &source.channel());
-  ASSERT_TRUE(db_->CreateDataset(Dataset("Raw", {"E"})).ok());
-  ASSERT_TRUE(db_->CreateDataset(Dataset("Cooked", {"F"})).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("Raw", {"E"})).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("Cooked", {"F"})).ok());
   ASSERT_TRUE(db_->InstallUdf(feeds::AqlUdf::ExtractHashtags("tags")).ok());
 
   feeds::FeedDef primary;
@@ -293,8 +277,8 @@ TEST_F(FaultToleranceTest, PartialDisconnectKeepsDependentsFlowing) {
   gen::TweetGenServer source(0, gen::Pattern::Constant(1200, 3000));
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "ft:7", &source.channel());
-  ASSERT_TRUE(db_->CreateDataset(Dataset("Mid", {"E"})).ok());
-  ASSERT_TRUE(db_->CreateDataset(Dataset("Deep", {"F"})).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("Mid", {"E"})).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("Deep", {"F"})).ok());
   ASSERT_TRUE(db_->InstallUdf(feeds::AqlUdf::ExtractHashtags("tags")).ok());
   ASSERT_TRUE(db_->InstallUdf(std::make_shared<feeds::JavaUdf>(
                       "lib", "sentiment",

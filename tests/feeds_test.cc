@@ -14,24 +14,16 @@
 #include "feeds/udf.h"
 #include "gen/pattern.h"
 #include "gen/tweetgen.h"
+#include "testing_util.h"
 
 namespace asterix {
 namespace feeds {
 namespace {
 
 using adm::Value;
+using asterix::testing::FrameOf;
 using hyracks::FramePtr;
 using hyracks::MakeFrame;
-
-FramePtr FrameOf(int n, int start = 0) {
-  std::vector<Value> records;
-  for (int i = start; i < start + n; ++i) {
-    records.push_back(
-        Value::Record({{"id", Value::String("r" + std::to_string(i))},
-                       {"n", Value::Int64(i)}}));
-  }
-  return MakeFrame(std::move(records));
-}
 
 // --- policies ---------------------------------------------------------
 

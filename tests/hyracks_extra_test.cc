@@ -1,11 +1,14 @@
 // Additional engine tests: multi-out-edge DAGs (broadcast), freeze/drain
 // semantics, output interception, queue-depth observability, node
 // services, and scheduling behaviours the feed layer relies on.
+#include <array>
 #include <atomic>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "common/blocking_queue.h"
 #include "common/clock.h"
 #include "hyracks/cluster.h"
 #include "hyracks/operators.h"
@@ -152,6 +155,103 @@ TEST_F(EngineFixture, FreezeAndDrainCapturesUnprocessedFrames) {
   for (const auto& msg : frames) records += msg.frame->record_count();
   EXPECT_GE(records, 50u);
   (*job)->Abort();
+}
+
+// Regression for the batched-pump / freeze race: the pump pops whole
+// batches (PopAll) and FreezeAndDrain can land mid-batch, so frames live
+// in three places — the queue, the in-flight batch tail, the operator.
+// Invariant: every frame Enqueue accepted ends up either processed by the
+// operator or reclaimed by the freeze, exactly once; nothing is lost and
+// nothing is double-delivered.
+TEST_F(EngineFixture, FreezeAndDrainConservesFramesUnderConcurrentProducers) {
+  class RecordingOperator : public Operator {
+   public:
+    Status ProcessFrame(const FramePtr& frame, TaskContext*) override {
+      for (const Value& record : frame->records()) {
+        processed.push_back(record.GetField("n")->AsInt64());
+      }
+      common::SleepMillis(1);  // widen the mid-batch window
+      return Status::OK();
+    }
+    std::vector<int64_t> processed;  // pump thread only; read after Join
+  };
+  constexpr int kProducers = 4;
+  constexpr int kFramesEach = 50;
+
+  for (int round = 0; round < 12; ++round) {
+    auto op = std::make_unique<RecordingOperator>();
+    RecordingOperator* recorder = op.get();
+    auto task = std::make_shared<Task>(
+        /*job_id=*/1, "race", /*partition=*/0, /*partition_count=*/1,
+        cluster_->GetNode("A"), std::move(op), /*queue_capacity=*/8);
+    task->SetOutput(std::make_shared<NullWriter>());
+    task->SetExpectedProducers(kProducers);
+    task->Start();
+
+    std::array<std::vector<int64_t>, kProducers> accepted;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int f = 0; f < kFramesEach; ++f) {
+          int64_t id = p * kFramesEach + f;
+          if (task->Enqueue(FrameMessage::Data(MakeFrame(
+                  {Value::Record({{"n", Value::Int64(id)}})})))) {
+            accepted[p].push_back(id);
+          }
+        }
+      });
+    }
+    common::SleepMillis(round % 5);  // vary where the freeze lands
+    std::vector<FrameMessage> reclaimed = task->FreezeAndDrain();
+    for (auto& producer : producers) producer.join();
+
+    std::set<int64_t> seen;
+    for (int64_t id : recorder->processed) {
+      EXPECT_TRUE(seen.insert(id).second)
+          << "round " << round << ": id " << id << " processed twice";
+    }
+    for (const auto& msg : reclaimed) {
+      for (const Value& record : msg.frame->records()) {
+        int64_t id = record.GetField("n")->AsInt64();
+        EXPECT_TRUE(seen.insert(id).second)
+            << "round " << round << ": id " << id
+            << " both processed and reclaimed";
+      }
+    }
+    std::set<int64_t> accepted_ids;
+    for (const auto& ids : accepted) {
+      accepted_ids.insert(ids.begin(), ids.end());
+    }
+    EXPECT_EQ(seen, accepted_ids) << "round " << round;
+  }
+}
+
+// The same conservation law at the queue level: PopAllFor racing TryPush
+// from several producers, with a Close cutting in. accepted == drained.
+TEST(BlockingQueueRaceTest, PopAllForAndCloseConserveItems) {
+  for (int round = 0; round < 30; ++round) {
+    common::BlockingQueue<int> queue(16);
+    std::atomic<int64_t> accepted{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&] {
+        while (!stop.load()) {
+          if (queue.TryPush(1)) accepted.fetch_add(1);
+        }
+      });
+    }
+    int64_t drained = 0;
+    for (int i = 0; i < 20; ++i) {
+      drained += static_cast<int64_t>(
+          queue.PopAllFor(std::chrono::milliseconds(1)).size());
+    }
+    queue.Close();  // from here every TryPush must be rejected
+    stop.store(true);
+    for (auto& producer : producers) producer.join();
+    drained += static_cast<int64_t>(queue.TryPopAll().size());
+    EXPECT_EQ(drained, accepted.load()) << "round " << round;
+  }
 }
 
 TEST_F(EngineFixture, SignalsRouteToNamedOperators) {

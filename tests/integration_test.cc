@@ -8,39 +8,17 @@
 #include "common/clock.h"
 #include "feeds/udf.h"
 #include "gen/tweetgen.h"
+#include "testing_util.h"
 
 namespace asterix {
 namespace {
 
 using adm::TypeTag;
 using adm::Value;
+using asterix::testing::FastOptions;
+using asterix::testing::TweetsDataset;
+using asterix::testing::WaitFor;
 using common::Status;
-
-InstanceOptions FastOptions(int nodes) {
-  InstanceOptions options;
-  options.num_nodes = nodes;
-  options.heartbeat_period_ms = 10;
-  options.heartbeat_timeout_ms = 100;
-  return options;
-}
-
-/// Waits until `predicate` holds or `timeout_ms` elapses.
-bool WaitFor(const std::function<bool()>& predicate, int64_t timeout_ms) {
-  common::Stopwatch watch;
-  while (watch.ElapsedMillis() < timeout_ms) {
-    if (predicate()) return true;
-    common::SleepMillis(10);
-  }
-  return predicate();
-}
-
-storage::DatasetDef TweetsDataset(const std::string& name) {
-  storage::DatasetDef def;
-  def.name = name;
-  def.datatype = "Tweet";
-  def.primary_key_field = "id";
-  return def;
-}
 
 class IntegrationTest : public ::testing::Test {
  protected:

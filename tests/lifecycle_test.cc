@@ -9,30 +9,14 @@
 #include "common/clock.h"
 #include "feeds/udf.h"
 #include "gen/tweetgen.h"
+#include "testing_util.h"
 
 namespace asterix {
 namespace {
 
 using adm::Value;
-
-bool WaitFor(const std::function<bool()>& predicate, int64_t timeout_ms) {
-  common::Stopwatch watch;
-  while (watch.ElapsedMillis() < timeout_ms) {
-    if (predicate()) return true;
-    common::SleepMillis(10);
-  }
-  return predicate();
-}
-
-storage::DatasetDef Dataset(const std::string& name,
-                            std::vector<std::string> nodegroup = {}) {
-  storage::DatasetDef def;
-  def.name = name;
-  def.datatype = "Tweet";
-  def.primary_key_field = "id";
-  def.nodegroup = std::move(nodegroup);
-  return def;
-}
+using asterix::testing::TweetsDataset;
+using asterix::testing::WaitFor;
 
 class LifecycleTest : public ::testing::Test {
  protected:
@@ -88,9 +72,9 @@ class LifecycleTest : public ::testing::Test {
 
 TEST_F(LifecycleTest, DeepCascadeChainsJointsCorrectly) {
   InstallChain();
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D1")).ok());
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D2")).ok());
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D3")).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D1")).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D2")).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D3")).ok());
 
   // Connect leaf first: its tail applies the FULL chain from the head.
   ASSERT_TRUE(db_->ConnectFeed("Leaf", "D3").ok());
@@ -141,8 +125,8 @@ TEST_F(LifecycleTest, DeepCascadeChainsJointsCorrectly) {
 
 TEST_F(LifecycleTest, HeadReleasedOnlyWhenLastConnectionCloses) {
   InstallChain();
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D1")).ok());
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D2")).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D1")).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D2")).ok());
   ASSERT_TRUE(db_->ConnectFeed("Root", "D1").ok());
   ASSERT_TRUE(db_->ConnectFeed("Mid", "D2").ok());
   EXPECT_NE(db_->feed_manager().GetHeadMetrics("Root"), nullptr);
@@ -156,7 +140,7 @@ TEST_F(LifecycleTest, HeadReleasedOnlyWhenLastConnectionCloses) {
 
 TEST_F(LifecycleTest, ReconnectAfterFullDisconnectRebuildsHead) {
   InstallChain();
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D1")).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D1")).ok());
   ASSERT_TRUE(db_->ConnectFeed("Root", "D1").ok());
   ASSERT_TRUE(WaitFor(
       [&] { return db_->CountDataset("D1").value() > 100; }, 5000));
@@ -174,8 +158,8 @@ TEST_F(LifecycleTest, ReconnectAfterFullDisconnectRebuildsHead) {
 
 TEST_F(LifecycleTest, ReconnectAfterPartialDisconnectReusesSegment) {
   InstallChain();
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D2")).ok());
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D3")).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D2")).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D3")).ok());
   ASSERT_TRUE(
       db_->ConnectFeed("Mid", "D2", "Basic", {.compute_count = 1}).ok());
   ASSERT_TRUE(
@@ -210,7 +194,7 @@ TEST_F(LifecycleTest, ReconnectAfterPartialDisconnectReusesSegment) {
 
 TEST_F(LifecycleTest, StoreNodeRejoinReschedulesTerminatedFeed) {
   InstallChain();
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D1", {"E"})).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D1", {"E"})).ok());
   ASSERT_TRUE(db_->ConnectFeed("Root", "D1", "FaultTolerant").ok());
   ASSERT_TRUE(WaitFor(
       [&] { return db_->CountDataset("D1").value() > 100; }, 5000));
@@ -237,7 +221,7 @@ TEST_F(LifecycleTest, StoreNodeRejoinReschedulesTerminatedFeed) {
 
 TEST_F(LifecycleTest, FeedConsoleDescribesConnections) {
   InstallChain();
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D2")).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D2")).ok());
   ASSERT_TRUE(db_->ConnectFeed("Mid", "D2").ok());
   ASSERT_TRUE(WaitFor(
       [&] { return db_->CountDataset("D2").value() > 50; }, 5000));
@@ -266,7 +250,7 @@ TEST_F(LifecycleTest, ElasticMonitorScalesOutUnderCongestion) {
   feed.adaptor_config = {{"rate", "2000"}};
   feed.udf = "lib#slow";
   ASSERT_TRUE(db_->CreateFeed(feed).ok());
-  ASSERT_TRUE(db_->CreateDataset(Dataset("D")).ok());
+  ASSERT_TRUE(db_->CreateDataset(TweetsDataset("D")).ok());
   ASSERT_TRUE(db_->CreatePolicy("TightElastic", "Elastic",
                                 {{"memory.budget", "256KB"}})
                   .ok());
@@ -292,7 +276,7 @@ TEST_F(LifecycleTest, SpatialAggregateOverIngestedTweets) {
                            {"latitude", "longitude", "location"},
                            Value::Null()}}))
                   .ok());
-  storage::DatasetDef def = Dataset("Geo");
+  storage::DatasetDef def = TweetsDataset("Geo");
   def.indexes.push_back(
       {"locationIndex", "location", storage::IndexKind::kRTree});
   ASSERT_TRUE(db_->CreateDataset(def).ok());

@@ -9,6 +9,7 @@
 #include "feeds/meta.h"
 #include "feeds/operators.h"
 #include "hyracks/node.h"
+#include "testing_util.h"
 
 namespace asterix {
 namespace feeds {
@@ -74,15 +75,7 @@ class ExplodingOperator : public hyracks::Operator {
   const int64_t k_;
 };
 
-FramePtr FrameOf(int n, int start = 0) {
-  std::vector<Value> records;
-  for (int i = start; i < start + n; ++i) {
-    records.push_back(
-        Value::Record({{"id", Value::String("r" + std::to_string(i))},
-                       {"n", Value::Int64(i)}}));
-  }
-  return MakeFrame(std::move(records));
-}
+using asterix::testing::FrameOf;
 
 std::unique_ptr<hyracks::NodeController> MakeNode() {
   return std::make_unique<hyracks::NodeController>(

@@ -1,0 +1,67 @@
+// Shared helpers for the test suite: polling, frame/record builders, and
+// the instance/dataset boilerplate that every end-to-end test repeats.
+#ifndef ASTERIX_TESTS_TESTING_UTIL_H_
+#define ASTERIX_TESTS_TESTING_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adm/value.h"
+#include "asterix/asterix.h"
+#include "common/clock.h"
+#include "hyracks/frame.h"
+#include "storage/dataset.h"
+
+namespace asterix {
+namespace testing {
+
+/// Waits until `predicate` holds or `timeout_ms` elapses; returns the
+/// predicate's final verdict either way.
+inline bool WaitFor(const std::function<bool()>& predicate,
+                    int64_t timeout_ms) {
+  common::Stopwatch watch;
+  while (watch.ElapsedMillis() < timeout_ms) {
+    if (predicate()) return true;
+    common::SleepMillis(10);
+  }
+  return predicate();
+}
+
+/// A frame of `n` records {id: "r<i>", n: i} for i in [start, start+n).
+inline hyracks::FramePtr FrameOf(int n, int start = 0) {
+  std::vector<adm::Value> records;
+  for (int i = start; i < start + n; ++i) {
+    records.push_back(adm::Value::Record(
+        {{"id", adm::Value::String("r" + std::to_string(i))},
+         {"n", adm::Value::Int64(i)}}));
+  }
+  return hyracks::MakeFrame(std::move(records));
+}
+
+/// A Tweet-typed dataset keyed by "id", optionally pinned to a nodegroup.
+inline storage::DatasetDef TweetsDataset(
+    const std::string& name, std::vector<std::string> nodegroup = {}) {
+  storage::DatasetDef def;
+  def.name = name;
+  def.datatype = "Tweet";
+  def.primary_key_field = "id";
+  def.nodegroup = std::move(nodegroup);
+  return def;
+}
+
+/// Instance options with short heartbeat timings so failure-detection
+/// tests converge in milliseconds instead of seconds.
+inline InstanceOptions FastOptions(int nodes) {
+  InstanceOptions options;
+  options.num_nodes = nodes;
+  options.heartbeat_period_ms = 10;
+  options.heartbeat_timeout_ms = 100;
+  return options;
+}
+
+}  // namespace testing
+}  // namespace asterix
+
+#endif  // ASTERIX_TESTS_TESTING_UTIL_H_
