@@ -34,6 +34,9 @@ struct RunOutput {
   feeds::SubscriberStats queue;
   std::string outcome;
   int final_width = 0;
+  // Same run observed through the metrics registry (Snapshot() path).
+  int64_t reg_collected = 0;
+  int64_t reg_stored = 0;
 };
 
 RunOutput RunPolicy(const std::string& policy) {
@@ -108,6 +111,13 @@ RunOutput RunPolicy(const std::string& policy) {
           : "feed alive";
   auto conn = db.feed_manager().GetConnection("BurstFeed", "Sink");
   if (conn.ok()) out.final_width = conn->compute_width;
+  // Snapshot while the connection's metric providers are still alive
+  // (they unregister when the ConnectionMetrics dies with the instance).
+  common::MetricsSnapshot snap = AsterixInstance::SnapshotMetrics();
+  out.reg_collected = snap.CounterValue("feed_records_collected_total",
+                                        {{"connection", "BurstFeed->Sink"}});
+  out.reg_stored = snap.CounterValue("feed_records_stored_total",
+                                     {{"connection", "BurstFeed->Sink"}});
   feeds::ExternalSourceRegistry::Instance().UnregisterChannel("pol:1");
   return out;
 }
@@ -142,6 +152,11 @@ int main() {
         static_cast<long long>(out.queue.records_throttled_away),
         static_cast<long long>(out.queue.frames_spilled),
         out.final_width, out.outcome.c_str());
+    std::printf(
+        "  registry: feed_records_collected_total=%lld "
+        "feed_records_stored_total=%lld {connection=\"BurstFeed->Sink\"}\n",
+        static_cast<long long>(out.reg_collected),
+        static_cast<long long>(out.reg_stored));
   }
   std::printf(
       "\nshape check (paper): Basic dies mid-burst; Spill persists "

@@ -12,6 +12,7 @@
 
 #include "asterix/asterix.h"
 #include "common/clock.h"
+#include "common/observability.h"
 #include "feeds/udf.h"
 #include "gen/simcpu.h"
 #include "gen/tweetgen.h"
@@ -54,6 +55,47 @@ inline void PrintTimeline(const std::string& label,
                 static_cast<long long>(bins[i]), bar.c_str(),
                 mark.c_str());
   }
+}
+
+/// Prints one histogram's p50/p95/p99/max/mean from a registry snapshot
+/// (skips silently when the histogram was never recorded).
+inline void PrintHistogramSummary(const common::MetricsSnapshot& snap,
+                                  const std::string& name,
+                                  const common::MetricLabels& labels = {}) {
+  const common::HistogramSnapshot* h = snap.Histogram(name, labels);
+  if (h == nullptr || h->count == 0) return;
+  std::printf("  %-32s n=%-8lld p50=%-8lld p95=%-8lld p99=%-8lld "
+              "max=%-8lld mean=%.1f (us)\n",
+              common::MetricsSnapshot::Key(name, labels).c_str(),
+              static_cast<long long>(h->count),
+              static_cast<long long>(h->Quantile(0.50)),
+              static_cast<long long>(h->Quantile(0.95)),
+              static_cast<long long>(h->Quantile(0.99)),
+              static_cast<long long>(h->max), h->Mean());
+}
+
+/// Writes the process-wide registry's Prometheus exposition to `path`.
+inline bool WriteMetricsExport(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::string text = common::MetricsRegistry::Default().Export();
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  return true;
+}
+
+/// Writes one `kind<TAB>name<TAB>labels` line per registered metric — the
+/// manifest the metrics-smoke harness cross-checks against the exposition.
+inline bool WriteMetricsManifest(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  for (const common::MetricInfo& m :
+       common::MetricsRegistry::Default().List()) {
+    std::fprintf(out, "%s\t%s\t%s\n", m.kind.c_str(), m.name.c_str(),
+                 m.labels.c_str());
+  }
+  std::fclose(out);
+  return true;
 }
 
 /// Waits until `predicate` holds or the timeout elapses.

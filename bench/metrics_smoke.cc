@@ -1,0 +1,283 @@
+// metrics-smoke: CI gate for the observability layer. Runs the ingest
+// bench briefly, then validates its metrics export:
+//   1. every line of BENCH_ingest_metrics.prom is well-formed Prometheus
+//      text exposition (`# TYPE name kind` or `name[{labels}] value`);
+//   2. histogram series are internally consistent (cumulative
+//      non-decreasing buckets, an le="+Inf" bucket equal to _count, a
+//      _sum sample);
+//   3. every metric in BENCH_ingest_metrics.manifest (the registry's own
+//      List()) appears in the exposition — Export() may not silently drop
+//      a registered metric.
+// Exit 0 on success; prints the first violation and exits 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+int Fail(const std::string& why) {
+  std::fprintf(stderr, "metrics-smoke FAIL: %s\n", why.c_str());
+  return 1;
+}
+
+bool IsMetricNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (!IsMetricNameChar(name[i], i == 0)) return false;
+  }
+  return true;
+}
+
+bool ValidValue(const std::string& v) {
+  if (v == "+Inf" || v == "-Inf" || v == "NaN") return true;
+  if (v.empty()) return false;
+  char* end = nullptr;
+  std::strtod(v.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// One parsed sample line.
+struct Sample {
+  std::string name;
+  std::string labels;  // raw `{...}` block or ""
+  std::string value;
+};
+
+/// Parses `name[{labels}] value`; returns false on malformed input.
+bool ParseSample(const std::string& line, Sample* out) {
+  size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  out->name = line.substr(0, i);
+  if (!ValidMetricName(out->name)) return false;
+  out->labels.clear();
+  if (i < line.size() && line[i] == '{') {
+    // Scan to the matching close brace, honoring quoted label values
+    // (which may contain escaped quotes and backslashes).
+    size_t start = i;
+    bool in_quotes = false;
+    for (++i; i < line.size(); ++i) {
+      char c = line[i];
+      if (in_quotes) {
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          in_quotes = false;
+        }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == '}') {
+        break;
+      }
+    }
+    if (i >= line.size() || line[i] != '}') return false;
+    out->labels = line.substr(start, i - start + 1);
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  out->value = line.substr(i + 1);
+  return ValidValue(out->value);
+}
+
+/// Extracts the value of label `key` from a raw `{...}` block; returns
+/// false when absent. Also appends every other label (raw `k="v"` text)
+/// to `rest` — used to group histogram buckets into series.
+bool SplitLabel(const std::string& block, const std::string& key,
+                std::string* value, std::string* rest) {
+  bool found = false;
+  rest->clear();
+  if (block.size() < 2) return false;
+  size_t i = 1;  // past '{'
+  while (i < block.size() - 1) {
+    size_t eq = block.find('=', i);
+    if (eq == std::string::npos || block[eq + 1] != '"') return false;
+    std::string k = block.substr(i, eq - i);
+    size_t j = eq + 2;
+    std::string v;
+    bool closed = false;
+    for (; j < block.size(); ++j) {
+      char c = block[j];
+      if (c == '\\' && j + 1 < block.size()) {
+        v += block[++j];
+      } else if (c == '"') {
+        closed = true;
+        break;
+      } else {
+        v += c;
+      }
+    }
+    if (!closed) return false;
+    if (k == key) {
+      *value = v;
+      found = true;
+    } else {
+      if (!rest->empty()) *rest += ",";
+      *rest += block.substr(i, j + 1 - i);
+    }
+    i = j + 1;
+    if (i < block.size() && block[i] == ',') ++i;
+  }
+  return found;
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix,
+               std::string* base) {
+  if (s.size() <= suffix.size() ||
+      s.compare(s.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  *base = s.substr(0, s.size() - suffix.size());
+  return true;
+}
+
+struct HistogramSeries {
+  std::vector<std::pair<std::string, double>> buckets;  // (le, cumulative)
+  bool has_sum = false;
+  bool has_count = false;
+  double count = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail("usage: metrics_smoke <bench_ingest_throughput> [records]");
+  }
+  std::string records = argc > 2 ? argv[2] : "12000";
+  std::string cmd = std::string("\"") + argv[1] + "\" " + records +
+                    " > metrics_smoke_bench.log 2>&1";
+  int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    return Fail("bench exited with status " + std::to_string(rc) +
+                " (see metrics_smoke_bench.log)");
+  }
+
+  std::ifstream prom("BENCH_ingest_metrics.prom");
+  if (!prom) return Fail("bench did not write BENCH_ingest_metrics.prom");
+
+  std::map<std::string, std::string> type_of;  // base name -> kind
+  std::set<std::string> sample_keys;           // "name{labels}" raw
+  std::map<std::string, HistogramSeries> series;  // "base{rest}" -> series
+  std::string line;
+  int lineno = 0;
+  while (std::getline(prom, line)) {
+    ++lineno;
+    std::string where = "line " + std::to_string(lineno) + ": " + line;
+    if (line.empty()) return Fail("blank line — " + where);
+    if (line[0] == '#') {
+      std::istringstream ss(line);
+      std::string hash, keyword, name, kind, extra;
+      ss >> hash >> keyword >> name >> kind;
+      if (hash != "#" || keyword != "TYPE" || !ValidMetricName(name) ||
+          (kind != "counter" && kind != "gauge" && kind != "histogram") ||
+          (ss >> extra)) {
+        return Fail("malformed # TYPE — " + where);
+      }
+      if (type_of.count(name) != 0) {
+        return Fail("duplicate # TYPE for " + name + " — " + where);
+      }
+      type_of[name] = kind;
+      continue;
+    }
+    Sample s;
+    if (!ParseSample(line, &s)) return Fail("malformed sample — " + where);
+    if (sample_keys.count(s.name + s.labels) != 0) {
+      return Fail("duplicate sample " + s.name + s.labels + " — " + where);
+    }
+    sample_keys.insert(s.name + s.labels);
+
+    // Every sample must belong to a declared metric: either its own TYPE
+    // line, or (for _bucket/_sum/_count) a declared histogram base.
+    std::string base;
+    if (HasSuffix(s.name, "_bucket", &base) &&
+        type_of.count(base) != 0 && type_of[base] == "histogram") {
+      std::string le, rest;
+      if (!SplitLabel(s.labels, "le", &le, &rest)) {
+        return Fail("histogram bucket without le label — " + where);
+      }
+      if (le != "+Inf" && !ValidValue(le)) {
+        return Fail("bad le value — " + where);
+      }
+      HistogramSeries& hs = series[base + "{" + rest + "}"];
+      double v = std::strtod(s.value.c_str(), nullptr);
+      if (!hs.buckets.empty() && v < hs.buckets.back().second) {
+        return Fail("bucket counts not cumulative — " + where);
+      }
+      hs.buckets.emplace_back(le, v);
+    } else if (HasSuffix(s.name, "_sum", &base) &&
+               type_of.count(base) != 0 && type_of[base] == "histogram") {
+      std::string le, rest;
+      SplitLabel(s.labels.empty() ? "{}" : s.labels, "le", &le, &rest);
+      series[base + "{" + rest + "}"].has_sum = true;
+    } else if (HasSuffix(s.name, "_count", &base) &&
+               type_of.count(base) != 0 && type_of[base] == "histogram") {
+      std::string le, rest;
+      SplitLabel(s.labels.empty() ? "{}" : s.labels, "le", &le, &rest);
+      HistogramSeries& hs = series[base + "{" + rest + "}"];
+      hs.has_count = true;
+      hs.count = std::strtod(s.value.c_str(), nullptr);
+    } else if (type_of.count(s.name) != 0 &&
+               type_of[s.name] != "histogram") {
+      // plain counter/gauge sample — fine
+    } else {
+      return Fail("sample without matching # TYPE — " + where);
+    }
+  }
+  if (sample_keys.empty()) return Fail("empty exposition");
+
+  for (const auto& [key, hs] : series) {
+    if (!hs.has_sum) return Fail("histogram missing _sum: " + key);
+    if (!hs.has_count) return Fail("histogram missing _count: " + key);
+    if (hs.buckets.empty() || hs.buckets.back().first != "+Inf") {
+      return Fail("histogram missing le=\"+Inf\" bucket: " + key);
+    }
+    if (hs.buckets.back().second != hs.count) {
+      return Fail("+Inf bucket != _count: " + key);
+    }
+  }
+
+  // Cross-check: every registered metric (the registry's own List(),
+  // written as the manifest) must appear in the exposition.
+  std::ifstream manifest("BENCH_ingest_metrics.manifest");
+  if (!manifest) {
+    return Fail("bench did not write BENCH_ingest_metrics.manifest");
+  }
+  int checked = 0;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    size_t t1 = line.find('\t');
+    size_t t2 = t1 == std::string::npos ? t1 : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      return Fail("malformed manifest line: " + line);
+    }
+    std::string kind = line.substr(0, t1);
+    std::string name = line.substr(t1 + 1, t2 - t1 - 1);
+    std::string labels = line.substr(t2 + 1);
+    std::string want = kind == "histogram" ? name + "_count" + labels
+                                           : name + labels;
+    if (sample_keys.count(want) == 0) {
+      return Fail("registered metric missing from export: " + kind + " " +
+                  name + labels + " (expected sample " + want + ")");
+    }
+    ++checked;
+  }
+  if (checked == 0) return Fail("empty manifest");
+
+  std::printf("metrics-smoke OK: %zu samples, %zu histogram series, "
+              "%d registered metrics all exported\n",
+              sample_keys.size(), series.size(), checked);
+  return 0;
+}

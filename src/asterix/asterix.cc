@@ -136,6 +136,14 @@ std::shared_ptr<feeds::ConnectionMetrics> AsterixInstance::FeedMetrics(
   return cfm_->GetMetrics(feed, dataset);
 }
 
+std::string AsterixInstance::ExportMetrics() {
+  return common::MetricsRegistry::Default().Export();
+}
+
+common::MetricsSnapshot AsterixInstance::SnapshotMetrics() {
+  return common::MetricsRegistry::Default().Snapshot();
+}
+
 Status AsterixInstance::InsertBatch(const std::string& dataset,
                                     std::vector<adm::Value> records) {
   ASSIGN_OR_RETURN(storage::DatasetCatalog::Entry entry,

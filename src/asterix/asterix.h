@@ -84,6 +84,13 @@ class AsterixInstance {
   std::shared_ptr<feeds::ConnectionMetrics> FeedMetrics(
       const std::string& feed, const std::string& dataset) const;
 
+  // --- observability ----------------------------------------------------
+  /// Prometheus-style text exposition of every metric in the process-wide
+  /// registry (feed counters, storage backlog gauges, latency histograms).
+  static std::string ExportMetrics();
+  /// Point-in-time snapshot of the same registry, for programmatic reads.
+  static common::MetricsSnapshot SnapshotMetrics();
+
   // --- DML / queries ----------------------------------------------------
   /// The conventional insert statement: compiles and schedules one
   /// Hyracks job for the given batch — incurring the per-statement

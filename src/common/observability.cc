@@ -1,0 +1,343 @@
+#include "common/observability.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace asterix {
+namespace common {
+
+namespace {
+
+// Escapes a label value per the Prometheus text exposition rules.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Bucket index for a recorded value: bucket 0 holds values <= 1, bucket i
+// holds (2^(i-1), 2^i]. Negative values (monotonic-clock anomalies) clamp
+// to bucket 0 rather than producing a bogus huge index.
+int BucketIndex(int64_t value) {
+  if (value <= 1) return 0;
+  int idx = std::bit_width(static_cast<uint64_t>(value - 1));
+  return std::min(idx, Histogram::kBuckets - 1);
+}
+
+// Inserts extra labels (e.g. le="...") into a canonical key that may or
+// may not already carry a label block.
+std::string KeyWithExtraLabel(const std::string& name, const std::string& key,
+                              const std::string& suffix,
+                              const std::string& extra) {
+  std::string labels = key.substr(name.size());  // "" or "{...}"
+  if (labels.empty()) return name + suffix + "{" + extra + "}";
+  labels.pop_back();  // drop '}'
+  return name + suffix + labels + "," + extra + "}";
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  int64_t target = static_cast<int64_t>(std::ceil(q * double(count)));
+  if (target < 1) target = 1;
+  int64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      // The bucket upper bound over-estimates for the last bucket a value
+      // landed in; clamping by the tracked max keeps quantiles monotone
+      // and <= Max().
+      return std::min(Histogram::BucketUpperBound(i), max);
+    }
+  }
+  return max;
+}
+
+std::string MetricsSnapshot::Key(const std::string& name,
+                                 const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ",";
+    key += sorted[i].first + "=\"" + EscapeLabelValue(sorted[i].second) + "\"";
+  }
+  key += "}";
+  return key;
+}
+
+int64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                      const MetricLabels& labels) const {
+  auto it = counters.find(Key(name, labels));
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name,
+                                    const MetricLabels& labels) const {
+  auto it = gauges.find(Key(name, labels));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+const HistogramSnapshot* MetricsSnapshot::Histogram(
+    const std::string& name, const MetricLabels& labels) const {
+  auto it = histograms.find(Key(name, labels));
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+MetricsRegistry::ProviderHandle::ProviderHandle(ProviderHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+MetricsRegistry::ProviderHandle& MetricsRegistry::ProviderHandle::operator=(
+    ProviderHandle&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void MetricsRegistry::ProviderHandle::Reset() {
+  if (registry_ != nullptr) {
+    registry_->Unregister(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  std::string key = MetricsSnapshot::Key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+    names_[key] = name;
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  std::string key = MetricsSnapshot::Key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+    names_[key] = name;
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels) {
+  std::string key = MetricsSnapshot::Key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+    names_[key] = name;
+  }
+  return slot.get();
+}
+
+MetricsRegistry::ProviderHandle MetricsRegistry::RegisterProvider(
+    const std::string& name, ProviderKind kind, const MetricLabels& labels,
+    std::function<int64_t()> fn) {
+  std::string key = MetricsSnapshot::Key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t id = next_provider_id_++;
+  providers_.push_back(Provider{id, kind, key, name, std::move(fn)});
+  return ProviderHandle(this, id);
+}
+
+void MetricsRegistry::Unregister(int64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_.erase(std::remove_if(providers_.begin(), providers_.end(),
+                                  [id](const Provider& p) {
+                                    return p.id == id;
+                                  }),
+                   providers_.end());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, counter] : counters_) {
+    snap.counters[key] = counter->Value();
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    snap.gauges[key] = gauge->Value();
+  }
+  for (const auto& [key, hist] : histograms_) {
+    HistogramSnapshot h;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      h.buckets[i] = hist->buckets_[i].load(std::memory_order_relaxed);
+    }
+    h.count = hist->count_.load(std::memory_order_relaxed);
+    h.sum = hist->sum_.load(std::memory_order_relaxed);
+    h.max = hist->max_.load(std::memory_order_relaxed);
+    snap.histograms[key] = h;
+  }
+  for (const auto& provider : providers_) {
+    int64_t v = provider.fn();
+    if (provider.kind == ProviderKind::kCounter) {
+      snap.counters[provider.key] = v;
+    } else {
+      snap.gauges[provider.key] = v;
+    }
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::Export() const {
+  MetricsSnapshot snap;
+  // name -> (kind, sample keys); names_ covers owned metrics, providers
+  // carry their own name.
+  std::map<std::string, std::pair<std::string, std::vector<std::string>>>
+      by_name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, counter] : counters_) {
+      snap.counters[key] = counter->Value();
+      auto& entry = by_name[names_.at(key)];
+      entry.first = "counter";
+      entry.second.push_back(key);
+    }
+    for (const auto& [key, gauge] : gauges_) {
+      snap.gauges[key] = gauge->Value();
+      auto& entry = by_name[names_.at(key)];
+      entry.first = "gauge";
+      entry.second.push_back(key);
+    }
+    for (const auto& [key, hist] : histograms_) {
+      HistogramSnapshot h;
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        h.buckets[i] = hist->buckets_[i].load(std::memory_order_relaxed);
+      }
+      h.count = hist->count_.load(std::memory_order_relaxed);
+      h.sum = hist->sum_.load(std::memory_order_relaxed);
+      h.max = hist->max_.load(std::memory_order_relaxed);
+      snap.histograms[key] = h;
+      auto& entry = by_name[names_.at(key)];
+      entry.first = "histogram";
+      entry.second.push_back(key);
+    }
+    for (const auto& provider : providers_) {
+      int64_t v = provider.fn();
+      const char* kind =
+          provider.kind == ProviderKind::kCounter ? "counter" : "gauge";
+      if (provider.kind == ProviderKind::kCounter) {
+        snap.counters[provider.key] = v;
+      } else {
+        snap.gauges[provider.key] = v;
+      }
+      auto& entry = by_name[provider.name];
+      entry.first = kind;
+      entry.second.push_back(provider.key);
+    }
+  }
+
+  std::ostringstream out;
+  for (auto& [name, entry] : by_name) {
+    auto& [kind, keys] = entry;
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    out << "# TYPE " << name << " " << kind << "\n";
+    for (const std::string& key : keys) {
+      if (kind == "histogram") {
+        const HistogramSnapshot& h = snap.histograms.at(key);
+        int highest = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          if (h.buckets[i] > 0) highest = i;
+        }
+        int64_t cumulative = 0;
+        for (int i = 0; i <= highest; ++i) {
+          cumulative += h.buckets[i];
+          out << KeyWithExtraLabel(
+                     name, key, "_bucket",
+                     "le=\"" +
+                         std::to_string(Histogram::BucketUpperBound(i)) +
+                         "\"")
+              << " " << cumulative << "\n";
+        }
+        out << KeyWithExtraLabel(name, key, "_bucket", "le=\"+Inf\"") << " "
+            << h.count << "\n";
+        std::string labels = key.substr(name.size());
+        out << name << "_sum" << labels << " " << h.sum << "\n";
+        out << name << "_count" << labels << " " << h.count << "\n";
+      } else {
+        int64_t v = kind == "counter" ? snap.counters.at(key)
+                                      : snap.gauges.at(key);
+        out << key << " " << v << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+std::vector<MetricInfo> MetricsRegistry::List() const {
+  std::vector<MetricInfo> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& kv : counters_) {
+    const std::string& name = names_.at(kv.first);
+    out.push_back(MetricInfo{"counter", name, kv.first.substr(name.size())});
+  }
+  for (const auto& kv : gauges_) {
+    const std::string& name = names_.at(kv.first);
+    out.push_back(MetricInfo{"gauge", name, kv.first.substr(name.size())});
+  }
+  for (const auto& kv : histograms_) {
+    const std::string& name = names_.at(kv.first);
+    out.push_back(MetricInfo{"histogram", name, kv.first.substr(name.size())});
+  }
+  for (const auto& provider : providers_) {
+    out.push_back(MetricInfo{
+        provider.kind == ProviderKind::kCounter ? "counter" : "gauge",
+        provider.name, provider.key.substr(provider.name.size())});
+  }
+  return out;
+}
+
+}  // namespace common
+}  // namespace asterix

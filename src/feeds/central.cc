@@ -162,7 +162,9 @@ Status CentralFeedManager::ConnectFeedLocked(const std::string& feed,
   conn.udf_chain = std::move(udf_chain);
   conn.head_root = path[0].name;
   conn.store_locations = ds.nodegroup;
-  conn.metrics = std::make_shared<ConnectionMetrics>();
+  // The connection id doubles as the registry label: every counter/gauge
+  // of this connection exports as feed_*{connection="<feed>-><dataset>"}.
+  conn.metrics = std::make_shared<ConnectionMetrics>(id);
   int width = options.compute_count > 0
                   ? options.compute_count
                   : static_cast<int>(cluster_->AliveNodeIds().size());
@@ -215,7 +217,7 @@ Status CentralFeedManager::BuildHeadLocked(
   PipelineConfig pcfg;
   pcfg.connection_id = "head:" + root.name;
   pcfg.policy = IngestionPolicy("Basic", {});
-  pcfg.metrics = std::make_shared<ConnectionMetrics>();
+  pcfg.metrics = std::make_shared<ConnectionMetrics>(pcfg.connection_id);
   pcfg.ack_bus = ack_bus_;
   pcfg.spill_dir = cluster_->options().storage_root;
 
@@ -616,6 +618,11 @@ void CentralFeedManager::HandleNodeRejoinLocked(
 }
 
 std::string CentralFeedManager::DescribeFeeds() const {
+  // Counters come from the registry snapshot (the same numbers Export()
+  // publishes), not from the ConnectionMetrics fields directly. Taken
+  // before mutex_ — Snapshot() runs providers that take pipeline locks.
+  common::MetricsSnapshot snap =
+      common::MetricsRegistry::Default().Snapshot();
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   for (const auto& [id, conn] : connections_) {
@@ -624,6 +631,7 @@ std::string CentralFeedManager::DescribeFeeds() const {
       out += " TERMINATED\n";
       continue;
     }
+    const common::MetricLabels labels = {{"connection", id}};
     out += conn.store_detached ? " (store detached)\n" : "\n";
     out += "  intake : " + common::Join(conn.intake_locations, " ") +
            "\n";
@@ -634,16 +642,22 @@ std::string CentralFeedManager::DescribeFeeds() const {
     out += "  store  : " + common::Join(conn.store_locations, " ") +
            "\n";
     out += "  records: collected=" +
-           std::to_string(conn.metrics->records_collected.load()) +
+           std::to_string(
+               snap.CounterValue("feed_records_collected_total", labels)) +
            " computed=" +
-           std::to_string(conn.metrics->records_computed.load()) +
+           std::to_string(
+               snap.CounterValue("feed_records_computed_total", labels)) +
            " stored=" +
-           std::to_string(conn.metrics->records_stored.load()) + "\n";
+           std::to_string(
+               snap.CounterValue("feed_records_stored_total", labels)) +
+           "\n";
   }
   for (const auto& [root, head] : heads_) {
     out += "head " + root + ": collect on " +
            common::Join(head.collect_locations, " ") + " (collected=" +
-           std::to_string(head.metrics->records_collected.load()) +
+           std::to_string(snap.CounterValue(
+               "feed_records_collected_total",
+               {{"connection", "head:" + root}})) +
            ")\n";
   }
   return out;
@@ -930,41 +944,41 @@ Status CentralFeedManager::Rescale(const std::string& feed,
 
 void CentralFeedManager::MonitorLoop(int64_t period_ms) {
   while (monitoring_.load()) {
+    // One registry snapshot per tick, taken BEFORE mutex_: Snapshot()
+    // evaluates the connection providers, which walk intake queues under
+    // their own locks. The decision itself is pure
+    // (policy.h::EvaluateElastic) and unit-testable against a synthetic
+    // snapshot.
+    common::MetricsSnapshot snap =
+        common::MetricsRegistry::Default().Snapshot();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       for (auto& [id, conn] : connections_) {
         if (conn.terminated || conn.store_detached ||
-            conn.policy.excess_mode() != ExcessMode::kElastic ||
             conn.udf_chain.empty()) {
           continue;
         }
-        int64_t pending = 0;
-        for (const auto& queue : conn.metrics->IntakeQueues()) {
-          pending += queue->pending_bytes();
-        }
-        int64_t high = conn.policy.memory_budget_bytes() / 4;
-        if (pending > high) {
-          ++conn.congestion_streak;
-          conn.idle_streak = 0;
-        } else if (pending < high / 8) {
-          ++conn.idle_streak;
-          conn.congestion_streak = 0;
-        } else {
-          conn.congestion_streak = 0;
-          conn.idle_streak = 0;
-        }
-        int alive = static_cast<int>(cluster_->AliveNodeIds().size());
-        if (conn.congestion_streak >= 3 && conn.compute_width < alive) {
-          LOG_MSG(kInfo) << "elastic scale-out of " << id << " to width "
-                         << conn.compute_width + 1;
-          RebuildTailLocked(&conn, {}, conn.compute_width + 1);
-          conn.congestion_streak = 0;
-        } else if (conn.idle_streak >= 20 &&
-                   conn.compute_width > conn.initial_compute_width) {
-          LOG_MSG(kInfo) << "elastic scale-in of " << id << " to width "
-                         << conn.compute_width - 1;
-          RebuildTailLocked(&conn, {}, conn.compute_width - 1);
-          conn.idle_streak = 0;
+        CongestionSignals signals;
+        signals.intake_pending_bytes =
+            snap.GaugeValue("feed_intake_pending_bytes",
+                            {{"connection", id}});
+        signals.compute_width = conn.compute_width;
+        signals.initial_compute_width = conn.initial_compute_width;
+        signals.alive_nodes =
+            static_cast<int>(cluster_->AliveNodeIds().size());
+        switch (EvaluateElastic(signals, conn.policy, &conn.congestion)) {
+          case ScaleDecision::kScaleOut:
+            LOG_MSG(kInfo) << "elastic scale-out of " << id << " to width "
+                           << conn.compute_width + 1;
+            RebuildTailLocked(&conn, {}, conn.compute_width + 1);
+            break;
+          case ScaleDecision::kScaleIn:
+            LOG_MSG(kInfo) << "elastic scale-in of " << id << " to width "
+                           << conn.compute_width - 1;
+            RebuildTailLocked(&conn, {}, conn.compute_width - 1);
+            break;
+          case ScaleDecision::kNone:
+            break;
         }
       }
     }

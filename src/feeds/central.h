@@ -66,9 +66,8 @@ struct ConnectionInfo {
   bool store_detached = false;  // partial dismantle (§5.5)
   bool terminated = false;
 
-  // Elastic monitor state.
-  int congestion_streak = 0;
-  int idle_streak = 0;
+  // Elastic monitor state (streaks persisted across monitor ticks).
+  CongestionState congestion;
   int initial_compute_width = 0;
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "common/failpoint.h"
+#include "feeds/trace.h"
 
 namespace asterix {
 namespace feeds {
@@ -59,6 +61,8 @@ Status FeedJoint::NextFrame(const FramePtr& frame) {
   // Delay actions model a congested joint; error actions fail the
   // routing task (a hard pipeline fault).
   ASTERIX_FAILPOINT("feeds.joint.route");
+  const hyracks::TraceContext tc = frame->trace();
+  const int64_t route_start_us = tc.sampled() ? common::NowMicros() : 0;
   // Snapshot recipients under the lock, deliver outside it: a slow
   // primary must not block subscriber registration, and vice versa.
   std::shared_ptr<hyracks::IFrameWriter> primary;
@@ -79,6 +83,20 @@ Status FeedJoint::NextFrame(const FramePtr& frame) {
     for (auto& subscriber : subscribers) {
       subscriber->Deliver(frame, bucket);
     }
+  }
+  if (tc.sampled()) {
+    // Detail span for routing + subscriber deliveries (no pipeline lock
+    // held here). The in-job primary forward is timed by downstream
+    // spans, not this one.
+    TraceSpan span;
+    span.trace_id = tc.id;
+    span.stage = "joint";
+    span.where = id_;
+    span.start_us = route_start_us;
+    span.duration_us = common::NowMicros() - route_start_us;
+    span.records = static_cast<int64_t>(frame->record_count());
+    span.detail = true;
+    Tracer::Instance().RecordSpan(std::move(span));
   }
   if (primary != nullptr) {
     // In-job forwarding last: it may block under this pipeline's own

@@ -60,9 +60,12 @@ class FeedJoint : public hyracks::IFrameWriter {
  private:
   const std::string id_;
   mutable std::mutex mutex_;
+  // pool_ must be declared before subscribers_: queue entries hold
+  // DataBucket* into the pool, and ~SubscriberQueue (run when
+  // subscribers_ drops the last reference) consumes them.
+  DataBucketPool pool_;
   std::shared_ptr<hyracks::IFrameWriter> primary_;
   std::vector<std::shared_ptr<SubscriberQueue>> subscribers_;
-  DataBucketPool pool_;
   bool closed_ = false;
   int64_t frames_routed_ = 0;
 };

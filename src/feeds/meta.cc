@@ -3,6 +3,7 @@
 #include "common/clock.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "feeds/trace.h"
 #include "hyracks/node.h"
 
 namespace asterix {
@@ -37,6 +38,28 @@ Status MetaFeedOperator::Open(TaskContext* ctx) {
 Status MetaFeedOperator::ProcessFrame(const FramePtr& frame,
                                       TaskContext* ctx) {
   ASTERIX_FAILPOINT("feeds.meta.process_frame");
+  const hyracks::TraceContext tc = frame->trace();
+  const int64_t start_us = tc.sampled() ? common::NowMicros() : 0;
+  Status result = ProcessFrameSandboxed(frame, ctx);
+  if (tc.sampled()) {
+    // Primary span for this wrapped operator instance ("assign0",
+    // "store", ...): the whole core call including soft-failure slicing.
+    TraceSpan span;
+    span.trace_id = tc.id;
+    span.stage = ctx->operator_name();
+    span.where = ctx->node_id();
+    span.partition = ctx->partition();
+    span.start_us = start_us;
+    span.duration_us = common::NowMicros() - start_us;
+    span.records = static_cast<int64_t>(frame->record_count());
+    span.status = result.ok() ? "ok" : "error";
+    Tracer::Instance().RecordSpan(std::move(span));
+  }
+  return result;
+}
+
+Status MetaFeedOperator::ProcessFrameSandboxed(const FramePtr& frame,
+                                               TaskContext* ctx) {
   if (!options_.sandbox_soft_failures) {
     return core_->ProcessFrame(frame, ctx);
   }
@@ -56,13 +79,26 @@ Status MetaFeedOperator::ProcessFrame(const FramePtr& frame,
         // the second chance a record gets after a whole-frame failure.
         ASTERIX_FAILPOINT_THROW("feeds.meta.slice");
         RETURN_IF_ERROR(core_->ProcessFrame(
-            hyracks::MakeFrame({record}), ctx));
+            hyracks::MakeFrame({record}, frame->trace()), ctx));
         consecutive_failures_ = 0;
       } catch (const std::exception& e) {
         ++soft_failures_;
         ++consecutive_failures_;
         if (options_.metrics != nullptr) {
           options_.metrics->soft_failures.fetch_add(1);
+        }
+        if (frame->trace().sampled()) {
+          // Terminal detail span: this record left the pipeline here.
+          TraceSpan span;
+          span.trace_id = frame->trace().id;
+          span.stage = "soft-failure";
+          span.where = ctx->operator_name();
+          span.partition = ctx->partition();
+          span.start_us = common::NowMicros();
+          span.records = 1;
+          span.detail = true;
+          span.status = "soft-failure";
+          Tracer::Instance().RecordSpan(std::move(span));
         }
         LogSoftFailure(record, e.what(), ctx);
         if (consecutive_failures_ >

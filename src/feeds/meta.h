@@ -56,6 +56,8 @@ class MetaFeedOperator : public hyracks::Operator {
   int64_t soft_failures() const { return soft_failures_; }
 
  private:
+  common::Status ProcessFrameSandboxed(const hyracks::FramePtr& frame,
+                                       hyracks::TaskContext* ctx);
   void LogSoftFailure(const adm::Value& record, const std::string& what,
                       hyracks::TaskContext* ctx);
 

@@ -4,6 +4,7 @@
 #ifndef ASTERIX_FEEDS_METRICS_H_
 #define ASTERIX_FEEDS_METRICS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/observability.h"
 
 namespace asterix {
 namespace feeds {
@@ -24,11 +26,24 @@ class IntervalCounter {
   explicit IntervalCounter(int64_t bin_width_ms = 250)
       : bin_width_ms_(bin_width_ms), start_ms_(common::NowMillis()) {}
 
-  void Add(int64_t n = 1) {
-    int64_t bin = (common::NowMillis() - start_ms_) / bin_width_ms_;
+  void Add(int64_t n = 1) { AddAtMillis(common::NowMillis(), n); }
+
+  /// Records `n` events at wall instant `now_ms` (test seam; Add() passes
+  /// the current clock).
+  void AddAtMillis(int64_t now_ms, int64_t n = 1) {
     std::lock_guard<std::mutex> lock(mutex_);
+    // start_ms_ is read under the lock: a concurrent Reset() can move it
+    // past `now_ms`, making the bin negative — clamp to the first bin
+    // instead of indexing out of bounds.
+    int64_t bin = (now_ms - start_ms_) / bin_width_ms_;
+    if (bin < 0) bin = 0;
     if (bin >= static_cast<int64_t>(bins_.size())) {
-      bins_.resize(static_cast<size_t>(bin) + 1, 0);
+      // Geometric growth so a laggard bin doesn't reallocate on every Add.
+      size_t needed = static_cast<size_t>(bin) + 1;
+      if (needed > bins_.capacity()) {
+        bins_.reserve(std::max(needed, bins_.capacity() * 2 + 16));
+      }
+      bins_.resize(needed, 0);
     }
     bins_[static_cast<size_t>(bin)] += n;
   }
@@ -56,8 +71,18 @@ class IntervalCounter {
 };
 
 /// Shared runtime metrics for one feed connection. Operators update the
-/// counters; the congestion monitor and the benches read them.
+/// counters; the congestion monitor and the benches read them via
+/// MetricsRegistry::Snapshot() — constructing with a connection id
+/// publishes every field into the process-wide registry as a
+/// provider-backed metric labeled {connection=<id>}. The providers
+/// unregister in the destructor, so a torn-down connection stops
+/// exporting.
 struct ConnectionMetrics {
+  ConnectionMetrics() = default;
+  /// Registers registry providers for this connection. An empty id skips
+  /// registration (unpublished scratch metrics, e.g. in unit tests).
+  explicit ConnectionMetrics(const std::string& connection_id);
+
   // r_a, r_c, r_s of Table 7.1: records arriving from the source, records
   // through the compute stage, records persisted+indexed.
   std::atomic<int64_t> records_collected{0};
@@ -94,6 +119,11 @@ struct ConnectionMetrics {
     std::lock_guard<std::mutex> lock(mutex);
     intake_queues.clear();
   }
+
+ private:
+  // Declared last so providers unregister before any field they read is
+  // destroyed.
+  std::vector<common::MetricsRegistry::ProviderHandle> provider_handles_;
 };
 
 }  // namespace feeds

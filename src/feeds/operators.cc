@@ -3,7 +3,9 @@
 #include <stdexcept>
 
 #include "adm/parser.h"
+#include "common/clock.h"
 #include "common/logging.h"
+#include "feeds/trace.h"
 
 namespace asterix {
 namespace feeds {
@@ -34,6 +36,9 @@ Status FeedCollectOperator::Open(TaskContext* ctx) {
 Status FeedCollectOperator::Run(TaskContext* ctx) {
   hyracks::FrameAppender appender(ctx->writer(),
                                   pipeline_.frame_records);
+  // Traces are born here, at the source: each emitted frame draws a fresh
+  // sampling decision when its first record arrives.
+  appender.SetTraceSource([] { return Tracer::Instance().StartTrace(); });
   const int64_t max_soft =
       pipeline_.policy.max_consecutive_soft_failures();
   const bool recover_soft = pipeline_.policy.recover_soft_failure();
@@ -163,7 +168,44 @@ Status FeedIntakeOperator::Open(TaskContext* ctx) {
 
 Status FeedIntakeOperator::ForwardFrame(const FramePtr& frame,
                                         TaskContext* ctx) {
-  if (!at_least_once_) return ctx->writer()->NextFrame(frame);
+  hyracks::TraceContext tc = frame->trace();
+  if (!tc.sampled()) {
+    // Frames arriving untraced (zombie restores, spill round-trips, heads
+    // built before sampling was enabled) get stamped at intake — one
+    // relaxed load when sampling is off.
+    tc = Tracer::Instance().StartTrace();
+  }
+  const int64_t start_us = tc.sampled() ? common::NowMicros() : 0;
+  Status result = ForwardTagged(frame, tc, ctx);
+  if (tc.sampled()) {
+    // Primary span: augmentation + downstream router hand-off.
+    TraceSpan span;
+    span.trace_id = tc.id;
+    span.stage = "intake";
+    span.where = ctx->node_id();
+    span.partition = ctx->partition();
+    span.start_us = start_us;
+    span.duration_us = common::NowMicros() - start_us;
+    span.records = static_cast<int64_t>(frame->record_count());
+    span.status = result.ok() ? "ok" : "error";
+    Tracer::Instance().RecordSpan(std::move(span));
+  }
+  return result;
+}
+
+Status FeedIntakeOperator::ForwardTagged(const FramePtr& frame,
+                                         const hyracks::TraceContext& tc,
+                                         TaskContext* ctx) {
+  if (!at_least_once_) {
+    if (tc.sampled() && !frame->trace().sampled()) {
+      // Re-wrap to carry the trace minted above (records are shared
+      // values; only the frame shell is rebuilt).
+      std::vector<Value> records = frame->records();
+      return ctx->writer()->NextFrame(hyracks::MakeFrame(
+          std::move(records), frame->ApproxBytes(), tc));
+    }
+    return ctx->writer()->NextFrame(frame);
+  }
   // Augment records with tracking ids at forward time and remember them
   // until the store stage acks (§5.6). Records restored from a zombie
   // handoff already carry a tracking id; they keep it and are re-tracked
@@ -187,7 +229,7 @@ Status FeedIntakeOperator::ForwardFrame(const FramePtr& frame,
     augmented.push_back(std::move(copy));
   }
   return ctx->writer()->NextFrame(
-      hyracks::MakeFrame(std::move(augmented)));
+      hyracks::MakeFrame(std::move(augmented), tc));
 }
 
 Status FeedIntakeOperator::Run(TaskContext* ctx) {
@@ -276,7 +318,26 @@ Status FeedIntakeOperator::Run(TaskContext* ctx) {
         if (!expired.empty()) {
           pipeline_.metrics->records_replayed.fetch_add(
               static_cast<int64_t>(expired.size()));
-          FramePtr replay = hyracks::MakeFrame(std::move(expired));
+          const int64_t replayed = static_cast<int64_t>(expired.size());
+          // A replay frame starts a fresh trace (the original frame's
+          // trace already terminated, at the store or in a failure); the
+          // "replay" span links the restart for trace-conservation
+          // accounting.
+          hyracks::TraceContext replay_tc = Tracer::Instance().StartTrace();
+          FramePtr replay =
+              hyracks::MakeFrame(std::move(expired), replay_tc);
+          if (replay_tc.sampled()) {
+            TraceSpan span;
+            span.trace_id = replay_tc.id;
+            span.stage = "replay";
+            span.where = pipeline_.connection_id;
+            span.partition = ctx->partition();
+            span.start_us = replay_tc.start_us;
+            span.records = replayed;
+            span.detail = true;
+            span.status = "replay";
+            Tracer::Instance().RecordSpan(std::move(span));
+          }
           if (mode_.load() == Mode::kBuffer) {
             held_.push_back(std::move(replay));
           } else {
@@ -321,9 +382,16 @@ Status AssignOperator::Open(TaskContext* ctx) {
 Status AssignOperator::ProcessFrame(const FramePtr& frame,
                                     TaskContext* ctx) {
   hyracks::FrameAppender appender(ctx->writer(), pipeline_.frame_records);
+  // Output frames inherit the input frame's trace (re-batching preserves
+  // identity through the compute stage).
+  const hyracks::TraceContext tc = frame->trace();
+  appender.SetTrace(tc);
+  int64_t udf_us = 0;
+  const int64_t udf_start_us = tc.sampled() ? common::NowMicros() : 0;
   for (const Value& record : frame->records()) {
     Value current = record;
     bool filtered = false;
+    const int64_t apply_start_us = tc.sampled() ? common::NowMicros() : 0;
     for (auto& udf : udfs_) {
       auto result = udf->Apply(current);  // may throw (soft failure)
       if (!result.has_value()) {
@@ -332,9 +400,24 @@ Status AssignOperator::ProcessFrame(const FramePtr& frame,
       }
       current = std::move(*result);
     }
+    if (tc.sampled()) udf_us += common::NowMicros() - apply_start_us;
     if (filtered) continue;
     pipeline_.metrics->records_computed.fetch_add(1);
     RETURN_IF_ERROR(appender.Append(std::move(current)));
+  }
+  if (tc.sampled() && !frame->empty()) {
+    // Detail span: pure UDF time, excluding downstream forwarding done
+    // inside Append/FlushFrame.
+    TraceSpan span;
+    span.trace_id = tc.id;
+    span.stage = "udf";
+    span.where = ctx->operator_name();
+    span.partition = ctx->partition();
+    span.start_us = udf_start_us;
+    span.duration_us = udf_us;
+    span.records = static_cast<int64_t>(frame->record_count());
+    span.detail = true;
+    Tracer::Instance().RecordSpan(std::move(span));
   }
   return appender.FlushFrame();
 }
@@ -357,6 +440,9 @@ Status FeedStoreOperator::Open(TaskContext* ctx) {
         pipeline_.ack_bus, pipeline_.connection_id,
         pipeline_.policy.ack_window_ms());
   }
+  e2e_latency_ = common::MetricsRegistry::Default().GetHistogram(
+      "feed_intake_to_store_latency_us",
+      {{"connection", pipeline_.connection_id}});
   return Status::OK();
 }
 
@@ -388,6 +474,10 @@ Status FeedStoreOperator::ProcessFrame(const FramePtr& frame,
   pipeline_.metrics->store_merge_backlog.store(
       static_cast<int64_t>(partition_->primary().merge_backlog()),
       std::memory_order_relaxed);
+  if (frame->trace().sampled()) {
+    // End of the line for this trace: trace birth -> durably inserted.
+    e2e_latency_->Record(common::NowMicros() - frame->trace().start_us);
+  }
   return Status::OK();
 }
 

@@ -93,6 +93,9 @@ class FeedIntakeOperator : public hyracks::Operator {
 
   common::Status ForwardFrame(const hyracks::FramePtr& frame,
                               hyracks::TaskContext* ctx);
+  common::Status ForwardTagged(const hyracks::FramePtr& frame,
+                               const hyracks::TraceContext& tc,
+                               hyracks::TaskContext* ctx);
 
   const std::string source_joint_id_;
   PipelineConfig pipeline_;
@@ -141,6 +144,9 @@ class FeedStoreOperator : public hyracks::Operator {
   PipelineConfig pipeline_;
   storage::DatasetPartition* partition_ = nullptr;
   std::unique_ptr<AckCollector> acks_;
+  // Cached registry histogram: end-to-end intake->store latency for
+  // traced frames. Record() is lock-free.
+  common::Histogram* e2e_latency_ = nullptr;
 };
 
 }  // namespace feeds

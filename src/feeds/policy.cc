@@ -1,5 +1,6 @@
 #include "feeds/policy.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace asterix {
@@ -69,6 +70,43 @@ ExcessMode IngestionPolicy::excess_mode() const {
   if (GetBool(kExcessRecordsThrottle, false)) return ExcessMode::kThrottle;
   if (GetBool(kExcessRecordsElastic, false)) return ExcessMode::kElastic;
   return ExcessMode::kBlock;
+}
+
+ScaleDecision EvaluateElastic(const CongestionSignals& signals,
+                              const IngestionPolicy& policy,
+                              CongestionState* state) {
+  if (policy.excess_mode() != ExcessMode::kElastic) return ScaleDecision::kNone;
+  int64_t high = policy.memory_budget_bytes() / kCongestionBudgetDivisor;
+  if (signals.intake_pending_bytes > high) {
+    ++state->congestion_streak;
+    state->idle_streak = 0;
+  } else if (signals.intake_pending_bytes < high / kIdleDivisor) {
+    ++state->idle_streak;
+    state->congestion_streak = 0;
+  } else {
+    state->congestion_streak = 0;
+    state->idle_streak = 0;
+  }
+  if (state->congestion_streak >= kElasticScaleOutStreak &&
+      signals.compute_width < signals.alive_nodes) {
+    state->congestion_streak = 0;
+    return ScaleDecision::kScaleOut;
+  }
+  if (state->idle_streak >= kElasticScaleInStreak &&
+      signals.compute_width > signals.initial_compute_width) {
+    state->idle_streak = 0;
+    return ScaleDecision::kScaleIn;
+  }
+  return ScaleDecision::kNone;
+}
+
+double ThrottleKeepProbability(int64_t pending_bytes, int64_t incoming_bytes,
+                               int64_t memory_budget_bytes) {
+  bool over_budget = pending_bytes + incoming_bytes > memory_budget_bytes;
+  if (!over_budget && pending_bytes <= memory_budget_bytes / 2) return 1.0;
+  double fill = static_cast<double>(pending_bytes) /
+                static_cast<double>(memory_budget_bytes);
+  return std::clamp(1.0 - fill, kThrottleMinKeep, 1.0);
 }
 
 PolicyRegistry::PolicyRegistry() {

@@ -107,6 +107,58 @@ class IngestionPolicy {
   std::map<std::string, std::string> params_;
 };
 
+// --- Congestion decision logic (Ch. 7) -------------------------------------
+//
+// The raw decision functions used by the congestion monitor and the
+// throttle excess mode, factored out so they can be driven from a
+// synthetic MetricsRegistry::Snapshot in tests. Thresholds relative to
+// the policy's memory budget B:
+//   * congestion when pending intake bytes > B / kCongestionBudgetDivisor
+//   * idle when pending < (B / kCongestionBudgetDivisor) / kIdleDivisor
+//   * scale out after kElasticScaleOutStreak consecutive congested ticks
+//     (if compute width < alive nodes)
+//   * scale in after kElasticScaleInStreak consecutive idle ticks (if
+//     width > the connection's initial width)
+//   * throttling engages when the queue is over budget or more than half
+//     full; keep probability = clamp(1 - fill, kThrottleMinKeep, 1).
+
+inline constexpr int kElasticScaleOutStreak = 3;
+inline constexpr int kElasticScaleInStreak = 20;
+inline constexpr int kCongestionBudgetDivisor = 4;
+inline constexpr int kIdleDivisor = 8;
+inline constexpr double kThrottleMinKeep = 0.05;
+
+/// Signals one monitor tick feeds into the Elastic decision (values read
+/// from a MetricsRegistry snapshot plus cluster state).
+struct CongestionSignals {
+  int64_t intake_pending_bytes = 0;
+  int compute_width = 1;
+  int initial_compute_width = 1;
+  int alive_nodes = 1;
+};
+
+/// Streak accumulators, persisted across ticks by the caller.
+struct CongestionState {
+  int congestion_streak = 0;
+  int idle_streak = 0;
+};
+
+enum class ScaleDecision { kNone, kScaleOut, kScaleIn };
+
+/// Applies one monitor tick. Updates `state`'s streaks and returns the
+/// rescale decision (resetting the triggering streak). Non-Elastic
+/// policies always return kNone.
+ScaleDecision EvaluateElastic(const CongestionSignals& signals,
+                              const IngestionPolicy& policy,
+                              CongestionState* state);
+
+/// Keep probability the Throttle excess mode applies to an arriving
+/// frame: 1.0 while the queue is under half its budget and the frame
+/// fits, else falling linearly with queue fill, floored at
+/// kThrottleMinKeep.
+double ThrottleKeepProbability(int64_t pending_bytes, int64_t incoming_bytes,
+                               int64_t memory_budget_bytes);
+
 /// The registry of built-in + user-created policies (the policy slice of
 /// the Metadata dataverse).
 class PolicyRegistry {

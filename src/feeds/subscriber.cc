@@ -8,6 +8,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "feeds/trace.h"
 
 namespace asterix {
 namespace feeds {
@@ -81,7 +82,7 @@ FramePtr SubscriberQueue::SampleFrame(const FramePtr& frame,
     }
   }
   if (kept.empty()) return nullptr;
-  return hyracks::MakeFrame(std::move(kept));
+  return hyracks::MakeFrame(std::move(kept), frame->trace());
 }
 
 void SubscriberQueue::SpillLocked(const FramePtr& frame) {
@@ -150,12 +151,45 @@ void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
   // Delay action = a stalled subscriber back-pressuring the joint.
   // Deliberately before the lock so a stall never blocks Next() readers.
   ASTERIX_FAILPOINT_HIT("feeds.subscriber.deliver");
-  std::lock_guard<std::mutex> lock(mutex_);
+  const hyracks::TraceContext tc = frame->trace();
+  TraceSpan span;
+  const bool traced = tc.sampled();
+  if (traced) {
+    // The "source" primary span covers everything from trace birth at the
+    // adaptor to arrival in this queue (fetch, batching, joint routing).
+    span.trace_id = tc.id;
+    span.where = options_.name;
+    span.start_us = tc.start_us;
+    span.duration_us = common::NowMicros() - tc.start_us;
+    span.records = static_cast<int64_t>(frame->record_count());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DeliverLocked(std::move(frame), bucket, traced ? &span : nullptr);
+  }
+  // Recorded after unlocking: RecordSpan takes the tracer (and possibly
+  // registry) mutex, which a Snapshot() provider holds around this
+  // queue's mutex.
+  if (traced && !span.stage.empty()) {
+    Tracer::Instance().RecordSpan(std::move(span));
+  }
+}
+
+void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
+                                    TraceSpan* span) {
   auto consume = [&] {
     if (bucket != nullptr) bucket->Consume();
   };
+  auto outcome = [&](const char* stage, const char* status) {
+    if (span != nullptr) {
+      span->stage = stage;
+      span->status = status;
+      span->detail = true;  // terminal drop spans don't tile the path
+    }
+  };
   if (ended_) {
     consume();
+    outcome("discarded", "ended");
     return;
   }
   int64_t frame_bytes = static_cast<int64_t>(frame->ApproxBytes());
@@ -168,7 +202,17 @@ void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
         std::max(stats_.peak_pending_bytes, pending_bytes_);
     ++stats_.frames_delivered;
     stats_.records_delivered += static_cast<int64_t>(f->record_count());
-    entries_.push_back({std::move(f), b});
+    if (span != nullptr) {
+      span->stage = "source";
+      span->status = "ok";
+      span->detail = false;
+      span->records = static_cast<int64_t>(f->record_count());
+    }
+    Entry entry;
+    entry.frame = std::move(f);
+    entry.bucket = b;
+    if (span != nullptr) entry.deliver_us = common::NowMicros();
+    entries_.push_back(std::move(entry));
     not_empty_.notify_one();
   };
 
@@ -176,7 +220,11 @@ void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
     // Spill-overflow fallback: regulate the inflow by sampling.
     FramePtr sampled = SampleFrame(frame, 0.5);
     consume();
-    if (sampled != nullptr) append(std::move(sampled), nullptr);
+    if (sampled != nullptr) {
+      append(std::move(sampled), nullptr);
+    } else {
+      outcome("throttled", "throttled");
+    }
     return;
   }
 
@@ -192,6 +240,7 @@ void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
             "feed '" + options_.name + "' exhausted its memory budget (" +
             std::to_string(options_.memory_budget_bytes) + " bytes)");
         consume();
+        outcome("discarded", "error");
         not_empty_.notify_all();
         return;
       }
@@ -207,18 +256,26 @@ void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
                            << ": spill budget exhausted; throttling";
             FramePtr sampled = SampleFrame(frame, 0.5);
             consume();
-            if (sampled != nullptr) append(std::move(sampled), nullptr);
+            if (sampled != nullptr) {
+              append(std::move(sampled), nullptr);
+            } else {
+              outcome("throttled", "throttled");
+            }
           } else {
             failed_.store(true);
             failure_ = Status::ResourceExhausted(
                 "feed '" + options_.name + "' exhausted its spill budget");
             consume();
+            outcome("discarded", "error");
             not_empty_.notify_all();
           }
           return;
         }
         SpillLocked(frame);
         consume();
+        // The spill file stores raw records; the trace does not survive
+        // the round-trip, so this span is the trace's terminal.
+        outcome("spilled", "spilled");
         not_empty_.notify_one();
         return;
       }
@@ -237,22 +294,25 @@ void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
         stats_.records_discarded +=
             static_cast<int64_t>(frame->record_count());
         consume();
+        outcome("discarded", "discarded");
         return;
       }
       append(std::move(frame), bucket);
       return;
     }
     case ExcessMode::kThrottle: {
-      if (over_budget ||
-          pending_bytes_ > options_.memory_budget_bytes / 2) {
-        // Adaptive sampling: the fuller the queue, the lower the keep
-        // probability, regulating the effective arrival rate.
-        double fill = static_cast<double>(pending_bytes_) /
-                      static_cast<double>(options_.memory_budget_bytes);
-        double keep = std::clamp(1.0 - fill, 0.05, 1.0);
+      // Adaptive sampling: the fuller the queue, the lower the keep
+      // probability, regulating the effective arrival rate.
+      double keep = ThrottleKeepProbability(pending_bytes_, frame_bytes,
+                                            options_.memory_budget_bytes);
+      if (keep < 1.0) {
         FramePtr sampled = SampleFrame(frame, keep);
         consume();
-        if (sampled != nullptr) append(std::move(sampled), nullptr);
+        if (sampled != nullptr) {
+          append(std::move(sampled), nullptr);
+        } else {
+          outcome("throttled", "throttled");
+        }
         return;
       }
       append(std::move(frame), bucket);
@@ -265,6 +325,20 @@ void SubscriberQueue::DeliverEnd() {
   std::lock_guard<std::mutex> lock(mutex_);
   ended_ = true;
   not_empty_.notify_all();
+}
+
+void SubscriberQueue::RecordQueueSpan(const Entry& entry,
+                                      int64_t pop_us) const {
+  // Called after mutex_ is released. The "queue" primary span covers the
+  // frame's residency in this subscriber queue.
+  TraceSpan span;
+  span.trace_id = entry.frame->trace().id;
+  span.stage = "queue";
+  span.where = options_.name;
+  span.start_us = entry.deliver_us;
+  span.duration_us = pop_us - entry.deliver_us;
+  span.records = static_cast<int64_t>(entry.frame->record_count());
+  Tracer::Instance().RecordSpan(std::move(span));
 }
 
 std::optional<FramePtr> SubscriberQueue::Next(int64_t timeout_ms) {
@@ -283,6 +357,10 @@ std::optional<FramePtr> SubscriberQueue::Next(int64_t timeout_ms) {
   entries_.pop_front();
   pending_bytes_ -= static_cast<int64_t>(entry.frame->ApproxBytes());
   if (entry.bucket != nullptr) entry.bucket->Consume();
+  lock.unlock();
+  if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
+    RecordQueueSpan(entry, common::NowMicros());
+  }
   return entry.frame;
 }
 
@@ -299,12 +377,21 @@ std::vector<FramePtr> SubscriberQueue::NextBatch(int64_t timeout_ms,
   if (entries_.empty() && spill_pending_frames_ > 0) {
     RestoreFromSpillLocked();
   }
+  std::vector<Entry> popped;
   while (!entries_.empty() && batch.size() < max_frames) {
     Entry entry = std::move(entries_.front());
     entries_.pop_front();
     pending_bytes_ -= static_cast<int64_t>(entry.frame->ApproxBytes());
     if (entry.bucket != nullptr) entry.bucket->Consume();
-    batch.push_back(std::move(entry.frame));
+    batch.push_back(entry.frame);
+    if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
+      popped.push_back(std::move(entry));
+    }
+  }
+  lock.unlock();
+  if (!popped.empty()) {
+    int64_t pop_us = common::NowMicros();
+    for (const Entry& entry : popped) RecordQueueSpan(entry, pop_us);
   }
   return batch;
 }

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -24,6 +25,7 @@ namespace asterix {
 namespace feeds {
 
 class DataBucketPool;
+struct TraceSpan;
 
 /// The paper's Data Bucket: a frame holder carrying a consumer counter.
 /// Shared by all subscribers of a joint in shared mode; returned to the
@@ -129,8 +131,15 @@ class SubscriberQueue {
   struct Entry {
     hyracks::FramePtr frame;
     DataBucket* bucket = nullptr;  // consumed on pop
+    int64_t deliver_us = 0;        // enqueue instant, traced frames only
   };
 
+  // Excess handling under mutex_; fills `span` (non-null iff the frame is
+  // traced) with the delivery outcome. The caller records it after
+  // unlocking — RecordSpan must not run under a queue mutex.
+  void DeliverLocked(hyracks::FramePtr frame, DataBucket* bucket,
+                     TraceSpan* span);
+  void RecordQueueSpan(const Entry& entry, int64_t pop_us) const;
   void SpillLocked(const hyracks::FramePtr& frame);
   bool RestoreFromSpillLocked();
   hyracks::FramePtr SampleFrame(const hyracks::FramePtr& frame,

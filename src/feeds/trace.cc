@@ -1,0 +1,175 @@
+#include "feeds/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/clock.h"
+
+namespace asterix {
+namespace feeds {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer& Tracer::Instance() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetSamplingRate(double rate) {
+  rate = std::clamp(rate, 0.0, 1.0);
+  sampling_permille_.store(static_cast<int>(std::lround(rate * 1000.0)),
+                           std::memory_order_relaxed);
+}
+
+double Tracer::sampling_rate() const {
+  return sampling_permille_.load(std::memory_order_relaxed) / 1000.0;
+}
+
+hyracks::TraceContext Tracer::StartTrace() {
+  int permille = sampling_permille_.load(std::memory_order_relaxed);
+  if (permille <= 0) return {};
+  if (permille < 1000) {
+    // Stride sampling: deterministic, no per-call RNG state.
+    uint64_t stride = static_cast<uint64_t>(1000 / permille);
+    if (sample_counter_.fetch_add(1, std::memory_order_relaxed) % stride !=
+        0) {
+      return {};
+    }
+  }
+  hyracks::TraceContext tc;
+  tc.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  tc.start_us = common::NowMicros();
+  traces_started_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ids_.push_back(tc.id);
+  while (started_ids_.size() > ring_capacity_) started_ids_.pop_front();
+  return tc;
+}
+
+common::Histogram* Tracer::StageHistogramLocked(const std::string& stage) {
+  auto it = stage_histograms_.find(stage);
+  if (it != stage_histograms_.end()) return it->second;
+  // Lock order tracer -> registry is safe: the registry never calls into
+  // the tracer.
+  common::Histogram* h = common::MetricsRegistry::Default().GetHistogram(
+      "feed_stage_latency_us", {{"stage", stage}});
+  stage_histograms_.emplace(stage, h);
+  return h;
+}
+
+void Tracer::RecordSpan(TraceSpan span) {
+  common::Histogram* hist;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hist = StageHistogramLocked(span.stage);
+    ring_.push_back(std::move(span));
+    while (ring_.size() > ring_capacity_) ring_.pop_front();
+    hist->Record(ring_.back().duration_us);
+  }
+}
+
+void Tracer::SetRingCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_capacity_ = std::max<size_t>(capacity, 1);
+  while (ring_.size() > ring_capacity_) ring_.pop_front();
+  while (started_ids_.size() > ring_capacity_) started_ids_.pop_front();
+}
+
+std::vector<TraceSpan> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<TraceSpan>(ring_.begin(), ring_.end());
+}
+
+std::vector<TraceSpan> Tracer::SpansForTrace(uint64_t trace_id) const {
+  std::vector<TraceSpan> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TraceSpan& s : ring_) {
+    if (s.trace_id == trace_id) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<uint64_t> Tracer::StartedTraceIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<uint64_t>(started_ids_.begin(), started_ids_.end());
+}
+
+std::string Tracer::DumpJson(size_t max_traces) const {
+  // Group by trace id preserving first-seen (≈ start) order.
+  std::vector<std::pair<uint64_t, std::vector<TraceSpan>>> traces;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<uint64_t, size_t> index;
+    for (const TraceSpan& s : ring_) {
+      auto it = index.find(s.trace_id);
+      if (it == index.end()) {
+        index[s.trace_id] = traces.size();
+        traces.push_back({s.trace_id, {s}});
+      } else {
+        traces[it->second].second.push_back(s);
+      }
+    }
+  }
+  size_t first = traces.size() > max_traces ? traces.size() - max_traces : 0;
+  std::ostringstream out;
+  out << "[";
+  for (size_t t = first; t < traces.size(); ++t) {
+    auto& [id, spans] = traces[t];
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceSpan& a, const TraceSpan& b) {
+                       return a.start_us < b.start_us;
+                     });
+    if (t > first) out << ",";
+    out << "{\"trace\":" << id << ",\"spans\":[";
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const TraceSpan& s = spans[i];
+      if (i > 0) out << ",";
+      out << "{\"stage\":\"" << JsonEscape(s.stage) << "\""
+          << ",\"where\":\"" << JsonEscape(s.where) << "\""
+          << ",\"partition\":" << s.partition
+          << ",\"start_us\":" << s.start_us
+          << ",\"duration_us\":" << s.duration_us
+          << ",\"records\":" << s.records
+          << ",\"detail\":" << (s.detail ? "true" : "false")
+          << ",\"status\":\"" << JsonEscape(s.status) << "\"}";
+    }
+    out << "]}";
+  }
+  out << "]";
+  return out.str();
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  started_ids_.clear();
+  traces_started_.store(0, std::memory_order_relaxed);
+  sample_counter_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace feeds
+}  // namespace asterix

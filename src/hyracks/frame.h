@@ -4,6 +4,8 @@
 #ifndef ASTERIX_HYRACKS_FRAME_H_
 #define ASTERIX_HYRACKS_FRAME_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -12,6 +14,18 @@
 
 namespace asterix {
 namespace hyracks {
+
+/// Trace identity carried by a frame through the cascade. id == 0 means
+/// "not sampled" — every tracing hook guards on that before doing any
+/// work, so an untraced frame costs a plain member read per hook.
+/// Stamped at the source (or at intake for frames arriving untraced) and
+/// propagated by operators that re-batch records into new frames.
+struct TraceContext {
+  uint64_t id = 0;
+  int64_t start_us = 0;  // steady-clock micros at trace birth
+
+  bool sampled() const { return id != 0; }
+};
 
 /// A batch of ADM records. Immutable after construction (shared between
 /// subscribers of a feed joint via shared_ptr).
@@ -26,6 +40,15 @@ class Frame {
   /// FrameAppender tracks a running byte count), skipping the walk.
   Frame(std::vector<adm::Value> records, size_t approx_bytes)
       : records_(std::move(records)), approx_bytes_(approx_bytes) {}
+  Frame(std::vector<adm::Value> records, size_t approx_bytes,
+        TraceContext trace)
+      : records_(std::move(records)),
+        approx_bytes_(approx_bytes),
+        trace_(trace) {}
+  Frame(std::vector<adm::Value> records, TraceContext trace)
+      : Frame(std::move(records)) {
+    trace_ = trace;
+  }
 
   const std::vector<adm::Value>& records() const { return records_; }
   size_t record_count() const { return records_.size(); }
@@ -36,9 +59,12 @@ class Frame {
   /// budget checks don't re-walk every record.
   size_t ApproxBytes() const { return approx_bytes_; }
 
+  const TraceContext& trace() const { return trace_; }
+
  private:
   std::vector<adm::Value> records_;
   size_t approx_bytes_ = 0;
+  TraceContext trace_;
 };
 
 using FramePtr = std::shared_ptr<const Frame>;
@@ -50,6 +76,17 @@ inline FramePtr MakeFrame(std::vector<adm::Value> records) {
 inline FramePtr MakeFrame(std::vector<adm::Value> records,
                           size_t approx_bytes) {
   return std::make_shared<const Frame>(std::move(records), approx_bytes);
+}
+
+inline FramePtr MakeFrame(std::vector<adm::Value> records,
+                          TraceContext trace) {
+  return std::make_shared<const Frame>(std::move(records), trace);
+}
+
+inline FramePtr MakeFrame(std::vector<adm::Value> records, size_t approx_bytes,
+                          TraceContext trace) {
+  return std::make_shared<const Frame>(std::move(records), approx_bytes,
+                                       trace);
 }
 
 /// Control-or-data message travelling between operator instances.
@@ -92,6 +129,10 @@ class FrameAppender {
       : writer_(writer), max_records_(max_records), max_bytes_(max_bytes) {}
 
   common::Status Append(adm::Value record) {
+    if (pending_.empty()) {
+      // A new frame is born with this record: stamp its trace identity.
+      pending_trace_ = trace_source_ ? trace_source_() : fixed_trace_;
+    }
     pending_.push_back(std::move(record));
     pending_bytes_ += pending_.back().ApproxSizeBytes();
     if (pending_.size() >= max_records_ || pending_bytes_ >= max_bytes_) {
@@ -103,10 +144,25 @@ class FrameAppender {
   /// Emits any buffered records as a final (possibly short) frame.
   common::Status FlushFrame() {
     if (pending_.empty()) return common::Status::OK();
-    FramePtr frame = MakeFrame(std::move(pending_), pending_bytes_);
+    FramePtr frame = MakeFrame(std::move(pending_), pending_bytes_,
+                               pending_trace_);
     pending_.clear();
     pending_bytes_ = 0;
+    pending_trace_ = TraceContext{};
     return writer_->NextFrame(frame);
+  }
+
+  /// All emitted frames inherit this trace (operators that re-batch an
+  /// input frame's records propagate the input trace this way).
+  void SetTrace(TraceContext trace) {
+    fixed_trace_ = trace;
+    trace_source_ = nullptr;
+  }
+
+  /// Called once per emitted frame, when its first record is appended
+  /// (sources that mint a fresh trace per frame).
+  void SetTraceSource(std::function<TraceContext()> source) {
+    trace_source_ = std::move(source);
   }
 
  private:
@@ -115,6 +171,9 @@ class FrameAppender {
   const size_t max_bytes_;
   std::vector<adm::Value> pending_;
   size_t pending_bytes_ = 0;
+  TraceContext pending_trace_;
+  TraceContext fixed_trace_;
+  std::function<TraceContext()> trace_source_;
 };
 
 }  // namespace hyracks

@@ -166,9 +166,10 @@ void Task::ThreadMain() {
 
   if (aborted) {
     // Process death: no close()/EOS travels downstream; recovery (if any)
-    // is the feed fault-tolerance protocol's job.
-    finished_.store(true);
+    // is the feed fault-tolerance protocol's job. final_status_ must be
+    // assigned before the finished_ store publishes it to monitors.
     final_status_ = Status::Aborted("task killed");
+    finished_.store(true);
     if (node_->alive()) node_->OnTaskFinished(this);
     return;
   }
@@ -222,8 +223,8 @@ Status Router::NextFrame(const FramePtr& frame) {
         buckets[target].push_back(record);
       }
       for (auto& [target, records] : buckets) {
-        targets_[target]->Enqueue(
-            FrameMessage::Data(MakeFrame(std::move(records))));
+        targets_[target]->Enqueue(FrameMessage::Data(
+            MakeFrame(std::move(records), frame->trace())));
       }
       return Status::OK();
     }

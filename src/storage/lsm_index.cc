@@ -21,6 +21,12 @@ const adm::Value* SortedRun::Get(const std::string& key) const {
 }
 
 LsmIndex::LsmIndex(LsmOptions options) : options_(options) {
+  common::MetricsRegistry& reg = common::MetricsRegistry::Default();
+  metric_flushes_ = reg.GetCounter("lsm_flushes_total");
+  metric_merges_ = reg.GetCounter("lsm_merges_total");
+  metric_flush_duration_us_ = reg.GetHistogram("lsm_flush_duration_us");
+  metric_merge_duration_us_ = reg.GetHistogram("lsm_merge_duration_us");
+  metric_flush_backlog_ = reg.GetGauge("lsm_flush_backlog");
   if (options_.async_maintenance) {
     maintenance_running_ = true;
     maintenance_ = std::thread([this] { MaintenanceMain(); });
@@ -60,12 +66,16 @@ void LsmIndex::SealLocked() {
   memtable_ = Memtable();
   memtable_bytes_ = 0;
   ++stats_.flushes;
+  metric_flush_backlog_->Add(1);
   maintenance_cv_.notify_one();
 }
 
 void LsmIndex::FlushNowLocked() {
   if (memtable_.empty()) return;
+  common::Stopwatch timer;
   runs_.push_back(BuildRun(memtable_));
+  metric_flush_duration_us_->Record(timer.ElapsedMicros());
+  metric_flushes_->Add(1);
   memtable_.clear();
   memtable_bytes_ = 0;
   ++stats_.flushes;
@@ -75,7 +85,10 @@ void LsmIndex::MergeNowLocked() {
   if (runs_.size() < 2) return;
   // Full merge: the result is the only (hence oldest) run, so tombstones
   // have shadowed everything they ever will.
+  common::Stopwatch timer;
   runs_ = {MergeRuns(runs_, /*drop_tombstones=*/true)};
+  metric_merge_duration_us_->Record(timer.ElapsedMicros());
+  metric_merges_->Add(1);
   ++stats_.merges;
 }
 
@@ -252,8 +265,11 @@ void LsmIndex::MaintenanceMain() {
       ASTERIX_FAILPOINT_HIT("storage.lsm.merge");
       // to_merge covers every run at snapshot time and the result is
       // re-inserted as the oldest, so tombstones can be retired here.
+      common::Stopwatch merge_timer;
       std::shared_ptr<SortedRun> merged =
           MergeRuns(to_merge, /*drop_tombstones=*/true);
+      metric_merge_duration_us_->Record(merge_timer.ElapsedMicros());
+      metric_merges_->Add(1);
       lock.lock();
       runs_.erase(runs_.begin(),
                   runs_.begin() + static_cast<ptrdiff_t>(to_merge.size()));
@@ -271,10 +287,14 @@ void LsmIndex::MaintenanceMain() {
       // Delay action = a slow flush (grows the sealed-memtable backlog,
       // the window where a crash strands unflushed data behind the WAL).
       ASTERIX_FAILPOINT_HIT("storage.lsm.flush");
+      common::Stopwatch flush_timer;
       std::shared_ptr<SortedRun> run = BuildRun(*imm);
+      metric_flush_duration_us_->Record(flush_timer.ElapsedMicros());
+      metric_flushes_->Add(1);
       lock.lock();
       runs_.push_back(std::move(run));
       immutables_.pop_front();
+      metric_flush_backlog_->Add(-1);
       drained_cv_.notify_all();
       continue;
     }

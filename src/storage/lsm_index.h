@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "adm/value.h"
+#include "common/observability.h"
 #include "common/status.h"
 
 namespace asterix {
@@ -163,6 +164,17 @@ class LsmIndex {
   bool stop_ = false;
   bool maintenance_running_ = false;
   std::thread maintenance_;
+
+  // Cached process-wide registry metrics, resolved once in the
+  // constructor. All operations on them are relaxed atomics, so they are
+  // safe to touch from the maintenance thread and under mutex_ alike.
+  common::Counter* metric_flushes_ = nullptr;
+  common::Counter* metric_merges_ = nullptr;
+  common::Histogram* metric_flush_duration_us_ = nullptr;
+  common::Histogram* metric_merge_duration_us_ = nullptr;
+  /// Sealed memtables awaiting background flush across all LsmIndex
+  /// instances in the process (+1 at seal, -1 when the run lands).
+  common::Gauge* metric_flush_backlog_ = nullptr;
 };
 
 /// Hash-partitioned LSM index: keys are spread across N independent

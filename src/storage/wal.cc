@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/failpoint.h"
 
 namespace asterix {
@@ -11,7 +12,13 @@ namespace storage {
 using common::Status;
 
 Wal::Wal(std::string path, bool durable)
-    : path_(std::move(path)), durable_(durable) {}
+    : path_(std::move(path)), durable_(durable) {
+  common::MetricsRegistry& reg = common::MetricsRegistry::Default();
+  metric_appends_ = reg.GetCounter("wal_appends_total");
+  metric_bytes_ = reg.GetCounter("wal_bytes_written_total");
+  metric_syncs_ = reg.GetCounter("wal_syncs_total");
+  metric_sync_latency_us_ = reg.GetHistogram("wal_sync_latency_us");
+}
 
 Wal::~Wal() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -45,19 +52,31 @@ Status Wal::Append(const std::string& payload) {
        std::fwrite(payload.data(), 1, len, file_) != len)) {
     return Status::IOError("WAL append failed: " + path_);
   }
-  if (durable_ && std::fflush(file_) != 0) {
-    return Status::IOError("WAL flush failed: " + path_);
+  if (durable_) {
+    common::Stopwatch timer;
+    if (std::fflush(file_) != 0) {
+      return Status::IOError("WAL flush failed: " + path_);
+    }
+    metric_sync_latency_us_->Record(timer.ElapsedMicros());
+    metric_syncs_->Add(1);
   }
   ++entry_count_;
   bytes_written_ += sizeof(len) + len;
+  metric_appends_->Add(1);
+  metric_bytes_->Add(sizeof(len) + len);
   return Status::OK();
 }
 
 Status Wal::Sync() {
   ASTERIX_FAILPOINT("storage.wal.sync");
   std::lock_guard<std::mutex> lock(mutex_);
-  if (file_ != nullptr && std::fflush(file_) != 0) {
-    return Status::IOError("WAL sync failed: " + path_);
+  if (file_ != nullptr) {
+    common::Stopwatch timer;
+    if (std::fflush(file_) != 0) {
+      return Status::IOError("WAL sync failed: " + path_);
+    }
+    metric_sync_latency_us_->Record(timer.ElapsedMicros());
+    metric_syncs_->Add(1);
   }
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/observability.h"
 #include "common/status.h"
 
 namespace asterix {
@@ -49,6 +50,14 @@ class Wal {
   std::FILE* file_ = nullptr;
   int64_t entry_count_ = 0;
   int64_t bytes_written_ = 0;
+
+  // Cached process-wide registry metrics (relaxed atomics, safe under
+  // mutex_): append/byte throughput and the latency of flushing buffered
+  // entries to the OS (the paper's persistence point for acks).
+  common::Counter* metric_appends_ = nullptr;
+  common::Counter* metric_bytes_ = nullptr;
+  common::Counter* metric_syncs_ = nullptr;
+  common::Histogram* metric_sync_latency_us_ = nullptr;
 };
 
 }  // namespace storage

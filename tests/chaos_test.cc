@@ -7,9 +7,14 @@
 // reproduces exactly.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "asterix/asterix.h"
 #include "common/clock.h"
 #include "common/failpoint.h"
+#include "feeds/trace.h"
 #include "feeds/udf.h"
 #include "gen/tweetgen.h"
 #include "testing_util.h"
@@ -58,6 +63,15 @@ class ChaosTest : public ::testing::Test {
 
   int64_t SinkCount() { return db_->CountDataset("Sink").value(); }
 
+  /// Fixture-owned generator: declared before db_ so the channel outlives
+  /// the instance — collect tasks may still poll it during teardown.
+  gen::TweetGenServer& NewSource(uint64_t seed, gen::Pattern pattern) {
+    sources_.push_back(
+        std::make_unique<gen::TweetGenServer>(seed, std::move(pattern)));
+    return *sources_.back();
+  }
+
+  std::vector<std::unique_ptr<gen::TweetGenServer>> sources_;
   std::unique_ptr<AsterixInstance> db_;
 };
 
@@ -66,7 +80,7 @@ class ChaosTest : public ::testing::Test {
 // payload is drained, so recovery is lossless even under plain replay-free
 // reconnect.
 TEST_F(ChaosTest, AdaptorFetchFaultsRecoverLosslessly) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 3000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1500, 3000));
   SetupFeed("chaos:1", &source.channel(), {"E", "F"});
   ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant").ok());
 
@@ -95,7 +109,7 @@ TEST_F(ChaosTest, AdaptorFetchFaultsRecoverLosslessly) {
 // at-least-once protocol until a pass succeeds — so the dataset still
 // converges to every record sent.
 TEST_F(ChaosTest, PoisonRecordsAreSandboxedAndReplayed) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 2500));
+  auto& source = NewSource(0, gen::Pattern::Constant(1500, 2500));
   SetupFeed("chaos:2", &source.channel(), {"E", "F"});
   ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant").ok());
 
@@ -117,7 +131,7 @@ TEST_F(ChaosTest, PoisonRecordsAreSandboxedAndReplayed) {
 // consecutive-soft-failure bound trips, the sandbox aborts the feed
 // instead of skipping forever (§6.1's skip bound).
 TEST_F(ChaosTest, SkipBoundTerminatesPoisonedFeed) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1000, 8000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1000, 8000));
   SetupFeed("chaos:3", &source.channel(), {"E", "F"});
   ASSERT_TRUE(db_->CreatePolicy("Poisoned", "Basic",
                                 {{"max.consecutive.soft.failures", "8"}})
@@ -139,7 +153,7 @@ TEST_F(ChaosTest, SkipBoundTerminatesPoisonedFeed) {
 // pending ledger times the victims out and replays them; once acks flow
 // again the replay traffic stops (bounded replay, not a livelock).
 TEST_F(ChaosTest, DroppedAcksForceBoundedReplay) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 2500));
+  auto& source = NewSource(0, gen::Pattern::Constant(1500, 2500));
   SetupFeed("chaos:4", &source.channel(), {"E", "F"});
   // Short ack timeout so replays happen within the test budget.
   ASSERT_TRUE(db_->CreatePolicy("Twitchy", "FaultTolerant",
@@ -177,7 +191,7 @@ TEST_F(ChaosTest, DroppedAcksForceBoundedReplay) {
 // are frozen and drained, not lost — at-least-once recovery is lossless.
 // Disarming mid-test models the node coming back clean.
 TEST_F(ChaosTest, SilencedHeartbeatsTriggerSubstitution) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 4000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1500, 4000));
   SetupFeed("chaos:5", &source.channel(), {"E", "F"});
   // Pin the compute stage away from the intake node so the silenced node
   // hosts only compute work (pure compute-loss, Figure 6.3).
@@ -238,7 +252,7 @@ TEST_F(ChaosTest, SilencedHeartbeatsTriggerSubstitution) {
 // at-least-once replays, so the dataset still converges to exactly the
 // records sent.
 TEST_F(ChaosTest, WalAppendFaultsReplayToExactCount) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 2500));
+  auto& source = NewSource(0, gen::Pattern::Constant(1500, 2500));
   SetupFeed("chaos:6", &source.channel(), {"E", "F"});
   ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant").ok());
 
@@ -270,7 +284,7 @@ TEST_F(ChaosTest, WalAppendFaultsReplayToExactCount) {
 // the seed is printed; re-running with it reproduces the exact policies.
 TEST_F(ChaosTest, ChaosSoakIsLosslessForFixedSeed) {
   const uint64_t seed = 20260806;
-  gen::TweetGenServer source(0, gen::Pattern::Constant(2000, 2500));
+  auto& source = NewSource(0, gen::Pattern::Constant(2000, 2500));
   SetupFeed("chaos:soak", &source.channel(), {"E", "F"});
   ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant").ok());
 
@@ -314,6 +328,87 @@ TEST_F(ChaosTest, ChaosSoakIsLosslessForFixedSeed) {
   EXPECT_FALSE(conn->terminated) << "seed=" << seed;
   feeds::ExternalSourceRegistry::Instance().UnregisterChannel(
       "chaos:soak");
+}
+
+// Trace-span conservation under faults: re-run the flaky-WAL scenario with
+// 100% trace sampling. Every trace handed out must terminate — reach a
+// store-stage span, record a soft failure, be a replay trace (fresh traces
+// minted for re-sent records), or end in an explicit drop span. A trace
+// with none of those means a frame vanished without the observability
+// layer noticing, which is exactly what the layer exists to rule out.
+TEST_F(ChaosTest, TraceSpansConservedUnderWalFaults) {
+  feeds::Tracer& tracer = feeds::Tracer::Instance();
+  tracer.Reset();
+  tracer.SetRingCapacity(1 << 18);
+  tracer.SetSamplingRate(1.0);
+
+  auto& source = NewSource(0, gen::Pattern::Constant(1500, 2500));
+  SetupFeed("chaos:7", &source.channel(), {"E", "F"});
+  ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant").ok());
+
+  ChaosSchedule schedule(/*seed=*/7);
+  schedule
+      .ArmAt(100, "storage.wal.append",
+             FailPointPolicy::Error(Status::IOError("chaos: disk hiccup"))
+                 .WithProbability(0.05))
+      .DisarmAt(1500, "storage.wal.append");
+  schedule.Start();
+  source.Start();
+  source.Join();
+  int64_t sent = source.tweets_sent();
+  ASSERT_TRUE(WaitFor([&] { return SinkCount() == sent; }, 20000))
+      << "sent=" << sent << " stored=" << SinkCount()
+      << " seed=" << schedule.seed();
+  schedule.Stop();
+
+  // Let replay traffic quiesce so the last re-sent records' traces finish.
+  auto metrics = db_->FeedMetrics("Feed", "Sink");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        int64_t replayed = metrics->records_replayed.load();
+        common::SleepMillis(300);
+        return metrics->records_replayed.load() == replayed;
+      },
+      15000));
+  tracer.SetSamplingRate(0);
+  common::SleepMillis(300);  // drain spans of the final in-flight frames
+
+  std::vector<uint64_t> started = tracer.StartedTraceIds();
+  ASSERT_GT(started.size(), 0u);
+  std::set<uint64_t> terminated;
+  for (const feeds::TraceSpan& span : tracer.Spans()) {
+    if (span.stage == "store" || span.stage == "soft-failure" ||
+        span.stage == "replay" || span.status == "discarded" ||
+        span.status == "throttled" || span.status == "spilled") {
+      terminated.insert(span.trace_id);
+    }
+  }
+  int64_t lost = 0;
+  for (uint64_t id : started) {
+    if (terminated.count(id) != 0) continue;
+    ++lost;
+    ADD_FAILURE() << "trace " << id << " has no terminal span; its spans:\n"
+                  << [&] {
+                       std::string out;
+                       for (const feeds::TraceSpan& s :
+                            tracer.SpansForTrace(id)) {
+                         out += "  " + s.stage + "@" + s.where +
+                                " status=" + s.status + "\n";
+                       }
+                       return out.empty() ? std::string("  (none)\n") : out;
+                     }();
+    if (lost >= 5) break;  // enough to diagnose; don't flood the log
+  }
+  EXPECT_EQ(lost, 0) << "seed=" << schedule.seed()
+                     << " traces=" << started.size();
+
+  // The span-tree dump renders real trees for this run.
+  std::string json = tracer.DumpJson(4);
+  EXPECT_NE(json.find("\"stage\":\"store\""), std::string::npos);
+
+  feeds::ExternalSourceRegistry::Instance().UnregisterChannel("chaos:7");
+  tracer.Reset();
 }
 
 }  // namespace

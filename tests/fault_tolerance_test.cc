@@ -44,11 +44,20 @@ class FaultToleranceTest : public ::testing::Test {
     ASSERT_TRUE(db_->CreateFeed(primary).ok());
   }
 
+  /// Fixture-owned generator: declared before db_ so the channel outlives
+  /// the instance — collect tasks may still poll it during teardown.
+  gen::TweetGenServer& NewSource(uint64_t seed, gen::Pattern pattern) {
+    sources_.push_back(
+        std::make_unique<gen::TweetGenServer>(seed, std::move(pattern)));
+    return *sources_.back();
+  }
+
+  std::vector<std::unique_ptr<gen::TweetGenServer>> sources_;
   std::unique_ptr<AsterixInstance> db_;
 };
 
 TEST_F(FaultToleranceTest, ComputeNodeFailureRecovers) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 4000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1500, 4000));
   SetupFeed("ft:1", &source.channel(), {"E", "F"});
   // Pin the compute stage away from the intake/collect and store nodes:
   // this test exercises a *pure* compute-node loss (Figure 6.3), where
@@ -101,7 +110,7 @@ TEST_F(FaultToleranceTest, ComputeNodeFailureRecovers) {
 }
 
 TEST_F(FaultToleranceTest, IntakeNodeFailureRecovers) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 4000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1500, 4000));
   SetupFeed("ft:2", &source.channel(), {"E", "F"});
   ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant",
                                {.compute_count = 2})
@@ -142,7 +151,7 @@ TEST_F(FaultToleranceTest, IntakeNodeFailureRecovers) {
 }
 
 TEST_F(FaultToleranceTest, StoreNodeFailureTerminatesFeed) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1000, 3000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1000, 3000));
   SetupFeed("ft:3", &source.channel(), {"E", "F"});
   ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant").ok());
   source.Start();
@@ -161,7 +170,7 @@ TEST_F(FaultToleranceTest, StoreNodeFailureTerminatesFeed) {
 }
 
 TEST_F(FaultToleranceTest, NoRecoveryPolicyTerminatesOnAnyFailure) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1000, 3000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1000, 3000));
   SetupFeed("ft:4", &source.channel(), {"E", "F"});
   ASSERT_TRUE(db_->CreatePolicy("Fragile", "Basic",
                                 {{"recover.hard.failure", "false"}})
@@ -187,7 +196,7 @@ TEST_F(FaultToleranceTest, NoRecoveryPolicyTerminatesOnAnyFailure) {
 TEST_F(FaultToleranceTest, FaultIsolationInCascade) {
   // Figure 6.3: losing a compute node of the secondary feed must not
   // disturb the primary feed sharing the head section.
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1500, 4000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1500, 4000));
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "ft:5", &source.channel());
   ASSERT_TRUE(db_->CreateDataset(TweetsDataset("Raw", {"E"})).ok());
@@ -247,7 +256,7 @@ TEST_F(FaultToleranceTest, FaultIsolationInCascade) {
 }
 
 TEST_F(FaultToleranceTest, ElasticRescaleKeepsDataFlowing) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1200, 4000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1200, 4000));
   SetupFeed("ft:6", &source.channel(), {"E", "F"});
   ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant",
                                {.compute_count = 1})
@@ -274,7 +283,7 @@ TEST_F(FaultToleranceTest, ElasticRescaleKeepsDataFlowing) {
 }
 
 TEST_F(FaultToleranceTest, PartialDisconnectKeepsDependentsFlowing) {
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1200, 3000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1200, 3000));
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "ft:7", &source.channel());
   ASSERT_TRUE(db_->CreateDataset(TweetsDataset("Mid", {"E"})).ok());
@@ -344,7 +353,7 @@ TEST_F(FaultToleranceTest, PartialDisconnectKeepsDependentsFlowing) {
 TEST_F(FaultToleranceTest, AtLeastOnceReplaysGroupAcks) {
   // Steady flow with FaultTolerant policy: the ack bus sees grouped
   // messages and the pending ledger drains.
-  gen::TweetGenServer source(0, gen::Pattern::Constant(1000, 2000));
+  auto& source = NewSource(0, gen::Pattern::Constant(1000, 2000));
   SetupFeed("ft:8", &source.channel(), {"E"});
   ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "FaultTolerant").ok());
   source.Start();
