@@ -3,8 +3,7 @@
 // printing the same rows/series the paper reports (time-scaled: the
 // workload *shapes* are preserved, absolute numbers are not comparable to
 // the authors' 2014 testbed).
-#ifndef ASTERIX_BENCH_BENCH_UTIL_H_
-#define ASTERIX_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <cstdio>
 #include <string>
@@ -143,4 +142,3 @@ inline std::shared_ptr<feeds::Udf> CpuUdf(const std::string& library,
 }  // namespace bench
 }  // namespace asterix
 
-#endif  // ASTERIX_BENCH_BENCH_UTIL_H_

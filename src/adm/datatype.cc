@@ -1,4 +1,5 @@
 #include "adm/datatype.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace adm {
@@ -13,7 +14,7 @@ const FieldDef* Datatype::FindField(const std::string& field_name) const {
 }
 
 Status TypeRegistry::Register(Datatype type) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::string name = type.name();  // read before the move below
   auto [it, inserted] = types_.emplace(std::move(name), std::move(type));
   if (!inserted) {
@@ -24,13 +25,13 @@ Status TypeRegistry::Register(Datatype type) {
 }
 
 const Datatype* TypeRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = types_.find(name);
   return it == types_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> TypeRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(types_.size());
   for (const auto& [name, type] : types_) names.push_back(name);

@@ -1,16 +1,15 @@
 // Datatype definitions: named record types with open/closed semantics and
 // optional fields, mirroring AsterixDB's `create type ... as open {...}`.
-#ifndef ASTERIX_ADM_DATATYPE_H_
-#define ASTERIX_ADM_DATATYPE_H_
+#pragma once
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "adm/value.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace adm {
@@ -65,8 +64,8 @@ class TypeRegistry {
                           const std::string& type_name) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Datatype> types_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Datatype> types_ GUARDED_BY(mutex_);
 };
 
 /// Convenience builder for declaring datatypes fluently in tests/examples.
@@ -103,4 +102,3 @@ class TypeBuilder {
 }  // namespace adm
 }  // namespace asterix
 
-#endif  // ASTERIX_ADM_DATATYPE_H_

@@ -1,8 +1,7 @@
 // Parser for ADM text: JSON plus the constructor forms point(x, y) and
 // datetime(epoch_ms). This is the translation step every feed adaptor
 // performs on raw external data before records enter the pipeline.
-#ifndef ASTERIX_ADM_PARSER_H_
-#define ASTERIX_ADM_PARSER_H_
+#pragma once
 
 #include <string_view>
 
@@ -21,4 +20,3 @@ common::Result<Value> ParseAdm(std::string_view text);
 }  // namespace adm
 }  // namespace asterix
 
-#endif  // ASTERIX_ADM_PARSER_H_

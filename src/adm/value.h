@@ -1,8 +1,7 @@
 // ADM (AsterixDB Data Model) values: a semi-structured model supporting
 // nulls, primitives, spatial points, datetimes, ordered lists and open
 // records (records that may carry fields beyond their declared type).
-#ifndef ASTERIX_ADM_VALUE_H_
-#define ASTERIX_ADM_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -113,4 +112,3 @@ class Value {
 }  // namespace adm
 }  // namespace asterix
 
-#endif  // ASTERIX_ADM_VALUE_H_

@@ -16,8 +16,7 @@
 // This is a statement-level front end for the feed DDL, not a query
 // compiler — AQL's FLWOR query surface is out of scope here (the facade
 // exposes programmatic scans/aggregates instead).
-#ifndef ASTERIX_ASTERIX_AQL_H_
-#define ASTERIX_ASTERIX_AQL_H_
+#pragma once
 
 #include <string>
 
@@ -36,4 +35,3 @@ common::Status Execute(AsterixInstance* db, const std::string& script);
 }  // namespace aql
 }  // namespace asterix
 
-#endif  // ASTERIX_ASTERIX_AQL_H_

@@ -16,8 +16,7 @@
 //   db.ConnectFeed("TweetFeed", "Tweets", "Basic");
 //   ... db.CountDataset("Tweets") grows ...
 //   db.DisconnectFeed("TweetFeed", "Tweets");
-#ifndef ASTERIX_ASTERIX_H_
-#define ASTERIX_ASTERIX_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -145,4 +144,3 @@ class AsterixInstance {
 
 }  // namespace asterix
 
-#endif  // ASTERIX_ASTERIX_H_

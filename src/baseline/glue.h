@@ -2,18 +2,17 @@
 // topology to an external source on one end and a MongoDB collection on
 // the other — the open-source community's conventional substitute for
 // native feed support.
-#ifndef ASTERIX_BASELINE_GLUE_H_
-#define ASTERIX_BASELINE_GLUE_H_
+#pragma once
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "adm/parser.h"
-#include "common/clock.h"
 #include "baseline/mongo.h"
 #include "baseline/storm.h"
+#include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "feeds/udf.h"
 #include "gen/tweetgen.h"
 
@@ -29,7 +28,7 @@ class ChannelSpout : public storm::Spout {
 
   std::optional<adm::Value> NextTuple(int64_t tuple_id) override {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       if (!replay_.empty()) {
         adm::Value tuple = std::move(replay_.begin()->second);
         replay_.erase(replay_.begin());
@@ -40,32 +39,32 @@ class ChannelSpout : public storm::Spout {
     auto payload = channel_->Receive(/*timeout_ms=*/2);
     if (!payload.has_value()) return std::nullopt;
     adm::Value tuple = adm::Value::String(std::move(*payload));
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     pending_[tuple_id] = tuple;
     return tuple;
   }
   void Ack(int64_t tuple_id) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     pending_.erase(tuple_id);
   }
   void Fail(int64_t tuple_id) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     auto it = pending_.find(tuple_id);
     if (it == pending_.end()) return;
     replay_[tuple_id] = std::move(it->second);
     pending_.erase(it);
   }
   bool Exhausted() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return channel_->closed() && channel_->pending() == 0 &&
            replay_.empty();
   }
 
  private:
   gen::Channel* channel_;
-  mutable std::mutex mutex_;
-  std::map<int64_t, adm::Value> pending_;
-  std::map<int64_t, adm::Value> replay_;
+  mutable common::Mutex mutex_;
+  std::map<int64_t, adm::Value> pending_ GUARDED_BY(mutex_);
+  std::map<int64_t, adm::Value> replay_ GUARDED_BY(mutex_);
 };
 
 /// Parses raw JSON payload strings into ADM records; malformed tuples
@@ -133,4 +132,3 @@ class MongoInsertBolt : public storm::Bolt {
 }  // namespace baseline
 }  // namespace asterix
 
-#endif  // ASTERIX_BASELINE_GLUE_H_

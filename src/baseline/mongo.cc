@@ -1,4 +1,5 @@
 #include "baseline/mongo.h"
+#include "common/thread_annotations.h"
 
 #include <filesystem>
 
@@ -47,24 +48,24 @@ Status MongoCollection::Insert(const adm::Value& document) {
   if (concern_ == WriteConcern::kDurable) {
     // Writers serialize on the coarse write lock; a journaled (j:true)
     // acknowledgment waits out the journal commit before returning.
-    std::lock_guard<std::mutex> write_lock(write_lock_);
+    common::MutexLock write_lock(write_lock_);
     RETURN_IF_ERROR(journal_.Append(serialized));
     common::SleepMicros(journal_commit_us_);
     journaled_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     documents_[key] = document;
     return Status::OK();
   }
   // Non-durable: acknowledge from memory, journal in the background.
-  std::lock_guard<std::mutex> write_lock(write_lock_);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock write_lock(write_lock_);
+  common::MutexLock lock(mutex_);
   documents_[key] = document;
   unjournaled_.push_back(std::move(serialized));
   return Status::OK();
 }
 
 int64_t MongoCollection::Count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return static_cast<int64_t>(documents_.size());
 }
 
@@ -73,7 +74,7 @@ int64_t MongoCollection::JournaledCount() const {
 }
 
 int64_t MongoCollection::Crash() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   int64_t lost = static_cast<int64_t>(unjournaled_.size());
   unjournaled_.clear();
   // Documents not journaled are gone after the crash.
@@ -86,7 +87,7 @@ void MongoCollection::JournalLoop() {
   while (running_.load()) {
     std::vector<std::string> batch;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       batch.swap(unjournaled_);
     }
     for (const std::string& entry : batch) {
@@ -104,7 +105,7 @@ MongoServer::MongoServer(std::string dir) : dir_(std::move(dir)) {
 
 Status MongoServer::CreateCollection(const std::string& name,
                                      WriteConcern concern) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (collections_.count(name) > 0) {
     return Status::AlreadyExists("collection '" + name + "' exists");
   }
@@ -116,7 +117,7 @@ Status MongoServer::CreateCollection(const std::string& name,
 }
 
 MongoCollection* MongoServer::GetCollection(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = collections_.find(name);
   return it == collections_.end() ? nullptr : it->second.get();
 }

@@ -4,19 +4,18 @@
 // disk before acknowledging; NON_DURABLE acknowledges immediately and
 // journals in the background (fast but with a data-loss window, which
 // Crash() makes observable).
-#ifndef ASTERIX_BASELINE_MONGO_H_
-#define ASTERIX_BASELINE_MONGO_H_
+#pragma once
 
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "adm/value.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/wal.h"
 
 namespace asterix {
@@ -62,12 +61,13 @@ class MongoCollection {
   const std::string name_;
   const WriteConcern concern_;
   const int64_t journal_commit_us_;
-  std::mutex write_lock_;  // MongoDB 2.x-style coarse write lock
+  common::Mutex write_lock_;  // MongoDB 2.x-style coarse write lock
   storage::Wal journal_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, adm::Value> documents_;
-  std::vector<std::string> unjournaled_;  // pending background journal
+  mutable common::Mutex mutex_;
+  std::map<std::string, adm::Value> documents_ GUARDED_BY(mutex_);
+  std::vector<std::string> unjournaled_ GUARDED_BY(mutex_);  // pending
+                                                  // background journal
   std::atomic<int64_t> journaled_{0};
 
   std::atomic<bool> running_{false};
@@ -85,11 +85,11 @@ class MongoServer {
 
  private:
   const std::string dir_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<MongoCollection>> collections_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<MongoCollection>> collections_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace baseline
 }  // namespace asterix
 
-#endif  // ASTERIX_BASELINE_MONGO_H_

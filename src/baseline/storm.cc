@@ -1,4 +1,5 @@
 #include "baseline/storm.h"
+#include "common/thread_annotations.h"
 
 #include "common/clock.h"
 #include "common/logging.h"
@@ -27,13 +28,13 @@ struct LocalCluster::BoltTask {
 
 void LocalCluster::Acker::Register(int64_t root_id, int64_t timeout_at_ms,
                                    int spout_task) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   trees_[root_id] = Tree{1, timeout_at_ms, spout_task};
 }
 
 void LocalCluster::Acker::Delta(int64_t root_id, int64_t delta,
                                 std::vector<Completion>* completed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = trees_.find(root_id);
   if (it == trees_.end()) return;  // already failed/timed out
   it->second.count += delta;
@@ -45,7 +46,7 @@ void LocalCluster::Acker::Delta(int64_t root_id, int64_t delta,
 
 std::vector<LocalCluster::Acker::Completion>
 LocalCluster::Acker::TakeExpired(int64_t now_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<Completion> expired;
   for (auto it = trees_.begin(); it != trees_.end();) {
     if (it->second.timeout_at_ms <= now_ms) {
@@ -59,7 +60,7 @@ LocalCluster::Acker::TakeExpired(int64_t now_ms) {
 }
 
 int64_t LocalCluster::Acker::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return static_cast<int64_t>(trees_.size());
 }
 

@@ -4,14 +4,12 @@
 // timeout-driven replay — the at-least-once machinery a Storm user pairs
 // with an external store. Used to reproduce the Chapter 7 comparison of
 // AsterixDB against a 'glued' Storm+MongoDB assembly.
-#ifndef ASTERIX_BASELINE_STORM_H_
-#define ASTERIX_BASELINE_STORM_H_
+#pragma once
 
 #include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -20,6 +18,7 @@
 #include "adm/value.h"
 #include "common/blocking_queue.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace baseline {
@@ -128,13 +127,13 @@ class LocalCluster {
     int64_t pending() const;
 
    private:
-    mutable std::mutex mutex_;
+    mutable common::Mutex mutex_;
     struct Tree {
       int64_t count = 0;
       int64_t timeout_at_ms = 0;
       int spout_task = 0;
     };
-    std::map<int64_t, Tree> trees_;
+    std::map<int64_t, Tree> trees_ GUARDED_BY(mutex_);
   };
 
   void SpoutLoop(SpoutTask* task);
@@ -159,4 +158,3 @@ class LocalCluster {
 }  // namespace baseline
 }  // namespace asterix
 
-#endif  // ASTERIX_BASELINE_STORM_H_

@@ -2,15 +2,14 @@
 // movement: bounded capacity provides natural back-pressure (the "Basic"
 // ingestion policy), and the non-blocking / timed push variants are the
 // hooks used by the Discard / Spill / Throttle policy runtimes.
-#ifndef ASTERIX_COMMON_BLOCKING_QUEUE_H_
-#define ASTERIX_COMMON_BLOCKING_QUEUE_H_
+#pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace common {
@@ -25,61 +24,66 @@ class BlockingQueue {
 
   /// Blocks until space is available or the queue is closed.
   /// Returns false if the queue was closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+  bool Push(T item) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    not_full_.Wait(mutex_, [this]() REQUIRES(mutex_) {
+      return closed_ || items_.size() < capacity_;
+    });
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push. Returns false (item not consumed) when full/closed.
-  bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool TryPush(T item) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Push that gives up after `timeout`. Returns false on timeout/closed.
-  bool PushFor(T item, std::chrono::milliseconds timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!not_full_.wait_for(lock, timeout, [this] {
+  bool PushFor(T item, std::chrono::milliseconds timeout) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (!not_full_.WaitFor(mutex_, timeout, [this]() REQUIRES(mutex_) {
           return closed_ || items_.size() < capacity_;
         })) {
       return false;
     }
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    not_empty_.Wait(mutex_, [this]() REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Pop with a deadline; nullopt on timeout or on closed-and-drained.
-  std::optional<T> PopFor(std::chrono::milliseconds timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [this] { return closed_ || !items_.empty(); })) {
+  std::optional<T> PopFor(std::chrono::milliseconds timeout)
+      EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (!not_empty_.WaitFor(mutex_, timeout, [this]() REQUIRES(mutex_) {
+          return closed_ || !items_.empty();
+        })) {
       return std::nullopt;
     }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
@@ -87,54 +91,58 @@ class BlockingQueue {
   /// and drained), then drains everything queued under one lock
   /// acquisition. A batch of k frames costs one lock op instead of k.
   /// Returns an empty vector only when the queue is closed and drained.
-  std::vector<T> PopAll() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::vector<T> PopAll() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    not_empty_.Wait(mutex_, [this]() REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
     return DrainLocked();
   }
 
   /// PopAll with a deadline; an empty vector on timeout or on
   /// closed-and-drained.
-  std::vector<T> PopAllFor(std::chrono::milliseconds timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [this] { return closed_ || !items_.empty(); })) {
+  std::vector<T> PopAllFor(std::chrono::milliseconds timeout)
+      EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (!not_empty_.WaitFor(mutex_, timeout, [this]() REQUIRES(mutex_) {
+          return closed_ || !items_.empty();
+        })) {
       return {};
     }
     return DrainLocked();
   }
 
   /// Non-blocking drain of everything currently queued.
-  std::vector<T> TryPopAll() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<T> TryPopAll() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return DrainLocked();
   }
 
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<T> TryPop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Closes the queue: pending Pops drain remaining items then return
   /// nullopt; all Pushes fail. Idempotent.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Close() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -144,24 +152,22 @@ class BlockingQueue {
 
  private:
   /// Moves all queued items out. Caller holds mutex_.
-  std::vector<T> DrainLocked() {
+  std::vector<T> DrainLocked() REQUIRES(mutex_) {
     std::vector<T> drained;
     drained.reserve(items_.size());
     for (T& item : items_) drained.push_back(std::move(item));
     items_.clear();
-    if (!drained.empty()) not_full_.notify_all();
+    if (!drained.empty()) not_full_.NotifyAll();
     return drained;
   }
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace common
 }  // namespace asterix
-
-#endif  // ASTERIX_COMMON_BLOCKING_QUEUE_H_

@@ -1,8 +1,7 @@
 // Time helpers. Experiments in the paper run for minutes of wall clock; the
 // benches here time-scale the same workload shapes down to seconds, so all
 // timing flows through these helpers for consistency.
-#ifndef ASTERIX_COMMON_CLOCK_H_
-#define ASTERIX_COMMON_CLOCK_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -51,4 +50,3 @@ class Stopwatch {
 }  // namespace common
 }  // namespace asterix
 
-#endif  // ASTERIX_COMMON_CLOCK_H_

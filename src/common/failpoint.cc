@@ -16,7 +16,7 @@ FailPointRegistry& FailPointRegistry::Instance() {
 
 void FailPointRegistry::Arm(const std::string& site,
                             FailPointPolicy policy) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(site);
   if (it == points_.end()) {
     armed_count_.fetch_add(1, std::memory_order_relaxed);
@@ -30,14 +30,14 @@ void FailPointRegistry::Arm(const std::string& site,
 }
 
 void FailPointRegistry::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (points_.erase(site) > 0) {
     armed_count_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FailPointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_count_.fetch_sub(static_cast<int64_t>(points_.size()),
                          std::memory_order_relaxed);
   points_.clear();
@@ -52,7 +52,7 @@ Status FailPointRegistry::Evaluate(const std::string& site,
   int64_t delay_ms = 0;
   std::function<void()> callback;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = points_.find(site);
     if (it == points_.end()) return Status::OK();
     ArmedPoint& point = it->second;
@@ -103,13 +103,13 @@ Status FailPointRegistry::Evaluate(const std::string& site,
 }
 
 int64_t FailPointRegistry::Hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(site);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 int64_t FailPointRegistry::Fires(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(site);
   return it == points_.end() ? 0 : it->second.fires;
 }
@@ -147,14 +147,14 @@ void ChaosSchedule::Start() {
 
 void ChaosSchedule::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) {
       if (driver_.joinable()) driver_.join();
       return;
     }
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (driver_.joinable()) driver_.join();
   for (const Step& step : steps_) {
     FailPointRegistry::Instance().Disarm(step.site);
@@ -165,12 +165,12 @@ void ChaosSchedule::DriverMain() {
   const int64_t start_ms = NowMillis();
   for (const Step& step : steps_) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       int64_t due_ms = start_ms + step.at_ms;
-      cv_.wait_for(lock,
-                   std::chrono::milliseconds(
-                       std::max<int64_t>(0, due_ms - NowMillis())),
-                   [this] { return stop_; });
+      cv_.WaitFor(mutex_,
+                  std::chrono::milliseconds(
+                      std::max<int64_t>(0, due_ms - NowMillis())),
+                  [this]() REQUIRES(mutex_) { return stop_; });
       if (stop_) return;
     }
     if (step.policy.has_value()) {

@@ -17,15 +17,12 @@
 // "storage.wal.append" or "hyracks.node.heartbeat". Sites that differ per
 // runtime instance (one heartbeat loop per node) pass an instance string;
 // a policy may restrict firing to one instance.
-#ifndef ASTERIX_COMMON_FAILPOINT_H_
-#define ASTERIX_COMMON_FAILPOINT_H_
+#pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -34,6 +31,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace common {
@@ -160,8 +158,8 @@ class FailPointRegistry {
   FailPointRegistry() = default;
 
   static std::atomic<int64_t> armed_count_;
-  mutable std::mutex mutex_;
-  std::map<std::string, ArmedPoint> points_;
+  mutable Mutex mutex_;
+  std::map<std::string, ArmedPoint> points_ GUARDED_BY(mutex_);
 };
 
 /// True when the failpoint macros are compiled in (ASTERIX_FAILPOINTS=ON).
@@ -205,10 +203,10 @@ class ChaosSchedule {
   const uint64_t seed_;
   Rng seeder_;
   std::vector<Step> steps_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool started_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  bool started_ = false;  // touched only by the owning (test) thread
   std::thread driver_;
 };
 
@@ -280,4 +278,3 @@ class ChaosSchedule {
 
 #endif  // ASTERIX_FAILPOINTS
 
-#endif  // ASTERIX_COMMON_FAILPOINT_H_

@@ -1,18 +1,18 @@
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 
 namespace asterix {
 namespace common {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
-std::string g_log_file;  // guarded by g_mutex
+common::Mutex g_mutex;
+std::string g_log_file GUARDED_BY(g_mutex);
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -38,12 +38,12 @@ LogLevel Logging::min_level() {
 }
 
 void Logging::SetLogFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  common::MutexLock lock(g_mutex);
   g_log_file = path;
 }
 
 std::string Logging::log_file() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  common::MutexLock lock(g_mutex);
   return g_log_file;
 }
 
@@ -55,7 +55,7 @@ void Logging::Emit(LogLevel level, const std::string& message) {
   auto now = std::chrono::system_clock::now().time_since_epoch();
   auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
-  std::lock_guard<std::mutex> lock(g_mutex);
+  common::MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%lld] %-5s %s\n", static_cast<long long>(ms),
                LevelName(level), message.c_str());
   if (!g_log_file.empty()) {

@@ -1,7 +1,6 @@
 // Minimal leveled logger. Thread-safe; writes to stderr and optionally to a
 // file (the AsterixDB "error log" that soft-failure records are appended to).
-#ifndef ASTERIX_COMMON_LOGGING_H_
-#define ASTERIX_COMMON_LOGGING_H_
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -47,4 +46,3 @@ class LogStatement {
 #define LOG_MSG(level) \
   ::asterix::common::LogStatement(::asterix::common::LogLevel::level)
 
-#endif  // ASTERIX_COMMON_LOGGING_H_

@@ -1,4 +1,5 @@
 #include "common/observability.h"
+#include "common/thread_annotations.h"
 
 #include <algorithm>
 #include <bit>
@@ -148,7 +149,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const MetricLabels& labels) {
   std::string key = MetricsSnapshot::Key(name, labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& slot = counters_[key];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -160,7 +161,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const MetricLabels& labels) {
   std::string key = MetricsSnapshot::Key(name, labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& slot = gauges_[key];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -172,7 +173,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const MetricLabels& labels) {
   std::string key = MetricsSnapshot::Key(name, labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& slot = histograms_[key];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>();
@@ -185,14 +186,14 @@ MetricsRegistry::ProviderHandle MetricsRegistry::RegisterProvider(
     const std::string& name, ProviderKind kind, const MetricLabels& labels,
     std::function<int64_t()> fn) {
   std::string key = MetricsSnapshot::Key(name, labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   int64_t id = next_provider_id_++;
   providers_.push_back(Provider{id, kind, key, name, std::move(fn)});
   return ProviderHandle(this, id);
 }
 
 void MetricsRegistry::Unregister(int64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   providers_.erase(std::remove_if(providers_.begin(), providers_.end(),
                                   [id](const Provider& p) {
                                     return p.id == id;
@@ -202,7 +203,7 @@ void MetricsRegistry::Unregister(int64_t id) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& [key, counter] : counters_) {
     snap.counters[key] = counter->Value();
   }
@@ -237,7 +238,7 @@ std::string MetricsRegistry::Export() const {
   std::map<std::string, std::pair<std::string, std::vector<std::string>>>
       by_name;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (const auto& [key, counter] : counters_) {
       snap.counters[key] = counter->Value();
       auto& entry = by_name[names_.at(key)];
@@ -318,7 +319,7 @@ std::string MetricsRegistry::Export() const {
 
 std::vector<MetricInfo> MetricsRegistry::List() const {
   std::vector<MetricInfo> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& kv : counters_) {
     const std::string& name = names_.at(kv.first);
     out.push_back(MetricInfo{"counter", name, kv.first.substr(name.size())});

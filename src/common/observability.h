@@ -19,8 +19,7 @@
 // (ConnectionMetrics, subscriber queues). Code holding those object locks
 // must therefore never call Snapshot()/Export()/Get* — only the lock-free
 // record calls on cached pointers.
-#ifndef ASTERIX_COMMON_OBSERVABILITY_H_
-#define ASTERIX_COMMON_OBSERVABILITY_H_
+#pragma once
 
 #include <array>
 #include <atomic>
@@ -28,10 +27,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace common {
@@ -191,20 +191,20 @@ class MetricsRegistry {
     std::function<int64_t()> fn;
   };
 
-  void Unregister(int64_t id);
+  void Unregister(int64_t id) EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   // key -> metric; unique_ptr keeps addresses stable across rehash.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
   // key -> bare metric name (for # TYPE grouping in Export()).
-  std::map<std::string, std::string> names_;
-  std::vector<Provider> providers_;
-  int64_t next_provider_id_ = 1;
+  std::map<std::string, std::string> names_ GUARDED_BY(mutex_);
+  std::vector<Provider> providers_ GUARDED_BY(mutex_);
+  int64_t next_provider_id_ GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace common
 }  // namespace asterix
 
-#endif  // ASTERIX_COMMON_OBSERVABILITY_H_

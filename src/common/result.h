@@ -1,6 +1,5 @@
 // Result<T>: value-or-Status, for fallible functions that produce a value.
-#ifndef ASTERIX_COMMON_RESULT_H_
-#define ASTERIX_COMMON_RESULT_H_
+#pragma once
 
 #include <cassert>
 #include <optional>
@@ -61,4 +60,3 @@ class Result {
 #define ASSIGN_OR_RETURN(lhs, expr) \
   ASSIGN_OR_RETURN_IMPL(ASTERIX_CONCAT(_res_, __LINE__), lhs, expr)
 
-#endif  // ASTERIX_COMMON_RESULT_H_

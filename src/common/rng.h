@@ -1,6 +1,5 @@
 // Seeded random helpers used by workload generators and the Throttle policy.
-#ifndef ASTERIX_COMMON_RNG_H_
-#define ASTERIX_COMMON_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -49,4 +48,3 @@ class Rng {
 }  // namespace common
 }  // namespace asterix
 
-#endif  // ASTERIX_COMMON_RNG_H_

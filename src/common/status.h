@@ -1,8 +1,7 @@
 // Status: lightweight error propagation for the core library (RocksDB idiom).
 // Exceptions are reserved for user-provided code (UDFs, adaptors) and are
 // caught at the MetaFeed sandbox boundary.
-#ifndef ASTERIX_COMMON_STATUS_H_
-#define ASTERIX_COMMON_STATUS_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -102,4 +101,3 @@ class Status {
     if (!_st.ok()) return _st;                         \
   } while (0)
 
-#endif  // ASTERIX_COMMON_STATUS_H_

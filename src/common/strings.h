@@ -1,6 +1,5 @@
 // Small string utilities shared across modules.
-#ifndef ASTERIX_COMMON_STRINGS_H_
-#define ASTERIX_COMMON_STRINGS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -28,4 +27,3 @@ uint64_t Fnv1a(std::string_view s);
 }  // namespace common
 }  // namespace asterix
 
-#endif  // ASTERIX_COMMON_STRINGS_H_

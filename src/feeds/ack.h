@@ -2,21 +2,20 @@
 // at the intake stage; store instances ack persisted ids (grouped over a
 // fixed window to cut message counts); intake holds records until acked
 // and replays them on timeout.
-#ifndef ASTERIX_FEEDS_ACK_H_
-#define ASTERIX_FEEDS_ACK_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "adm/value.h"
 #include "common/clock.h"
 #include "common/failpoint.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace feeds {
@@ -42,12 +41,12 @@ class AckBus {
   /// Intake partition `partition` of connection `conn` registers to
   /// receive its acks.
   void Register(const std::string& conn, int partition, Handler handler) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     handlers_[Key(conn, partition)] = std::move(handler);
   }
 
   void Unregister(const std::string& conn, int partition) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     handlers_.erase(Key(conn, partition));
   }
 
@@ -60,7 +59,7 @@ class AckBus {
     if (ASTERIX_FAILPOINT_TRIGGERED("feeds.ack.publish")) return;
     Handler handler;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       auto it = handlers_.find(Key(conn, partition));
       if (it == handlers_.end()) return;
       handler = it->second;
@@ -76,8 +75,8 @@ class AckBus {
     return conn + "#" + std::to_string(partition);
   }
 
-  std::mutex mutex_;
-  std::map<std::string, Handler> handlers_;
+  common::Mutex mutex_;
+  std::map<std::string, Handler> handlers_ GUARDED_BY(mutex_);
   std::atomic<int64_t> messages_published_{0};
 };
 
@@ -88,13 +87,13 @@ class PendingTracker {
 
   /// Registers an in-flight record under its tracking id.
   void Track(int64_t tid, adm::Value record) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     pending_[tid] = {std::move(record), common::NowMillis()};
   }
 
   /// Ack arrival: drops the records and reclaims memory.
   void Ack(const std::vector<int64_t>& tids) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (int64_t tid : tids) pending_.erase(tid);
   }
 
@@ -104,7 +103,7 @@ class PendingTracker {
     ASTERIX_FAILPOINT_HIT("feeds.ack.replay");
     std::vector<adm::Value> expired;
     int64_t now = common::NowMillis();
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (auto& [tid, entry] : pending_) {
       if (now - entry.tracked_at_ms >= timeout_ms_) {
         expired.push_back(entry.record);
@@ -117,7 +116,7 @@ class PendingTracker {
   /// Removes and returns every pending record (handoff to a successor
   /// instance during pipeline resurrection).
   std::vector<adm::Value> TakeAll() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     std::vector<adm::Value> out;
     out.reserve(pending_.size());
     for (auto& [tid, entry] : pending_) {
@@ -128,7 +127,7 @@ class PendingTracker {
   }
 
   size_t pending_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return pending_.size();
   }
 
@@ -138,8 +137,8 @@ class PendingTracker {
     int64_t tracked_at_ms;
   };
   const int64_t timeout_ms_;
-  mutable std::mutex mutex_;
-  std::map<int64_t, Entry> pending_;
+  mutable common::Mutex mutex_;
+  std::map<int64_t, Entry> pending_ GUARDED_BY(mutex_);
 };
 
 /// Store-side ack batcher: groups acked tracking ids per intake partition
@@ -152,7 +151,7 @@ class AckCollector {
         window_ms_(window_ms), window_start_ms_(common::NowMillis()) {}
 
   void OnPersisted(int64_t tid) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     grouped_[TrackingIdPartition(tid)].push_back(tid);
     if (common::NowMillis() - window_start_ms_ >= window_ms_) {
       FlushLocked();
@@ -160,12 +159,12 @@ class AckCollector {
   }
 
   void Flush() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     FlushLocked();
   }
 
  private:
-  void FlushLocked() {
+  void FlushLocked() REQUIRES(mutex_) {
     for (auto& [partition, tids] : grouped_) {
       if (!tids.empty()) bus_->Publish(conn_, partition, tids);
     }
@@ -176,12 +175,11 @@ class AckCollector {
   std::shared_ptr<AckBus> bus_;
   const std::string conn_;
   const int64_t window_ms_;
-  std::mutex mutex_;
-  std::map<int, std::vector<int64_t>> grouped_;
-  int64_t window_start_ms_;
+  common::Mutex mutex_;
+  std::map<int, std::vector<int64_t>> grouped_ GUARDED_BY(mutex_);
+  int64_t window_start_ms_ GUARDED_BY(mutex_);
 };
 
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_ACK_H_

@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "feeds/adaptor.h"
 
 #include <algorithm>
@@ -15,7 +16,7 @@ using common::Result;
 using common::Status;
 
 Status AdaptorRegistry::Register(std::shared_ptr<AdaptorFactory> factory) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto [it, inserted] = factories_.emplace(factory->alias(), factory);
   if (!inserted) {
     return Status::AlreadyExists("adaptor '" + it->first +
@@ -26,7 +27,7 @@ Status AdaptorRegistry::Register(std::shared_ptr<AdaptorFactory> factory) {
 
 Result<std::shared_ptr<AdaptorFactory>> AdaptorRegistry::Find(
     const std::string& alias) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = factories_.find(alias);
   if (it == factories_.end()) {
     return Status::NotFound("unknown adaptor '" + alias + "'");
@@ -41,18 +42,18 @@ ExternalSourceRegistry& ExternalSourceRegistry::Instance() {
 
 void ExternalSourceRegistry::RegisterChannel(const std::string& address,
                                              gen::Channel* channel) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   channels_[address] = channel;
 }
 
 void ExternalSourceRegistry::UnregisterChannel(const std::string& address) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   channels_.erase(address);
 }
 
 gen::Channel* ExternalSourceRegistry::FindChannel(
     const std::string& address) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = channels_.find(address);
   return it == channels_.end() ? nullptr : it->second;
 }

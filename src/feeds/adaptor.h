@@ -2,16 +2,15 @@
 // and AsterixDB. An adaptor knows the source's transfer protocol and hands
 // raw payloads to the FeedCollect operator, which parses/translates them
 // into ADM records (parse errors surface as soft failures).
-#ifndef ASTERIX_FEEDS_ADAPTOR_H_
-#define ASTERIX_FEEDS_ADAPTOR_H_
+#pragma once
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "gen/tweetgen.h"
 #include "hyracks/job.h"
 
@@ -70,8 +69,9 @@ class AdaptorRegistry {
       const std::string& alias) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<AdaptorFactory>> factories_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<AdaptorFactory>> factories_
+      GUARDED_BY(mutex_);
 };
 
 /// Name -> in-process channel registry standing in for the network: a
@@ -86,8 +86,8 @@ class ExternalSourceRegistry {
   gen::Channel* FindChannel(const std::string& address) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, gen::Channel*> channels_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, gen::Channel*> channels_ GUARDED_BY(mutex_);
 };
 
 /// --- Built-in adaptors ----------------------------------------------------
@@ -150,4 +150,3 @@ void RegisterBuiltinAdaptors(AdaptorRegistry* registry);
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_ADAPTOR_H_

@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "feeds/catalog.h"
 
 #include <algorithm>
@@ -9,7 +10,7 @@ using common::Result;
 using common::Status;
 
 Status FeedCatalog::CreateFeed(FeedDef def) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (feeds_.count(def.name) > 0) {
     return Status::AlreadyExists("feed '" + def.name + "' already exists");
   }
@@ -34,7 +35,7 @@ Status FeedCatalog::CreateFeed(FeedDef def) {
 }
 
 Status FeedCatalog::DropFeed(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   // Refuse to orphan children.
   for (const auto& [other_name, def] : feeds_) {
     if (!def.is_primary && def.parent_feed == name) {
@@ -50,7 +51,7 @@ Status FeedCatalog::DropFeed(const std::string& name) {
 }
 
 Result<FeedDef> FeedCatalog::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = feeds_.find(name);
   if (it == feeds_.end()) {
     return Status::NotFound("feed '" + name + "' not found");
@@ -60,7 +61,7 @@ Result<FeedDef> FeedCatalog::Find(const std::string& name) const {
 
 Result<std::vector<FeedDef>> FeedCatalog::PathFromRoot(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<FeedDef> path;
   std::string current = name;
   for (size_t depth = 0; depth <= feeds_.size(); ++depth) {
@@ -80,7 +81,7 @@ Result<std::vector<FeedDef>> FeedCatalog::PathFromRoot(
 }
 
 std::vector<std::string> FeedCatalog::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::string> names;
   for (const auto& [name, def] : feeds_) names.push_back(name);
   return names;

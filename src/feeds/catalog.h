@@ -1,15 +1,14 @@
 // Feed metadata (§5.1): the Feeds dataset of the Metadata dataverse.
 // Primary feeds carry an adaptor alias + configuration; secondary feeds
 // carry their parent's name; either kind may carry a pre-processing UDF.
-#ifndef ASTERIX_FEEDS_CATALOG_H_
-#define ASTERIX_FEEDS_CATALOG_H_
+#pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "feeds/adaptor.h"
 
 namespace asterix {
@@ -41,11 +40,10 @@ class FeedCatalog {
   std::vector<std::string> Names() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, FeedDef> feeds_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, FeedDef> feeds_ GUARDED_BY(mutex_);
 };
 
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_CATALOG_H_

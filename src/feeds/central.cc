@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "feeds/central.h"
 
 #include <algorithm>
@@ -69,7 +70,7 @@ Status CentralFeedManager::ConnectFeed(const std::string& feed,
                                        const std::string& dataset,
                                        const std::string& policy_name,
                                        ConnectOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return ConnectFeedLocked(feed, dataset, policy_name, options);
 }
 
@@ -401,7 +402,7 @@ std::vector<ConnectionInfo*> CentralFeedManager::DependentsLocked(
 
 Status CentralFeedManager::DisconnectFeed(const std::string& feed,
                                           const std::string& dataset) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = connections_.find(ConnId(feed, dataset));
   if (it == connections_.end() || it->second.terminated) {
     return Status::NotFound("feed '" + feed +
@@ -490,21 +491,21 @@ void CentralFeedManager::ReleaseHeadIfIdleLocked(
 
 std::shared_ptr<ConnectionMetrics> CentralFeedManager::GetHeadMetrics(
     const std::string& root_feed) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = heads_.find(root_feed);
   return it == heads_.end() ? nullptr : it->second.metrics;
 }
 
 std::shared_ptr<ConnectionMetrics> CentralFeedManager::GetMetrics(
     const std::string& feed, const std::string& dataset) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = connections_.find(ConnId(feed, dataset));
   return it == connections_.end() ? nullptr : it->second.metrics;
 }
 
 Result<ConnectionInfo> CentralFeedManager::GetConnection(
     const std::string& feed, const std::string& dataset) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = connections_.find(ConnId(feed, dataset));
   if (it == connections_.end()) {
     return Status::NotFound("no connection " + ConnId(feed, dataset));
@@ -513,7 +514,7 @@ Result<ConnectionInfo> CentralFeedManager::GetConnection(
 }
 
 std::vector<std::string> CentralFeedManager::ActiveConnectionIds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::string> ids;
   for (const auto& [id, conn] : connections_) {
     if (!conn.terminated) ids.push_back(id);
@@ -523,7 +524,7 @@ std::vector<std::string> CentralFeedManager::ActiveConnectionIds() const {
 
 CentralFeedManager::ConnectionHealth CentralFeedManager::Health(
     const std::string& feed, const std::string& dataset) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = connections_.find(ConnId(feed, dataset));
   if (it == connections_.end()) return ConnectionHealth::kUnknown;
   if (it->second.terminated) return ConnectionHealth::kFailed;
@@ -550,7 +551,7 @@ bool CentralFeedManager::IsConnected(const std::string& feed,
 
 void CentralFeedManager::OnClusterEvent(
     const hyracks::ClusterEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (event.kind == hyracks::ClusterEvent::Kind::kNodeFailed) {
     HandleNodeFailureLocked(event.node_id);
   } else if (event.kind == hyracks::ClusterEvent::Kind::kNodeJoined) {
@@ -623,7 +624,7 @@ std::string CentralFeedManager::DescribeFeeds() const {
   // before mutex_ — Snapshot() runs providers that take pipeline locks.
   common::MetricsSnapshot snap =
       common::MetricsRegistry::Default().Snapshot();
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::string out;
   for (const auto& [id, conn] : connections_) {
     out += "connection " + id + " [policy " + conn.policy.name() + "]";
@@ -929,7 +930,7 @@ void CentralFeedManager::StopMonitor() {
 Status CentralFeedManager::Rescale(const std::string& feed,
                                    const std::string& dataset,
                                    int new_width) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = connections_.find(ConnId(feed, dataset));
   if (it == connections_.end() || it->second.terminated) {
     return Status::NotFound("no active connection for " +
@@ -952,7 +953,7 @@ void CentralFeedManager::MonitorLoop(int64_t period_ms) {
     common::MetricsSnapshot snap =
         common::MetricsRegistry::Default().Snapshot();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       for (auto& [id, conn] : connections_) {
         if (conn.terminated || conn.store_detached ||
             conn.udf_chain.empty()) {

@@ -4,18 +4,17 @@
 // sections), tracks feed joints and operator locations, subscribes to
 // cluster events to run the hard-failure protocol of Chapter 6, and hosts
 // the congestion monitor that drives the Elastic policy of Chapter 7.
-#ifndef ASTERIX_FEEDS_CENTRAL_H_
-#define ASTERIX_FEEDS_CENTRAL_H_
+#pragma once
 
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "feeds/ack.h"
 #include "feeds/catalog.h"
 #include "feeds/metrics.h"
@@ -163,40 +162,46 @@ class CentralFeedManager : public hyracks::ClusterListener {
 
   // All Locked methods require mutex_ held.
   common::Status BuildHeadLocked(const FeedDef& root,
-                                 const std::vector<std::string>& locations);
-  common::Status BuildTailLocked(ConnectionInfo* conn);
+                                 const std::vector<std::string>& locations)
+      REQUIRES(mutex_);
+  common::Status BuildTailLocked(ConnectionInfo* conn) REQUIRES(mutex_);
   common::Status ConnectFeedLocked(const std::string& feed,
                                    const std::string& dataset,
                                    const std::string& policy_name,
-                                   ConnectOptions options);
+                                   ConnectOptions options) REQUIRES(mutex_);
   /// Dismantles a tail gracefully and releases its joints/head refs.
-  common::Status FullDisconnectLocked(ConnectionInfo* conn);
-  void ReleaseHeadIfIdleLocked(const std::string& root_feed);
+  common::Status FullDisconnectLocked(ConnectionInfo* conn) REQUIRES(mutex_);
+  void ReleaseHeadIfIdleLocked(const std::string& root_feed)
+      REQUIRES(mutex_);
   /// Connections transitively sourcing from `conn` (rebuild closure).
-  std::vector<ConnectionInfo*> DependentsLocked(const ConnectionInfo& conn);
-  int CountActiveSubscribersLocked(const std::string& joint_id);
+  std::vector<ConnectionInfo*> DependentsLocked(const ConnectionInfo& conn)
+      REQUIRES(mutex_);
+  int CountActiveSubscribersLocked(const std::string& joint_id)
+      REQUIRES(mutex_);
 
   /// Chapter 6: substitute `failed_node` and resurrect affected
   /// pipelines; terminates connections that lost a store partition.
-  void HandleNodeFailureLocked(const std::string& failed_node);
+  void HandleNodeFailureLocked(const std::string& failed_node)
+      REQUIRES(mutex_);
 
   /// §6.2.3: when a failed store node rejoins (after log-based recovery
   /// of its partitions), feeds that terminated for lack of that
   /// partition are rescheduled.
-  void HandleNodeRejoinLocked(const std::string& node_id);
+  void HandleNodeRejoinLocked(const std::string& node_id)
+      REQUIRES(mutex_);
 
   /// Stops a connection's tail (handoff/zombie state capture) and starts
   /// a revised tail. `substitute(node)` maps old locations to new.
   common::Status RebuildTailLocked(
       ConnectionInfo* conn,
       const std::map<std::string, std::string>& substitutions,
-      int new_compute_width);
+      int new_compute_width) REQUIRES(mutex_);
 
   void TerminateConnectionLocked(ConnectionInfo* conn,
-                                 const std::string& why);
+                                 const std::string& why) REQUIRES(mutex_);
 
   std::string PickSubstituteLocked(
-      const std::set<std::string>& avoid) const;
+      const std::set<std::string>& avoid) const REQUIRES(mutex_);
 
   void MonitorLoop(int64_t period_ms);
 
@@ -208,10 +213,10 @@ class CentralFeedManager : public hyracks::ClusterListener {
   storage::DatasetCatalog* datasets_;
   std::shared_ptr<AckBus> ack_bus_ = std::make_shared<AckBus>();
 
-  mutable std::mutex mutex_;
-  std::map<std::string, ConnectionInfo> connections_;
-  std::map<std::string, HeadSection> heads_;
-  std::map<std::string, JointInfo> joints_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, ConnectionInfo> connections_ GUARDED_BY(mutex_);
+  std::map<std::string, HeadSection> heads_ GUARDED_BY(mutex_);
+  std::map<std::string, JointInfo> joints_ GUARDED_BY(mutex_);
 
   std::atomic<bool> monitoring_{false};
   std::thread monitor_thread_;
@@ -220,4 +225,3 @@ class CentralFeedManager : public hyracks::ClusterListener {
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_CENTRAL_H_

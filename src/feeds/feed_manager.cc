@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "feeds/feed_manager.h"
 
 namespace asterix {
@@ -12,24 +13,24 @@ std::shared_ptr<FeedManager> FeedManager::Of(
 }
 
 void FeedManager::RegisterJoint(std::shared_ptr<FeedJoint> joint) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   joints_[joint->id()] = std::move(joint);
 }
 
 std::shared_ptr<FeedJoint> FeedManager::LookupJoint(
     const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = joints_.find(id);
   return it == joints_.end() ? nullptr : it->second;
 }
 
 void FeedManager::UnregisterJoint(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   joints_.erase(id);
 }
 
 std::vector<std::string> FeedManager::JointIds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::string> ids;
   for (const auto& [id, joint] : joints_) ids.push_back(id);
   return ids;
@@ -37,13 +38,13 @@ std::vector<std::string> FeedManager::JointIds() const {
 
 void FeedManager::SaveIntakeHandoff(const std::string& key,
                                     IntakeHandoff handoff) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   handoffs_[key] = std::move(handoff);
 }
 
 std::optional<FeedManager::IntakeHandoff> FeedManager::TakeIntakeHandoff(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = handoffs_.find(key);
   if (it == handoffs_.end()) return std::nullopt;
   IntakeHandoff handoff = std::move(it->second);
@@ -53,14 +54,14 @@ std::optional<FeedManager::IntakeHandoff> FeedManager::TakeIntakeHandoff(
 
 void FeedManager::SaveZombieState(const std::string& key,
                                   std::vector<hyracks::FramePtr> frames) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& slot = zombie_state_[key];
   for (auto& frame : frames) slot.push_back(std::move(frame));
 }
 
 std::vector<hyracks::FramePtr> FeedManager::TakeZombieState(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = zombie_state_.find(key);
   if (it == zombie_state_.end()) return {};
   std::vector<hyracks::FramePtr> frames = std::move(it->second);
@@ -69,7 +70,7 @@ std::vector<hyracks::FramePtr> FeedManager::TakeZombieState(
 }
 
 size_t FeedManager::zombie_state_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return zombie_state_.size();
 }
 

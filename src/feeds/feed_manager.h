@@ -2,16 +2,15 @@
 // active feed components — the available feed joints (discoverable via
 // the search API used by co-located intake operators) and the saved state
 // of zombie instances awaiting pipeline resurrection (§6.2.2).
-#ifndef ASTERIX_FEEDS_FEED_MANAGER_H_
-#define ASTERIX_FEEDS_FEED_MANAGER_H_
+#pragma once
 
 #include <map>
 #include <memory>
 #include <optional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "feeds/joint.h"
 #include "hyracks/node.h"
 
@@ -61,13 +60,14 @@ class FeedManager {
 
  private:
   const std::string node_id_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<FeedJoint>> joints_;
-  std::map<std::string, std::vector<hyracks::FramePtr>> zombie_state_;
-  std::map<std::string, IntakeHandoff> handoffs_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<FeedJoint>> joints_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::vector<hyracks::FramePtr>> zombie_state_
+      GUARDED_BY(mutex_);
+  std::map<std::string, IntakeHandoff> handoffs_ GUARDED_BY(mutex_);
 };
 
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_FEED_MANAGER_H_

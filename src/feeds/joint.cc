@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "feeds/joint.h"
 
 #include <algorithm>
@@ -13,14 +14,14 @@ using common::Status;
 using hyracks::FramePtr;
 
 void FeedJoint::SetPrimary(std::shared_ptr<hyracks::IFrameWriter> primary) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   primary_ = std::move(primary);
 }
 
 void FeedJoint::DetachPrimary() {
   std::shared_ptr<hyracks::IFrameWriter> primary;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     primary = std::move(primary_);
     primary_.reset();
   }
@@ -30,7 +31,7 @@ void FeedJoint::DetachPrimary() {
 std::shared_ptr<SubscriberQueue> FeedJoint::Subscribe(
     SubscriberOptions options) {
   auto queue = std::make_shared<SubscriberQueue>(std::move(options));
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (closed_) {
     queue->DeliverEnd();
     return queue;
@@ -40,20 +41,20 @@ std::shared_ptr<SubscriberQueue> FeedJoint::Subscribe(
 }
 
 void FeedJoint::Unsubscribe(const std::shared_ptr<SubscriberQueue>& queue) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   subscribers_.erase(
       std::remove(subscribers_.begin(), subscribers_.end(), queue),
       subscribers_.end());
 }
 
 FeedJoint::Mode FeedJoint::mode() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (subscribers_.empty()) return Mode::kInactive;
   return subscribers_.size() == 1 ? Mode::kShortCircuit : Mode::kShared;
 }
 
 size_t FeedJoint::subscriber_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return subscribers_.size();
 }
 
@@ -68,7 +69,7 @@ Status FeedJoint::NextFrame(const FramePtr& frame) {
   std::shared_ptr<hyracks::IFrameWriter> primary;
   std::vector<std::shared_ptr<SubscriberQueue>> subscribers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     primary = primary_;
     subscribers = subscribers_;
     ++frames_routed_;
@@ -110,7 +111,7 @@ void FeedJoint::Fail() {
   std::shared_ptr<hyracks::IFrameWriter> primary;
   std::vector<std::shared_ptr<SubscriberQueue>> subscribers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     closed_ = true;
     primary = primary_;
     subscribers = subscribers_;
@@ -123,7 +124,7 @@ Status FeedJoint::Close() {
   std::shared_ptr<hyracks::IFrameWriter> primary;
   std::vector<std::shared_ptr<SubscriberQueue>> subscribers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     closed_ = true;
     primary = primary_;
     subscribers = subscribers_;
@@ -134,12 +135,12 @@ Status FeedJoint::Close() {
 }
 
 bool FeedJoint::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return closed_;
 }
 
 int64_t FeedJoint::frames_routed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return frames_routed_;
 }
 

@@ -6,14 +6,13 @@
 // pipelines). With one subscriber it short-circuits (no bucket
 // bookkeeping); with several it shares Data Buckets, giving Guaranteed
 // Delivery and Congestion Isolation.
-#ifndef ASTERIX_FEEDS_JOINT_H_
-#define ASTERIX_FEEDS_JOINT_H_
+#pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "feeds/subscriber.h"
 #include "hyracks/frame.h"
 
@@ -59,18 +58,20 @@ class FeedJoint : public hyracks::IFrameWriter {
 
  private:
   const std::string id_;
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   // pool_ must be declared before subscribers_: queue entries hold
   // DataBucket* into the pool, and ~SubscriberQueue (run when
-  // subscribers_ drops the last reference) consumes them.
+  // subscribers_ drops the last reference) consumes them. The pool is
+  // internally synchronized and is used outside mutex_ on the routing
+  // path, so it is deliberately not GUARDED_BY.
   DataBucketPool pool_;
-  std::shared_ptr<hyracks::IFrameWriter> primary_;
-  std::vector<std::shared_ptr<SubscriberQueue>> subscribers_;
-  bool closed_ = false;
-  int64_t frames_routed_ = 0;
+  std::shared_ptr<hyracks::IFrameWriter> primary_ GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<SubscriberQueue>> subscribers_
+      GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
+  int64_t frames_routed_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_JOINT_H_

@@ -4,8 +4,7 @@
 // Concerns). It sandboxes runtime exceptions (soft failures), logs them,
 // bounds consecutive skips, and restores zombie state left behind by a
 // predecessor instance after a hard failure.
-#ifndef ASTERIX_FEEDS_META_H_
-#define ASTERIX_FEEDS_META_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -77,4 +76,3 @@ std::unique_ptr<hyracks::Operator> WrapWithMetaFeed(
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_META_H_

@@ -1,18 +1,17 @@
 // Metrics for a feed connection (Table 7.1's symbols): arrival,
 // processing and persistence counters plus an interval-binned recorder for
 // instantaneous throughput timelines (the Chapter 6/7 figures).
-#ifndef ASTERIX_FEEDS_METRICS_H_
-#define ASTERIX_FEEDS_METRICS_H_
+#pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/observability.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace feeds {
@@ -31,7 +30,7 @@ class IntervalCounter {
   /// Records `n` events at wall instant `now_ms` (test seam; Add() passes
   /// the current clock).
   void AddAtMillis(int64_t now_ms, int64_t n = 1) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     // start_ms_ is read under the lock: a concurrent Reset() can move it
     // past `now_ms`, making the bin negative — clamp to the first bin
     // instead of indexing out of bounds.
@@ -50,24 +49,28 @@ class IntervalCounter {
 
   /// Per-bin counts from the start instant to now.
   std::vector<int64_t> Series() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return bins_;
   }
 
   int64_t bin_width_ms() const { return bin_width_ms_; }
-  int64_t start_ms() const { return start_ms_; }
+  int64_t start_ms() const {
+    // Reset() moves the start instant; read it under the same lock.
+    common::MutexLock lock(mutex_);
+    return start_ms_;
+  }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     bins_.clear();
     start_ms_ = common::NowMillis();
   }
 
  private:
   const int64_t bin_width_ms_;
-  int64_t start_ms_;
-  mutable std::mutex mutex_;
-  std::vector<int64_t> bins_;
+  mutable common::Mutex mutex_;
+  int64_t start_ms_ GUARDED_BY(mutex_);
+  std::vector<int64_t> bins_ GUARDED_BY(mutex_);
 };
 
 /// Shared runtime metrics for one feed connection. Operators update the
@@ -104,19 +107,20 @@ struct ConnectionMetrics {
 
   /// Intake-side subscriber queues (one per intake partition), for the
   /// congestion monitor. Guarded by `mutex`.
-  std::mutex mutex;
-  std::vector<std::shared_ptr<SubscriberQueue>> intake_queues;
+  common::Mutex mutex;
+  std::vector<std::shared_ptr<SubscriberQueue>> intake_queues
+      GUARDED_BY(mutex);
 
   void RegisterIntakeQueue(std::shared_ptr<SubscriberQueue> queue) {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     intake_queues.push_back(std::move(queue));
   }
   std::vector<std::shared_ptr<SubscriberQueue>> IntakeQueues() {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     return intake_queues;
   }
   void ClearIntakeQueues() {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     intake_queues.clear();
   }
 
@@ -129,4 +133,3 @@ struct ConnectionMetrics {
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_METRICS_H_

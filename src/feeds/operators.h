@@ -7,8 +7,7 @@
 //  - AssignOperator        compute stage: applies the (inlined) UDF chain;
 //  - FeedStoreOperator     store stage: inserts into the local dataset
 //                          partition, updates secondary indexes, acks.
-#ifndef ASTERIX_FEEDS_OPERATORS_H_
-#define ASTERIX_FEEDS_OPERATORS_H_
+#pragma once
 
 #include <atomic>
 #include <memory>
@@ -152,4 +151,3 @@ class FeedStoreOperator : public hyracks::Operator {
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_OPERATORS_H_

@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "feeds/policy.h"
 
 #include <algorithm>
@@ -140,7 +141,7 @@ PolicyRegistry::PolicyRegistry() {
 Status PolicyRegistry::Create(const std::string& name,
                               const std::string& base,
                               std::map<std::string, std::string> overrides) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (policies_.count(name) > 0) {
     return Status::AlreadyExists("policy '" + name + "' already exists");
   }
@@ -155,7 +156,7 @@ Status PolicyRegistry::Create(const std::string& name,
 }
 
 Result<IngestionPolicy> PolicyRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = policies_.find(name);
   if (it == policies_.end()) {
     return Status::NotFound("policy '" + name + "' not found");

@@ -2,15 +2,14 @@
 // feed's runtime behaviour under resource bottlenecks and failures
 // (Tables 4.1 and 4.2). Users pick a built-in policy or derive a custom
 // one by overriding parameters of an existing policy.
-#ifndef ASTERIX_FEEDS_POLICY_H_
-#define ASTERIX_FEEDS_POLICY_H_
+#pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace feeds {
@@ -173,11 +172,10 @@ class PolicyRegistry {
   common::Result<IngestionPolicy> Find(const std::string& name) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, IngestionPolicy> policies_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, IngestionPolicy> policies_ GUARDED_BY(mutex_);
 };
 
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_POLICY_H_

@@ -23,14 +23,14 @@ void DataBucket::Consume() {
 }
 
 DataBucketPool::~DataBucketPool() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (DataBucket* bucket : free_) delete bucket;
 }
 
 DataBucket* DataBucketPool::Get(FramePtr frame, int consumers) {
   DataBucket* bucket = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (!free_.empty()) {
       bucket = free_.front();
       free_.pop_front();
@@ -49,7 +49,7 @@ DataBucket* DataBucketPool::Get(FramePtr frame, int consumers) {
 
 void DataBucketPool::Return(DataBucket* bucket) {
   bucket->frame_.reset();
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   free_.push_back(bucket);
 }
 
@@ -60,7 +60,7 @@ SubscriberQueue::SubscriberQueue(SubscriberOptions options, uint64_t seed)
 }
 
 SubscriberQueue::~SubscriberQueue() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (Entry& e : entries_) {
     if (e.bucket != nullptr) e.bucket->Consume();
   }
@@ -164,7 +164,7 @@ void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
     span.records = static_cast<int64_t>(frame->record_count());
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     DeliverLocked(std::move(frame), bucket, traced ? &span : nullptr);
   }
   // Recorded after unlocking: RecordSpan takes the tracer (and possibly
@@ -213,7 +213,7 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
     entry.bucket = b;
     if (span != nullptr) entry.deliver_us = common::NowMicros();
     entries_.push_back(std::move(entry));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
   };
 
   if (throttling_) {
@@ -241,7 +241,7 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
             std::to_string(options_.memory_budget_bytes) + " bytes)");
         consume();
         outcome("discarded", "error");
-        not_empty_.notify_all();
+        not_empty_.NotifyAll();
         return;
       }
       append(std::move(frame), bucket);
@@ -267,7 +267,7 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
                 "feed '" + options_.name + "' exhausted its spill budget");
             consume();
             outcome("discarded", "error");
-            not_empty_.notify_all();
+            not_empty_.NotifyAll();
           }
           return;
         }
@@ -276,7 +276,7 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
         // The spill file stores raw records; the trace does not survive
         // the round-trip, so this span is the trace's terminal.
         outcome("spilled", "spilled");
-        not_empty_.notify_one();
+        not_empty_.NotifyOne();
         return;
       }
       append(std::move(frame), bucket);
@@ -322,9 +322,9 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
 }
 
 void SubscriberQueue::DeliverEnd() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   ended_ = true;
-  not_empty_.notify_all();
+  not_empty_.NotifyAll();
 }
 
 void SubscriberQueue::RecordQueueSpan(const Entry& entry,
@@ -342,22 +342,27 @@ void SubscriberQueue::RecordQueueSpan(const Entry& entry,
 }
 
 std::optional<FramePtr> SubscriberQueue::Next(int64_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  bool ready = not_empty_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms), [this] {
-        return !entries_.empty() || spill_pending_frames_ > 0 || ended_ ||
-               failed_.load();
-      });
-  if (!ready) return std::nullopt;
-  if (entries_.empty() && spill_pending_frames_ > 0) {
-    RestoreFromSpillLocked();
+  Entry entry;
+  {
+    common::MutexLock lock(mutex_);
+    bool ready = not_empty_.WaitFor(
+        mutex_, std::chrono::milliseconds(timeout_ms),
+        [this]() REQUIRES(mutex_) {
+          return !entries_.empty() || spill_pending_frames_ > 0 || ended_ ||
+                 failed_.load();
+        });
+    if (!ready) return std::nullopt;
+    if (entries_.empty() && spill_pending_frames_ > 0) {
+      RestoreFromSpillLocked();
+    }
+    if (entries_.empty()) return std::nullopt;  // ended or failed
+    entry = std::move(entries_.front());
+    entries_.pop_front();
+    pending_bytes_ -= static_cast<int64_t>(entry.frame->ApproxBytes());
+    if (entry.bucket != nullptr) entry.bucket->Consume();
   }
-  if (entries_.empty()) return std::nullopt;  // ended or failed
-  Entry entry = std::move(entries_.front());
-  entries_.pop_front();
-  pending_bytes_ -= static_cast<int64_t>(entry.frame->ApproxBytes());
-  if (entry.bucket != nullptr) entry.bucket->Consume();
-  lock.unlock();
+  // Span recording stays outside the lock: the tracer mutex must never
+  // nest inside a queue mutex (see Deliver()).
   if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
     RecordQueueSpan(entry, common::NowMicros());
   }
@@ -366,29 +371,31 @@ std::optional<FramePtr> SubscriberQueue::Next(int64_t timeout_ms) {
 
 std::vector<FramePtr> SubscriberQueue::NextBatch(int64_t timeout_ms,
                                                  size_t max_frames) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  bool ready = not_empty_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms), [this] {
-        return !entries_.empty() || spill_pending_frames_ > 0 || ended_ ||
-               failed_.load();
-      });
   std::vector<FramePtr> batch;
-  if (!ready) return batch;
-  if (entries_.empty() && spill_pending_frames_ > 0) {
-    RestoreFromSpillLocked();
-  }
   std::vector<Entry> popped;
-  while (!entries_.empty() && batch.size() < max_frames) {
-    Entry entry = std::move(entries_.front());
-    entries_.pop_front();
-    pending_bytes_ -= static_cast<int64_t>(entry.frame->ApproxBytes());
-    if (entry.bucket != nullptr) entry.bucket->Consume();
-    batch.push_back(entry.frame);
-    if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
-      popped.push_back(std::move(entry));
+  {
+    common::MutexLock lock(mutex_);
+    bool ready = not_empty_.WaitFor(
+        mutex_, std::chrono::milliseconds(timeout_ms),
+        [this]() REQUIRES(mutex_) {
+          return !entries_.empty() || spill_pending_frames_ > 0 || ended_ ||
+                 failed_.load();
+        });
+    if (!ready) return batch;
+    if (entries_.empty() && spill_pending_frames_ > 0) {
+      RestoreFromSpillLocked();
+    }
+    while (!entries_.empty() && batch.size() < max_frames) {
+      Entry entry = std::move(entries_.front());
+      entries_.pop_front();
+      pending_bytes_ -= static_cast<int64_t>(entry.frame->ApproxBytes());
+      if (entry.bucket != nullptr) entry.bucket->Consume();
+      batch.push_back(entry.frame);
+      if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
+        popped.push_back(std::move(entry));
+      }
     }
   }
-  lock.unlock();
   if (!popped.empty()) {
     int64_t pop_us = common::NowMicros();
     for (const Entry& entry : popped) RecordQueueSpan(entry, pop_us);
@@ -397,22 +404,27 @@ std::vector<FramePtr> SubscriberQueue::NextBatch(int64_t timeout_ms,
 }
 
 bool SubscriberQueue::ended() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return ended_ && entries_.empty() && spill_pending_frames_ == 0;
 }
 
+common::Status SubscriberQueue::failure() const {
+  common::MutexLock lock(mutex_);
+  return failure_;
+}
+
 SubscriberStats SubscriberQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 
 int64_t SubscriberQueue::pending_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return pending_bytes_;
 }
 
 size_t SubscriberQueue::pending_frames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return entries_.size() + static_cast<size_t>(spill_pending_frames_);
 }
 

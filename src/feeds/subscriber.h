@@ -3,21 +3,19 @@
 // keep pace, and therefore where the ingestion policy's excess-record
 // handling (Table 4.2) is enforced: block/buffer (Basic), spill to disk
 // (Spill), drop (Discard), or sample (Throttle/Elastic-interim).
-#ifndef ASTERIX_FEEDS_SUBSCRIBER_H_
-#define ASTERIX_FEEDS_SUBSCRIBER_H_
+#pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "feeds/policy.h"
 #include "hyracks/frame.h"
 
@@ -57,8 +55,8 @@ class DataBucketPool {
   int64_t reuses() const { return reuses_.load(); }
 
  private:
-  std::mutex mutex_;
-  std::deque<DataBucket*> free_;
+  common::Mutex mutex_;
+  std::deque<DataBucket*> free_ GUARDED_BY(mutex_);
   std::atomic<int64_t> allocations_{0};
   std::atomic<int64_t> reuses_{0};
 };
@@ -120,7 +118,7 @@ class SubscriberQueue {
   /// Set when the Basic policy exhausted its memory budget (feed must
   /// terminate) or spillage overflowed without a throttle fallback.
   bool failed() const { return failed_.load(); }
-  const common::Status& failure() const { return failure_; }
+  common::Status failure() const;
 
   SubscriberStats stats() const;
   int64_t pending_bytes() const;
@@ -138,36 +136,35 @@ class SubscriberQueue {
   // traced) with the delivery outcome. The caller records it after
   // unlocking — RecordSpan must not run under a queue mutex.
   void DeliverLocked(hyracks::FramePtr frame, DataBucket* bucket,
-                     TraceSpan* span);
+                     TraceSpan* span) REQUIRES(mutex_);
   void RecordQueueSpan(const Entry& entry, int64_t pop_us) const;
-  void SpillLocked(const hyracks::FramePtr& frame);
-  bool RestoreFromSpillLocked();
+  void SpillLocked(const hyracks::FramePtr& frame) REQUIRES(mutex_);
+  bool RestoreFromSpillLocked() REQUIRES(mutex_);
   hyracks::FramePtr SampleFrame(const hyracks::FramePtr& frame,
-                                double keep_probability);
+                                double keep_probability) REQUIRES(mutex_);
 
   const SubscriberOptions options_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::deque<Entry> entries_;
-  int64_t pending_bytes_ = 0;
-  bool ended_ = false;
+  mutable common::Mutex mutex_;
+  common::CondVar not_empty_;
+  std::deque<Entry> entries_ GUARDED_BY(mutex_);
+  int64_t pending_bytes_ GUARDED_BY(mutex_) = 0;
+  bool ended_ GUARDED_BY(mutex_) = false;
   std::atomic<bool> failed_{false};
-  common::Status failure_;
-  SubscriberStats stats_;
-  common::Rng rng_;
+  common::Status failure_ GUARDED_BY(mutex_);
+  SubscriberStats stats_ GUARDED_BY(mutex_);
+  common::Rng rng_ GUARDED_BY(mutex_);
 
   // Spill state: once active, all arrivals spill until fully drained
   // (preserves record order).
-  std::FILE* spill_file_ = nullptr;
-  std::string spill_path_;
-  int64_t spill_pending_frames_ = 0;
-  int64_t spill_read_offset_ = 0;
-  bool throttling_ = false;  // spill overflow fallback engaged
-  bool discarding_ = false;  // Discard hysteresis: dropping until the
-                             // backlog clears (§4.5)
+  std::FILE* spill_file_ GUARDED_BY(mutex_) = nullptr;
+  std::string spill_path_;  // written once in the constructor
+  int64_t spill_pending_frames_ GUARDED_BY(mutex_) = 0;
+  int64_t spill_read_offset_ GUARDED_BY(mutex_) = 0;
+  bool throttling_ GUARDED_BY(mutex_) = false;   // spill overflow fallback
+  bool discarding_ GUARDED_BY(mutex_) = false;   // Discard hysteresis:
+                             // dropping until the backlog clears (§4.5)
 };
 
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_SUBSCRIBER_H_

@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "feeds/trace.h"
 
 #include <algorithm>
@@ -64,7 +65,7 @@ hyracks::TraceContext Tracer::StartTrace() {
   tc.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   tc.start_us = common::NowMicros();
   traces_started_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   started_ids_.push_back(tc.id);
   while (started_ids_.size() > ring_capacity_) started_ids_.pop_front();
   return tc;
@@ -84,7 +85,7 @@ common::Histogram* Tracer::StageHistogramLocked(const std::string& stage) {
 void Tracer::RecordSpan(TraceSpan span) {
   common::Histogram* hist;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     hist = StageHistogramLocked(span.stage);
     ring_.push_back(std::move(span));
     while (ring_.size() > ring_capacity_) ring_.pop_front();
@@ -93,20 +94,20 @@ void Tracer::RecordSpan(TraceSpan span) {
 }
 
 void Tracer::SetRingCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   ring_capacity_ = std::max<size_t>(capacity, 1);
   while (ring_.size() > ring_capacity_) ring_.pop_front();
   while (started_ids_.size() > ring_capacity_) started_ids_.pop_front();
 }
 
 std::vector<TraceSpan> Tracer::Spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return std::vector<TraceSpan>(ring_.begin(), ring_.end());
 }
 
 std::vector<TraceSpan> Tracer::SpansForTrace(uint64_t trace_id) const {
   std::vector<TraceSpan> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const TraceSpan& s : ring_) {
     if (s.trace_id == trace_id) out.push_back(s);
   }
@@ -114,7 +115,7 @@ std::vector<TraceSpan> Tracer::SpansForTrace(uint64_t trace_id) const {
 }
 
 std::vector<uint64_t> Tracer::StartedTraceIds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return std::vector<uint64_t>(started_ids_.begin(), started_ids_.end());
 }
 
@@ -122,7 +123,7 @@ std::string Tracer::DumpJson(size_t max_traces) const {
   // Group by trace id preserving first-seen (≈ start) order.
   std::vector<std::pair<uint64_t, std::vector<TraceSpan>>> traces;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     std::map<uint64_t, size_t> index;
     for (const TraceSpan& s : ring_) {
       auto it = index.find(s.trace_id);
@@ -164,7 +165,7 @@ std::string Tracer::DumpJson(size_t max_traces) const {
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   ring_.clear();
   started_ids_.clear();
   traces_started_.store(0, std::memory_order_relaxed);

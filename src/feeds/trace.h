@@ -25,18 +25,17 @@
 // queue/joint/connection mutex (it takes the tracer mutex and, on a new
 // stage, the registry mutex) — hooks collect span data under their locks
 // and record after unlocking.
-#ifndef ASTERIX_FEEDS_TRACE_H_
-#define ASTERIX_FEEDS_TRACE_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/observability.h"
+#include "common/thread_annotations.h"
 #include "hyracks/frame.h"
 
 namespace asterix {
@@ -104,22 +103,23 @@ class Tracer {
  private:
   Tracer() = default;
 
-  common::Histogram* StageHistogramLocked(const std::string& stage);
+  common::Histogram* StageHistogramLocked(const std::string& stage)
+      REQUIRES(mutex_);
 
   std::atomic<int> sampling_permille_{0};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<int64_t> traces_started_{0};
   std::atomic<uint64_t> sample_counter_{0};  // fractional-rate stride
 
-  mutable std::mutex mutex_;
-  size_t ring_capacity_ = 64 * 1024;
-  std::deque<TraceSpan> ring_;
-  std::deque<uint64_t> started_ids_;
+  mutable common::Mutex mutex_;
+  size_t ring_capacity_ GUARDED_BY(mutex_) = 64 * 1024;
+  std::deque<TraceSpan> ring_ GUARDED_BY(mutex_);
+  std::deque<uint64_t> started_ids_ GUARDED_BY(mutex_);
   // stage -> cached registry histogram (stable pointers).
-  std::map<std::string, common::Histogram*> stage_histograms_;
+  std::map<std::string, common::Histogram*> stage_histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_TRACE_H_

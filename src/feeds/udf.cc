@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "feeds/udf.h"
 
 #include <cstdlib>
@@ -127,7 +128,7 @@ double PseudoSentiment(const std::string& text) {
 }
 
 Status UdfRegistry::Register(std::shared_ptr<Udf> udf) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto [it, inserted] = udfs_.emplace(udf->name(), udf);
   if (!inserted) {
     return Status::AlreadyExists("function '" + udf->name() +
@@ -138,7 +139,7 @@ Status UdfRegistry::Register(std::shared_ptr<Udf> udf) {
 
 Result<std::shared_ptr<Udf>> UdfRegistry::Find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = udfs_.find(name);
   if (it == udfs_.end()) {
     return Status::NotFound("function '" + name + "' not found");
@@ -147,7 +148,7 @@ Result<std::shared_ptr<Udf>> UdfRegistry::Find(
 }
 
 std::vector<std::string> UdfRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::string> names;
   for (const auto& [name, udf] : udfs_) names.push_back(name);
   return names;

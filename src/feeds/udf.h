@@ -3,19 +3,18 @@
 // and black-box "Java" UDFs (arbitrary callables here) whose cost and
 // semantics are opaque. UDFs may throw; the MetaFeed sandbox catches
 // throws as soft failures.
-#ifndef ASTERIX_FEEDS_UDF_H_
-#define ASTERIX_FEEDS_UDF_H_
+#pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "adm/value.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace feeds {
@@ -124,11 +123,10 @@ class UdfRegistry {
   std::vector<std::string> Names() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<Udf>> udfs_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<Udf>> udfs_ GUARDED_BY(mutex_);
 };
 
 }  // namespace feeds
 }  // namespace asterix
 
-#endif  // ASTERIX_FEEDS_UDF_H_

@@ -1,8 +1,7 @@
 // Pattern descriptors: the XML files TweetGen is configured with in the
 // dissertation's evaluation (Listing 5.13). A pattern is a cycle of
 // (duration, rate) intervals repeated a number of times.
-#ifndef ASTERIX_GEN_PATTERN_H_
-#define ASTERIX_GEN_PATTERN_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -71,4 +70,3 @@ std::string PatternToXml(const Pattern& pattern);
 }  // namespace gen
 }  // namespace asterix
 
-#endif  // ASTERIX_GEN_PATTERN_H_

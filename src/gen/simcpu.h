@@ -4,15 +4,13 @@
 // consuming credits; when demand exceeds the configured capacity,
 // consumers block — reproducing the CPU contention the paper's
 // %OVERLAP/cascade experiments rely on without needing real cores.
-#ifndef ASTERIX_GEN_SIMCPU_H_
-#define ASTERIX_GEN_SIMCPU_H_
+#pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace gen {
@@ -28,10 +26,10 @@ class SimulatedCpu {
   /// capacity fairly, like threads on a real scheduler — without this, a
   /// path with cheap requests would starve an expensive one and the
   /// %OVERLAP comparison would not be apples-to-apples.
-  void Consume(int64_t cost_us) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  void Consume(int64_t cost_us) EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     uint64_t ticket = next_ticket_++;
-    cv_.wait(lock, [&] { return now_serving_ == ticket; });
+    cv_.Wait(mutex_, [&]() REQUIRES(mutex_) { return now_serving_ == ticket; });
     while (true) {
       Refill();
       if (available_us_ >= static_cast<double>(cost_us)) {
@@ -41,20 +39,20 @@ class SimulatedCpu {
       double deficit = static_cast<double>(cost_us) - available_us_;
       auto wait_us =
           static_cast<int64_t>(deficit / credits_per_us_) + 50;
-      cv_.wait_for(lock, std::chrono::microseconds(wait_us));
+      cv_.WaitFor(mutex_, std::chrono::microseconds(wait_us));
     }
     ++now_serving_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  double available_us() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  double available_us() EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     Refill();
     return available_us_;
   }
 
  private:
-  void Refill() {
+  void Refill() REQUIRES(mutex_) {
     int64_t now = common::NowMicros();
     available_us_ +=
         static_cast<double>(now - last_refill_us_) * credits_per_us_;
@@ -65,15 +63,14 @@ class SimulatedCpu {
   }
 
   const double credits_per_us_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  double available_us_ = 0;
-  int64_t last_refill_us_;
-  uint64_t next_ticket_ = 0;
-  uint64_t now_serving_ = 0;
+  common::Mutex mutex_;
+  common::CondVar cv_;
+  double available_us_ GUARDED_BY(mutex_) = 0;
+  int64_t last_refill_us_ GUARDED_BY(mutex_);
+  uint64_t next_ticket_ GUARDED_BY(mutex_) = 0;
+  uint64_t now_serving_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gen
 }  // namespace asterix
 
-#endif  // ASTERIX_GEN_SIMCPU_H_

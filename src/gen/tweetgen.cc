@@ -19,7 +19,10 @@ const char* kCountries[] = {"US", "IN", "UK", "CA", "DE", "BR"};
 }  // namespace
 
 TweetFactory::TweetFactory(int source_id, uint64_t seed)
-    : source_id_(source_id), rng_(seed + source_id * 7919) {}
+    : source_id_(source_id),
+      // 64-bit product: a large source id must perturb the seed, not
+      // overflow int (UBSan-caught).
+      rng_(seed + static_cast<uint64_t>(source_id) * 7919) {}
 
 Value TweetFactory::NextTweet() {
   int64_t seq = seq_++;

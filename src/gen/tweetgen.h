@@ -2,8 +2,7 @@
 // evaluation. Generates synthetic but meaningful tweets in JSON/ADM form
 // at a pattern-controlled rate and pushes them into an in-process channel
 // (the stand-in for a network socket).
-#ifndef ASTERIX_GEN_TWEETGEN_H_
-#define ASTERIX_GEN_TWEETGEN_H_
+#pragma once
 
 #include <atomic>
 #include <memory>
@@ -115,4 +114,3 @@ class TweetGenServer {
 }  // namespace gen
 }  // namespace asterix
 
-#endif  // ASTERIX_GEN_TWEETGEN_H_

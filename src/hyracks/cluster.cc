@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "hyracks/cluster.h"
 
 #include <algorithm>
@@ -62,14 +63,14 @@ ClusterController::~ClusterController() {
   // Abort all jobs so task threads exit before nodes are torn down.
   std::map<JobId, std::shared_ptr<JobHandle>> jobs;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     jobs = jobs_;
   }
   for (auto& [id, job] : jobs) job->Abort();
 }
 
 NodeController* ClusterController::AddNode(const std::string& node_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto node = std::make_unique<NodeController>(
       node_id, options_.storage_root + "/" + node_id);
   NodeController* ptr = node.get();
@@ -80,13 +81,13 @@ NodeController* ClusterController::AddNode(const std::string& node_id) {
 
 NodeController* ClusterController::GetNode(
     const std::string& node_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = nodes_.find(node_id);
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
 std::vector<NodeController*> ClusterController::AliveNodes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<NodeController*> out;
   for (const auto& [id, node] : nodes_) {
     if (node->alive()) out.push_back(node.get());
@@ -111,7 +112,7 @@ void ClusterController::RestartNode(const std::string& node_id) {
   node->Restart();
   std::vector<ClusterListener*> listeners;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     known_failed_.erase(node_id);
     listeners = listeners_;
   }
@@ -121,12 +122,12 @@ void ClusterController::RestartNode(const std::string& node_id) {
 }
 
 void ClusterController::Subscribe(ClusterListener* listener) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   listeners_.push_back(listener);
 }
 
 void ClusterController::Unsubscribe(ClusterListener* listener) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   listeners_.erase(
       std::remove(listeners_.begin(), listeners_.end(), listener),
       listeners_.end());
@@ -233,7 +234,7 @@ Result<std::shared_ptr<JobHandle>> ClusterController::StartJob(
 
   // 5. Register and start.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     jobs_[job_id] = handle;
   }
   for (auto& group : handle->tasks_) {
@@ -242,7 +243,7 @@ Result<std::shared_ptr<JobHandle>> ClusterController::StartJob(
 
   std::vector<ClusterListener*> listeners;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     listeners = listeners_;
   }
   for (ClusterListener* l : listeners) {
@@ -254,13 +255,13 @@ Result<std::shared_ptr<JobHandle>> ClusterController::StartJob(
 }
 
 std::shared_ptr<JobHandle> ClusterController::GetJob(JobId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   return it == jobs_.end() ? nullptr : it->second;
 }
 
 void ClusterController::ForgetJob(JobId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   jobs_.erase(id);
 }
 
@@ -282,7 +283,7 @@ void ClusterController::MonitorLoop() {
     int64_t now = common::NowMicros();
     std::vector<std::string> failed;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       for (const auto& [id, node] : nodes_) {
         bool stale = (now - node->last_heartbeat_us()) >
                      options_.heartbeat_timeout_ms * 1000;
@@ -309,7 +310,7 @@ void ClusterController::ReapFailedJobs() {
   // reaches a terminal state its owner can observe.
   std::vector<std::shared_ptr<JobHandle>> jobs;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (const auto& [id, job] : jobs_) jobs.push_back(job);
   }
   for (const auto& job : jobs) {
@@ -340,7 +341,7 @@ void ClusterController::HandleNodeFailure(const std::string& node_id) {
   std::vector<ClusterListener*> listeners;
   std::vector<std::shared_ptr<JobHandle>> jobs;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     listeners = listeners_;
     for (const auto& [id, job] : jobs_) jobs.push_back(job);
   }

@@ -2,18 +2,17 @@
 // Accepts job specs, plans and schedules tasks onto alive nodes, monitors
 // heartbeats, and dispatches job/cluster events to subscribers (the
 // Central Feed Manager subscribes to drive the fault-tolerance protocol).
-#ifndef ASTERIX_HYRACKS_CLUSTER_H_
-#define ASTERIX_HYRACKS_CLUSTER_H_
+#pragma once
 
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "hyracks/job.h"
 #include "hyracks/node.h"
 #include "hyracks/task.h"
@@ -125,11 +124,13 @@ class ClusterController {
   void ReapFailedJobs();
 
   const ClusterOptions options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<NodeController>> nodes_;
-  std::map<JobId, std::shared_ptr<JobHandle>> jobs_;
-  std::vector<ClusterListener*> listeners_;
-  std::map<std::string, bool> known_failed_;  // nodes already reported
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<NodeController>> nodes_
+      GUARDED_BY(mutex_);
+  std::map<JobId, std::shared_ptr<JobHandle>> jobs_ GUARDED_BY(mutex_);
+  std::vector<ClusterListener*> listeners_ GUARDED_BY(mutex_);
+  std::map<std::string, bool> known_failed_ GUARDED_BY(mutex_);  // nodes
+                                                  // already reported
 
   std::atomic<JobId> next_job_id_{1};
   std::atomic<bool> running_{false};
@@ -139,4 +140,3 @@ class ClusterController {
 }  // namespace hyracks
 }  // namespace asterix
 
-#endif  // ASTERIX_HYRACKS_CLUSTER_H_

@@ -1,8 +1,7 @@
 // Frames: the unit of data movement between operators. As in Hyracks, data
 // flows in fixed-size chunks of records; a frame is immutable once emitted
 // so that a feed joint can route one frame along many paths without copies.
-#ifndef ASTERIX_HYRACKS_FRAME_H_
-#define ASTERIX_HYRACKS_FRAME_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -179,4 +178,3 @@ class FrameAppender {
 }  // namespace hyracks
 }  // namespace asterix
 
-#endif  // ASTERIX_HYRACKS_FRAME_H_

@@ -2,8 +2,7 @@
 // descriptors, with count/location constraints determining the degree and
 // placement of parallelism — the "tools at hand" for the feed pipeline
 // builder.
-#ifndef ASTERIX_HYRACKS_JOB_H_
-#define ASTERIX_HYRACKS_JOB_H_
+#pragma once
 
 #include <functional>
 #include <map>
@@ -98,4 +97,3 @@ struct JobSpec {
 }  // namespace hyracks
 }  // namespace asterix
 
-#endif  // ASTERIX_HYRACKS_JOB_H_

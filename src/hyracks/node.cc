@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "hyracks/node.h"
 
 #include <algorithm>
@@ -19,7 +20,7 @@ NodeController::~NodeController() {
   // Join task threads before members are destroyed.
   std::vector<std::shared_ptr<Task>> tasks;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     tasks = tasks_;
   }
   for (auto& task : tasks) task->Join();
@@ -27,13 +28,13 @@ NodeController::~NodeController() {
 
 void NodeController::SetService(const std::string& name,
                                 std::shared_ptr<void> service) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   services_[name] = std::move(service);
 }
 
 std::shared_ptr<void> NodeController::GetService(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = services_.find(name);
   return it == services_.end() ? nullptr : it->second;
 }
@@ -41,7 +42,7 @@ std::shared_ptr<void> NodeController::GetService(
 std::shared_ptr<void> NodeController::GetOrSetService(
     const std::string& name,
     const std::function<std::shared_ptr<void>()>& factory) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = services_.find(name);
   if (it != services_.end()) return it->second;
   auto service = factory();
@@ -50,7 +51,7 @@ std::shared_ptr<void> NodeController::GetOrSetService(
 }
 
 void NodeController::AdoptTask(std::shared_ptr<Task> task) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   tasks_.push_back(std::move(task));
 }
 
@@ -61,7 +62,7 @@ void NodeController::OnTaskFinished(Task*) {
 
 std::vector<std::shared_ptr<Task>> NodeController::TasksOfJob(
     JobId job_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::shared_ptr<Task>> out;
   for (const auto& task : tasks_) {
     if (task->job_id() == job_id) out.push_back(task);
@@ -70,7 +71,7 @@ std::vector<std::shared_ptr<Task>> NodeController::TasksOfJob(
 }
 
 std::vector<std::shared_ptr<Task>> NodeController::AllTasks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return tasks_;
 }
 
@@ -79,7 +80,7 @@ void NodeController::Kill() {
   LOG_MSG(kInfo) << "node " << id_ << " killed";
   std::vector<std::shared_ptr<Task>> tasks;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     tasks = tasks_;
   }
   for (auto& task : tasks) task->Kill();
@@ -87,7 +88,7 @@ void NodeController::Kill() {
 
 void NodeController::Restart() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     tasks_.clear();
   }
   alive_.store(true);

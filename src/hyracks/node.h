@@ -2,20 +2,19 @@
 // Hosts tasks, a storage manager, arbitrary node-local services (the feed
 // manager registers itself here), and heartbeats its live status to the
 // cluster controller.
-#ifndef ASTERIX_HYRACKS_NODE_H_
-#define ASTERIX_HYRACKS_NODE_H_
+#pragma once
 
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
-#include "storage/dataset.h"
+#include "common/thread_annotations.h"
 #include "hyracks/task.h"
+#include "storage/dataset.h"
 
 namespace asterix {
 namespace hyracks {
@@ -69,9 +68,9 @@ class NodeController {
   std::atomic<bool> alive_{true};
   storage::StorageManager storage_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<void>> services_;
-  std::vector<std::shared_ptr<Task>> tasks_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<void>> services_ GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<Task>> tasks_ GUARDED_BY(mutex_);
 
   std::atomic<int64_t> last_heartbeat_us_{0};
   std::atomic<bool> heartbeats_on_{false};
@@ -81,4 +80,3 @@ class NodeController {
 }  // namespace hyracks
 }  // namespace asterix
 
-#endif  // ASTERIX_HYRACKS_NODE_H_

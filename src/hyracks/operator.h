@@ -1,8 +1,7 @@
 // Operators: the partitioned-parallel computation steps of a Hyracks job.
 // Each operator instance (task) is driven push-style: frames arrive via
 // ProcessFrame and output flows through the TaskContext's writer.
-#ifndef ASTERIX_HYRACKS_OPERATOR_H_
-#define ASTERIX_HYRACKS_OPERATOR_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -87,4 +86,3 @@ using OperatorFactory =
 }  // namespace hyracks
 }  // namespace asterix
 
-#endif  // ASTERIX_HYRACKS_OPERATOR_H_

@@ -1,16 +1,15 @@
 // Reusable built-in operators. Operators stay simple and generic — data
 // concerns separate from fault-tolerance concerns (the MetaFeed wrapper in
 // the feeds layer adds the latter).
-#ifndef ASTERIX_HYRACKS_OPERATORS_H_
-#define ASTERIX_HYRACKS_OPERATORS_H_
+#pragma once
 
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "hyracks/node.h"
 #include "hyracks/operator.h"
 
@@ -85,15 +84,15 @@ class IndexInsertOperator : public Operator {
 class CollectSinkOperator : public Operator {
  public:
   struct Shared {
-    std::mutex mutex;
-    std::vector<adm::Value> records;
+    common::Mutex mutex;
+    std::vector<adm::Value> records GUARDED_BY(mutex);
 
     size_t size() {
-      std::lock_guard<std::mutex> lock(mutex);
+      common::MutexLock lock(mutex);
       return records.size();
     }
     std::vector<adm::Value> Snapshot() {
-      std::lock_guard<std::mutex> lock(mutex);
+      common::MutexLock lock(mutex);
       return records;
     }
   };
@@ -104,7 +103,7 @@ class CollectSinkOperator : public Operator {
   common::Status ProcessFrame(const FramePtr& frame,
                               TaskContext* ctx) override {
     (void)ctx;
-    std::lock_guard<std::mutex> lock(shared_->mutex);
+    common::MutexLock lock(shared_->mutex);
     for (const adm::Value& record : frame->records()) {
       shared_->records.push_back(record);
     }
@@ -153,4 +152,3 @@ class NullSinkOperator : public Operator {
 }  // namespace hyracks
 }  // namespace asterix
 
-#endif  // ASTERIX_HYRACKS_OPERATORS_H_

@@ -1,8 +1,7 @@
 // Tasks: the runtime clones of an operator, one per partition, each driven
 // by its own thread pumping a bounded input queue. The bounded queue is
 // the engine's back-pressure mechanism.
-#ifndef ASTERIX_HYRACKS_TASK_H_
-#define ASTERIX_HYRACKS_TASK_H_
+#pragma once
 
 #include <atomic>
 #include <memory>
@@ -159,4 +158,3 @@ class NullWriter : public IFrameWriter {
 }  // namespace hyracks
 }  // namespace asterix
 
-#endif  // ASTERIX_HYRACKS_TASK_H_

@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "storage/dataset.h"
 
 #include <filesystem>
@@ -55,7 +56,7 @@ Status DatasetPartition::Insert(const adm::Value& record) {
   RETURN_IF_ERROR(wal_.Append(record.ToAdmString()));
   RETURN_IF_ERROR(primary_.Insert(key.value(), record));
   {
-    std::lock_guard<std::mutex> lock(indexes_mutex_);
+    common::MutexLock lock(indexes_mutex_);
     for (const auto& index : secondaries_) {
       RETURN_IF_ERROR(index->Insert(record, key.value()));
     }
@@ -84,7 +85,7 @@ void DatasetPartition::Scan(
 
 SecondaryIndex* DatasetPartition::FindIndex(
     const std::string& index_name) const {
-  std::lock_guard<std::mutex> lock(indexes_mutex_);
+  common::MutexLock lock(indexes_mutex_);
   for (const auto& index : secondaries_) {
     if (index->name() == index_name) return index.get();
   }
@@ -110,7 +111,7 @@ Status DatasetPartition::AddIndex(const IndexDef& index_def) {
     backfill = index->Insert(record, key);
   });
   RETURN_IF_ERROR(backfill);
-  std::lock_guard<std::mutex> lock(indexes_mutex_);
+  common::MutexLock lock(indexes_mutex_);
   secondaries_.push_back(std::move(index));
   return Status::OK();
 }
@@ -123,7 +124,7 @@ StorageManager::StorageManager(std::string node_id, std::string base_dir)
 Status StorageManager::CreatePartition(const DatasetDef& def,
                                        int partition_id,
                                        const adm::TypeRegistry* types) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (partitions_.count(def.name) > 0) {
     return Status::AlreadyExists("node " + node_id_ +
                                  " already hosts a partition of '" +
@@ -138,13 +139,13 @@ Status StorageManager::CreatePartition(const DatasetDef& def,
 
 DatasetPartition* StorageManager::GetPartition(
     const std::string& dataset) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = partitions_.find(dataset);
   return it == partitions_.end() ? nullptr : it->second.get();
 }
 
 Status StorageManager::DropPartition(const std::string& dataset) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (partitions_.erase(dataset) == 0) {
     return Status::NotFound("node " + node_id_ +
                             " hosts no partition of '" + dataset + "'");
@@ -153,7 +154,7 @@ Status StorageManager::DropPartition(const std::string& dataset) {
 }
 
 std::vector<std::string> StorageManager::DatasetNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::string> names;
   for (const auto& [name, p] : partitions_) names.push_back(name);
   return names;
@@ -161,7 +162,7 @@ std::vector<std::string> StorageManager::DatasetNames() const {
 
 Status DatasetCatalog::Register(DatasetDef def,
                                 std::vector<std::string> nodegroup) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::string name = def.name;  // read before the move below
   auto [it, inserted] = entries_.emplace(
       std::move(name), Entry{std::move(def), std::move(nodegroup)});
@@ -174,7 +175,7 @@ Status DatasetCatalog::Register(DatasetDef def,
 
 common::Result<DatasetCatalog::Entry> DatasetCatalog::Find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("dataset '" + name + "' not found");
@@ -184,7 +185,7 @@ common::Result<DatasetCatalog::Entry> DatasetCatalog::Find(
 
 Status DatasetCatalog::AddIndex(const std::string& dataset,
                                 const IndexDef& index_def) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = entries_.find(dataset);
   if (it == entries_.end()) {
     return Status::NotFound("dataset '" + dataset + "' not found");
@@ -194,7 +195,7 @@ Status DatasetCatalog::AddIndex(const std::string& dataset,
 }
 
 std::vector<std::string> DatasetCatalog::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::string> names;
   for (const auto& [name, entry] : entries_) names.push_back(name);
   return names;

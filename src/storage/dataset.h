@@ -3,13 +3,11 @@
 // a hash-partitioned LSM primary index (independent sub-partitions with
 // background flush/merge) plus co-located secondary indexes, fronted by a
 // WAL.
-#ifndef ASTERIX_STORAGE_DATASET_H_
-#define ASTERIX_STORAGE_DATASET_H_
+#pragma once
 
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +15,7 @@
 #include "adm/value.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/lsm_index.h"
 #include "storage/secondary_index.h"
 #include "storage/wal.h"
@@ -89,8 +88,9 @@ class DatasetPartition {
   const adm::TypeRegistry* types_;
   Wal wal_;
   PartitionedLsmIndex primary_;
-  mutable std::mutex indexes_mutex_;  // guards secondaries_ membership
-  std::vector<std::unique_ptr<SecondaryIndex>> secondaries_;
+  mutable common::Mutex indexes_mutex_;  // guards secondaries_ membership
+  std::vector<std::unique_ptr<SecondaryIndex>> secondaries_
+      GUARDED_BY(indexes_mutex_);
   std::atomic<int64_t> inserts_{0};
 };
 
@@ -114,8 +114,9 @@ class StorageManager {
  private:
   const std::string node_id_;
   const std::string base_dir_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<DatasetPartition>> partitions_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<DatasetPartition>> partitions_
+      GUARDED_BY(mutex_);
 };
 
 /// Index of the partition (within `num_partitions`) that owns `key`.
@@ -139,11 +140,10 @@ class DatasetCatalog {
   std::vector<std::string> Names() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
 };
 
 }  // namespace storage
 }  // namespace asterix
 
-#endif  // ASTERIX_STORAGE_DATASET_H_

@@ -1,8 +1,7 @@
 // Order-preserving key encoding. Primary keys are ADM primitives; encoding
 // them into byte strings whose lexicographic order matches the value order
 // lets the LSM components store keys uniformly.
-#ifndef ASTERIX_STORAGE_KEY_H_
-#define ASTERIX_STORAGE_KEY_H_
+#pragma once
 
 #include <string>
 
@@ -22,4 +21,3 @@ common::Result<adm::Value> DecodeKey(const std::string& key);
 }  // namespace storage
 }  // namespace asterix
 
-#endif  // ASTERIX_STORAGE_KEY_H_

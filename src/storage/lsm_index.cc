@@ -67,7 +67,7 @@ void LsmIndex::SealLocked() {
   memtable_bytes_ = 0;
   ++stats_.flushes;
   metric_flush_backlog_->Add(1);
-  maintenance_cv_.notify_one();
+  maintenance_cv_.NotifyOne();
 }
 
 void LsmIndex::FlushNowLocked() {
@@ -95,11 +95,11 @@ void LsmIndex::MergeNowLocked() {
 Status LsmIndex::Insert(const std::string& key, adm::Value value) {
   ASTERIX_FAILPOINT("storage.lsm.insert");
   size_t bytes = key.size() + value.ApproxSizeBytes();
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (options_.async_maintenance && options_.max_immutable_memtables > 0 &&
       immutables_.size() >= options_.max_immutable_memtables && !stop_) {
     common::Stopwatch stall;
-    drained_cv_.wait(lock, [this] {
+    drained_cv_.Wait(mutex_, [this]() REQUIRES(mutex_) {
       return stop_ ||
              immutables_.size() < options_.max_immutable_memtables;
     });
@@ -134,7 +134,7 @@ std::optional<adm::Value> LsmIndex::Get(const std::string& key) const {
   std::deque<std::shared_ptr<const Memtable>> immutables;
   std::vector<std::shared_ptr<SortedRun>> runs;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     auto it = memtable_.find(key);
     if (it != memtable_.end()) {
       if (IsTombstone(it->second)) return std::nullopt;
@@ -168,7 +168,7 @@ void LsmIndex::Scan(const std::function<void(const std::string&,
   std::deque<std::shared_ptr<const Memtable>> immutables;
   std::vector<std::shared_ptr<SortedRun>> runs;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     memtable_copy = memtable_;
     immutables = immutables_;
     runs = runs_;
@@ -193,7 +193,7 @@ int64_t LsmIndex::Size() const {
   std::deque<std::shared_ptr<const Memtable>> immutables;
   std::vector<std::shared_ptr<SortedRun>> runs;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     memtable_keys.reserve(memtable_.size());
     for (const auto& [k, v] : memtable_) {
       memtable_keys.emplace_back(k, IsTombstone(v));
@@ -218,7 +218,7 @@ int64_t LsmIndex::Size() const {
 
 void LsmIndex::Flush() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (options_.async_maintenance && maintenance_running_) {
       SealLocked();
     } else {
@@ -230,8 +230,8 @@ void LsmIndex::Flush() {
 }
 
 void LsmIndex::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  drained_cv_.wait(lock, [this] {
+  common::MutexLock lock(mutex_);
+  drained_cv_.Wait(mutex_, [this]() REQUIRES(mutex_) {
     return !maintenance_running_ ||
            (immutables_.empty() && !MergePendingLocked());
   });
@@ -239,18 +239,18 @@ void LsmIndex::Drain() {
 
 void LsmIndex::Close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stop_ = true;
-    maintenance_cv_.notify_all();
-    drained_cv_.notify_all();
+    maintenance_cv_.NotifyAll();
+    drained_cv_.NotifyAll();
   }
   if (maintenance_.joinable()) maintenance_.join();
 }
 
 void LsmIndex::MaintenanceMain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   while (true) {
-    maintenance_cv_.wait(lock, [this] {
+    maintenance_cv_.Wait(mutex_, [this]() REQUIRES(mutex_) {
       return stop_ || !immutables_.empty() || MergePendingLocked();
     });
     if (MergePendingLocked()) {
@@ -260,7 +260,7 @@ void LsmIndex::MaintenanceMain() {
       // this thread mutates runs_ in async mode, so the snapshot prefix
       // is stable while the merge runs off-lock.
       std::vector<std::shared_ptr<SortedRun>> to_merge = runs_;
-      lock.unlock();
+      mutex_.Unlock();
       // Delay action = a long-running merge holding the backlog up.
       ASTERIX_FAILPOINT_HIT("storage.lsm.merge");
       // to_merge covers every run at snapshot time and the result is
@@ -270,12 +270,12 @@ void LsmIndex::MaintenanceMain() {
           MergeRuns(to_merge, /*drop_tombstones=*/true);
       metric_merge_duration_us_->Record(merge_timer.ElapsedMicros());
       metric_merges_->Add(1);
-      lock.lock();
+      mutex_.Lock();
       runs_.erase(runs_.begin(),
                   runs_.begin() + static_cast<ptrdiff_t>(to_merge.size()));
       runs_.insert(runs_.begin(), std::move(merged));
       ++stats_.merges;
-      drained_cv_.notify_all();
+      drained_cv_.NotifyAll();
       continue;
     }
     if (!immutables_.empty()) {
@@ -283,7 +283,7 @@ void LsmIndex::MaintenanceMain() {
       // readers (newer than every run) while the run is built off-lock;
       // the swap is a single atomic step under the lock.
       std::shared_ptr<const Memtable> imm = immutables_.front();
-      lock.unlock();
+      mutex_.Unlock();
       // Delay action = a slow flush (grows the sealed-memtable backlog,
       // the window where a crash strands unflushed data behind the WAL).
       ASTERIX_FAILPOINT_HIT("storage.lsm.flush");
@@ -291,23 +291,24 @@ void LsmIndex::MaintenanceMain() {
       std::shared_ptr<SortedRun> run = BuildRun(*imm);
       metric_flush_duration_us_->Record(flush_timer.ElapsedMicros());
       metric_flushes_->Add(1);
-      lock.lock();
+      mutex_.Lock();
       runs_.push_back(std::move(run));
       immutables_.pop_front();
       metric_flush_backlog_->Add(-1);
-      drained_cv_.notify_all();
+      drained_cv_.NotifyAll();
       continue;
     }
     if (stop_) break;
   }
   maintenance_running_ = false;
-  drained_cv_.notify_all();
+  drained_cv_.NotifyAll();
+  mutex_.Unlock();
 }
 
 LsmStats LsmIndex::stats() const {
   LsmStats stats;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stats = stats_;
     stats.flush_backlog = static_cast<int64_t>(immutables_.size());
     stats.merge_backlog = MergePendingLocked() ? 1 : 0;
@@ -317,17 +318,17 @@ LsmStats LsmIndex::stats() const {
 }
 
 size_t LsmIndex::run_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return runs_.size();
 }
 
 size_t LsmIndex::flush_backlog() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return immutables_.size();
 }
 
 size_t LsmIndex::merge_backlog() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return MergePendingLocked() ? 1 : 0;
 }
 

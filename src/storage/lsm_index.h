@@ -5,15 +5,12 @@
 // the ingestion pipeline; this component reproduces that write path's cost
 // structure (cheap inserts, asynchronous flush/merge work) and
 // PartitionedLsmIndex reproduces the partitioned parallelism.
-#ifndef ASTERIX_STORAGE_LSM_INDEX_H_
-#define ASTERIX_STORAGE_LSM_INDEX_H_
+#pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -22,6 +19,7 @@
 #include "adm/value.h"
 #include "common/observability.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace storage {
@@ -134,11 +132,11 @@ class LsmIndex {
   using Memtable = std::map<std::string, adm::Value>;
 
   /// Moves the active memtable onto the sealed queue. Caller holds mutex_.
-  void SealLocked();
+  void SealLocked() REQUIRES(mutex_);
   /// Sync mode: memtable -> run and merge inline. Caller holds mutex_.
-  void FlushNowLocked();
-  void MergeNowLocked();
-  bool MergePendingLocked() const {
+  void FlushNowLocked() REQUIRES(mutex_);
+  void MergeNowLocked() REQUIRES(mutex_);
+  bool MergePendingLocked() const REQUIRES(mutex_) {
     return runs_.size() >= options_.max_runs && runs_.size() >= 2;
   }
   void MaintenanceMain();
@@ -151,19 +149,19 @@ class LsmIndex {
       bool drop_tombstones);
 
   const LsmOptions options_;
-  mutable std::mutex mutex_;
-  std::condition_variable maintenance_cv_;  // wakes the maintenance thread
-  std::condition_variable drained_cv_;      // wakes Drain()/stalled inserts
-  Memtable memtable_;
-  size_t memtable_bytes_ = 0;
+  mutable common::Mutex mutex_;
+  common::CondVar maintenance_cv_;  // wakes the maintenance thread
+  common::CondVar drained_cv_;      // wakes Drain()/stalled inserts
+  Memtable memtable_ GUARDED_BY(mutex_);
+  size_t memtable_bytes_ GUARDED_BY(mutex_) = 0;
   /// Sealed memtables awaiting background flush, oldest first.
-  std::deque<std::shared_ptr<const Memtable>> immutables_;
+  std::deque<std::shared_ptr<const Memtable>> immutables_ GUARDED_BY(mutex_);
   /// Newest run last.
-  std::vector<std::shared_ptr<SortedRun>> runs_;
-  LsmStats stats_;
-  bool stop_ = false;
-  bool maintenance_running_ = false;
-  std::thread maintenance_;
+  std::vector<std::shared_ptr<SortedRun>> runs_ GUARDED_BY(mutex_);
+  LsmStats stats_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
+  bool maintenance_running_ GUARDED_BY(mutex_) = false;
+  std::thread maintenance_;  // started in the ctor, joined in Close()
 
   // Cached process-wide registry metrics, resolved once in the
   // constructor. All operations on them are relaxed atomics, so they are
@@ -218,4 +216,3 @@ class PartitionedLsmIndex {
 }  // namespace storage
 }  // namespace asterix
 
-#endif  // ASTERIX_STORAGE_LSM_INDEX_H_

@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "storage/secondary_index.h"
 
 #include <cmath>
@@ -18,13 +19,13 @@ Status BTreeSecondaryIndex::Insert(const adm::Value& record,
     return Status::InvalidArgument("secondary index '" + name() +
                                    "': " + key.status().message());
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   entries_.emplace(std::move(key).value(), primary_key);
   return Status::OK();
 }
 
 int64_t BTreeSecondaryIndex::entry_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return static_cast<int64_t>(entries_.size());
 }
 
@@ -33,7 +34,7 @@ std::vector<std::string> BTreeSecondaryIndex::SearchExact(
   std::vector<std::string> out;
   auto key = EncodeKey(v);
   if (!key.ok()) return out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto [lo, hi] = entries_.equal_range(key.value());
   for (auto it = lo; it != hi; ++it) out.push_back(it->second);
   return out;
@@ -45,7 +46,7 @@ std::vector<std::string> BTreeSecondaryIndex::SearchRange(
   auto lo_key = EncodeKey(lo_v);
   auto hi_key = EncodeKey(hi_v);
   if (!lo_key.ok() || !hi_key.ok()) return out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = entries_.lower_bound(lo_key.value());
   auto end = entries_.upper_bound(hi_key.value());
   for (; it != end; ++it) out.push_back(it->second);
@@ -67,14 +68,14 @@ Status SpatialGridIndex::Insert(const adm::Value& record,
                                    "' requires a point field");
   }
   const adm::Point& p = v->AsPoint();
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   cells_[CellOf(p)].emplace_back(p, primary_key);
   ++entry_count_;
   return Status::OK();
 }
 
 int64_t SpatialGridIndex::entry_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return entry_count_;
 }
 
@@ -85,7 +86,7 @@ std::vector<std::string> SpatialGridIndex::SearchRect(
   int64_t cx_max = static_cast<int64_t>(std::floor(rect.x_max / cell_size_));
   int64_t cy_min = static_cast<int64_t>(std::floor(rect.y_min / cell_size_));
   int64_t cy_max = static_cast<int64_t>(std::floor(rect.y_max / cell_size_));
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   // Visit only the cells overlapping the query rectangle.
   auto it = cells_.lower_bound({cx_min, cy_min});
   for (; it != cells_.end() && it->first.first <= cx_max; ++it) {
@@ -104,7 +105,7 @@ SpatialGridIndex::SearchRectEntries(const Rect& rect) const {
   int64_t cx_max = static_cast<int64_t>(std::floor(rect.x_max / cell_size_));
   int64_t cy_min = static_cast<int64_t>(std::floor(rect.y_min / cell_size_));
   int64_t cy_max = static_cast<int64_t>(std::floor(rect.y_max / cell_size_));
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = cells_.lower_bound({cx_min, cy_min});
   for (; it != cells_.end() && it->first.first <= cx_max; ++it) {
     if (it->first.second < cy_min || it->first.second > cy_max) continue;

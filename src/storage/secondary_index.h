@@ -2,17 +2,16 @@
 // (AsterixDB co-locates secondary index partitions with the primary).
 // Two kinds reproduce the paper's usage: a B-tree-style value index and a
 // spatial grid index standing in for the R-tree used on tweet locations.
-#ifndef ASTERIX_STORAGE_SECONDARY_INDEX_H_
-#define ASTERIX_STORAGE_SECONDARY_INDEX_H_
+#pragma once
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "adm/value.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace storage {
@@ -67,8 +66,8 @@ class BTreeSecondaryIndex : public SecondaryIndex {
                                        const adm::Value& hi) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::multimap<std::string, std::string> entries_;
+  mutable common::Mutex mutex_;
+  std::multimap<std::string, std::string> entries_ GUARDED_BY(mutex_);
 };
 
 /// Spatial grid index (R-tree stand-in): points are bucketed into fixed
@@ -96,11 +95,11 @@ class SpatialGridIndex : public SecondaryIndex {
   std::pair<int64_t, int64_t> CellOf(const adm::Point& p) const;
 
   const double cell_size_;
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   std::map<std::pair<int64_t, int64_t>,
            std::vector<std::pair<adm::Point, std::string>>>
-      cells_;
-  int64_t entry_count_ = 0;
+      cells_ GUARDED_BY(mutex_);
+  int64_t entry_count_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Creates an index of the requested kind.
@@ -111,4 +110,3 @@ std::unique_ptr<SecondaryIndex> MakeSecondaryIndex(IndexKind kind,
 }  // namespace storage
 }  // namespace asterix
 
-#endif  // ASTERIX_STORAGE_SECONDARY_INDEX_H_

@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "storage/wal.h"
 
 #include <cstring>
@@ -21,7 +22,7 @@ Wal::Wal(std::string path, bool durable)
 }
 
 Wal::~Wal() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
@@ -29,7 +30,7 @@ Wal::~Wal() {
 }
 
 Status Wal::Open() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (file_ != nullptr) return Status::OK();
   file_ = std::fopen(path_.c_str(), "ab");
   if (file_ == nullptr) {
@@ -42,7 +43,7 @@ Status Wal::Append(const std::string& payload) {
   // Before any byte lands: an injected append failure must leave the log
   // unchanged so the caller can retry (the at-least-once replay path).
   ASTERIX_FAILPOINT("storage.wal.append");
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (file_ == nullptr) {
     return Status::FailedPrecondition("WAL not open: " + path_);
   }
@@ -69,7 +70,7 @@ Status Wal::Append(const std::string& payload) {
 
 Status Wal::Sync() {
   ASTERIX_FAILPOINT("storage.wal.sync");
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (file_ != nullptr) {
     common::Stopwatch timer;
     if (std::fflush(file_) != 0) {
@@ -83,7 +84,7 @@ Status Wal::Sync() {
 
 Status Wal::Replay(
     const std::function<void(const std::string&)>& consumer) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (file_ != nullptr) std::fflush(file_);
   std::FILE* in = std::fopen(path_.c_str(), "rb");
   if (in == nullptr) {
@@ -105,12 +106,12 @@ Status Wal::Replay(
 }
 
 int64_t Wal::entry_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return entry_count_;
 }
 
 int64_t Wal::bytes_written() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return bytes_written_;
 }
 

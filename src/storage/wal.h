@@ -2,16 +2,15 @@
 // in-memory indexes are updated; the paper's at-least-once protocol treats
 // "log record written to the local disk" as the persistence point that
 // triggers an ack.
-#ifndef ASTERIX_STORAGE_WAL_H_
-#define ASTERIX_STORAGE_WAL_H_
+#pragma once
 
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 
 #include "common/observability.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace asterix {
 namespace storage {
@@ -46,10 +45,10 @@ class Wal {
  private:
   const std::string path_;
   const bool durable_;
-  mutable std::mutex mutex_;
-  std::FILE* file_ = nullptr;
-  int64_t entry_count_ = 0;
-  int64_t bytes_written_ = 0;
+  mutable common::Mutex mutex_;
+  std::FILE* file_ GUARDED_BY(mutex_) = nullptr;
+  int64_t entry_count_ GUARDED_BY(mutex_) = 0;
+  int64_t bytes_written_ GUARDED_BY(mutex_) = 0;
 
   // Cached process-wide registry metrics (relaxed atomics, safe under
   // mutex_): append/byte throughput and the latency of flushing buffered
@@ -63,4 +62,3 @@ class Wal {
 }  // namespace storage
 }  // namespace asterix
 
-#endif  // ASTERIX_STORAGE_WAL_H_

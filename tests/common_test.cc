@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "testing_util.h"
 
 namespace asterix {
 namespace common {
@@ -109,8 +110,8 @@ TEST(BlockingQueueTest, PushBlocksUntilSpace) {
     q.Push(2);
     pushed.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_FALSE(pushed.load());  // back-pressure in action
+  EXPECT_TRUE(::asterix::testing::StaysFalseFor(
+      [&] { return pushed.load(); }, 20));  // back-pressure in action
   q.Pop();
   t.join();
   EXPECT_TRUE(pushed.load());
@@ -133,10 +134,7 @@ TEST(BlockingQueueTest, PopAllDrainsEverythingInOrder) {
 
 TEST(BlockingQueueTest, PopAllBlocksUntilItemArrives) {
   BlockingQueue<int> q;
-  std::thread producer([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    q.Push(42);
-  });
+  auto producer = ::asterix::testing::After(20, [&] { q.Push(42); });
   auto batch = q.PopAll();  // blocks until the producer delivers
   producer.join();
   ASSERT_EQ(batch.size(), 1u);
@@ -174,8 +172,8 @@ TEST(BlockingQueueTest, PopAllReleasesBlockedProducers) {
     q.Push(3);  // blocks: queue is full
     pushed.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_FALSE(pushed.load());
+  EXPECT_TRUE(::asterix::testing::StaysFalseFor(
+      [&] { return pushed.load(); }, 20));
   auto batch = q.PopAll();  // one drain frees all waiting producers
   EXPECT_GE(batch.size(), 2u);
   producer.join();

@@ -1,0 +1,34 @@
+// Positive control for the compile-fail suite: correct lock discipline
+// MUST build cleanly under -Wthread-safety -Werror. If this control fails,
+// the negative tests are failing for the wrong reason (include paths,
+// flags) rather than because the analysis caught the bug.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mutex_) {
+    asterix::common::MutexLock lock(mutex_);
+    IncrementLocked();
+  }
+
+  int value() const EXCLUDES(mutex_) {
+    asterix::common::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() REQUIRES(mutex_) { ++value_; }
+
+  mutable asterix::common::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.value();
+}

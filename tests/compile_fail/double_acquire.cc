@@ -1,0 +1,19 @@
+// compile-fail: acquires a non-reentrant common::Mutex twice in one scope.
+// Under -Wthread-safety -Werror (the analyze preset) this must NOT build;
+// at runtime it would deadlock.
+#include "common/thread_annotations.h"
+
+namespace {
+
+asterix::common::Mutex g_mutex;
+int g_value GUARDED_BY(g_mutex) = 0;
+
+int DoubleAcquire() {
+  asterix::common::MutexLock outer(g_mutex);
+  asterix::common::MutexLock inner(g_mutex);  // BUG: already held
+  return ++g_value;
+}
+
+}  // namespace
+
+int main() { return DoubleAcquire(); }

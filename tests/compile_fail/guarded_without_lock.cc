@@ -1,0 +1,28 @@
+// compile-fail: reads a GUARDED_BY field without holding its mutex.
+// Under -Wthread-safety -Werror (the analyze preset) this must NOT build.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    asterix::common::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // BUG under analysis: value_ is read without mutex_ held.
+  int value() const { return value_; }
+
+ private:
+  mutable asterix::common::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.value();
+}

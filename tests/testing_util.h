@@ -1,10 +1,10 @@
 // Shared helpers for the test suite: polling, frame/record builders, and
 // the instance/dataset boilerplate that every end-to-end test repeats.
-#ifndef ASTERIX_TESTS_TESTING_UTIL_H_
-#define ASTERIX_TESTS_TESTING_UTIL_H_
+#pragma once
 
 #include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -27,6 +27,25 @@ inline bool WaitFor(const std::function<bool()>& predicate,
     common::SleepMillis(10);
   }
   return predicate();
+}
+
+/// Asserts a negative: `predicate` must still be false after observing it
+/// for `hold_ms`. Returns true iff the predicate stayed false the whole
+/// time. (This is WaitFor's complement — polling, not one blind sleep, so
+/// a violation is reported as soon as it happens.)
+inline bool StaysFalseFor(const std::function<bool()>& predicate,
+                          int64_t hold_ms) {
+  return !WaitFor(predicate, hold_ms);
+}
+
+/// Runs `fn` on a detached-duty thread after `delay_ms` — the standard
+/// shape for "the other side arrives later" blocking tests. The returned
+/// thread must be joined by the caller.
+inline std::thread After(int64_t delay_ms, std::function<void()> fn) {
+  return std::thread([delay_ms, fn = std::move(fn)] {
+    common::SleepMillis(delay_ms);
+    fn();
+  });
 }
 
 /// A frame of `n` records {id: "r<i>", n: i} for i in [start, start+n).
@@ -64,4 +83,3 @@ inline InstanceOptions FastOptions(int nodes) {
 }  // namespace testing
 }  // namespace asterix
 
-#endif  // ASTERIX_TESTS_TESTING_UTIL_H_

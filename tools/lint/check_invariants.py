@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""Project invariant linter (runs as ctest `lint_invariants`).
+
+Checks, each with a stable ID used in failure output:
+
+  FP-UNIQUE   every failpoint site name is declared in exactly one file
+              (a file may instrument one name at several code paths, e.g.
+              both adaptor kinds' fetch seams)
+  FP-NAMING   failpoint site names follow <layer>.<component>.<verb>,
+              all lowercase snake segments
+  FP-README   the set of site names in code matches the README's
+              "Failpoint sites" table exactly
+  METRIC-NAME metric names handed to GetCounter/GetGauge/GetHistogram/
+              RegisterProvider are subsystem_snake_case: a known
+              subsystem prefix, then lowercase [a-z0-9_] segments
+  PRAGMA-ONCE every header under src/, tests/, bench/ starts its include
+              guard with #pragma once
+  RAW-SLEEP   no naked std::this_thread::sleep_for outside the allowlist
+              (common/clock.h wraps it; tests use testing_util helpers)
+  RAW-MUTEX   src/ never declares std::mutex / std::shared_mutex /
+              std::condition_variable outside common/thread_annotations.h,
+              so every lock is an annotated common::Mutex
+  GUARDED-BY  in annotated classes (those declaring a common::Mutex named
+              *mutex*), every mutable container/scalar field declared
+              after the mutex carries GUARDED_BY unless annotated with an
+              explanatory comment or inherently synchronized (atomic,
+              const, thread, CondVar, another Mutex)
+
+Exit status 0 iff no findings. Run directly:  python3 tools/lint/check_invariants.py
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+FAILPOINT_MACROS = re.compile(
+    r'ASTERIX_FAILPOINT(?:_HIT|_THROW|_TRIGGERED)?\s*\(\s*"([^"]+)"')
+FAILPOINT_NAME = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
+
+METRIC_CALLS = re.compile(
+    r'(?:GetCounter|GetGauge|GetHistogram|RegisterProvider)\s*\(\s*"([^"]+)"')
+METRIC_PREFIXES = ("feed_", "lsm_", "wal_", "hyracks_", "storage_", "common_")
+METRIC_NAME = re.compile(r"^[a-z][a-z0-9]*(_[a-z0-9]+)+$")
+
+SLEEP_ALLOWLIST = {"src/common/clock.h"}
+
+RAW_SYNC = re.compile(r"std::(mutex|shared_mutex|condition_variable\w*)\b")
+
+FIELD_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?(?P<type>[A-Za-z_][\w:<>,\s\*&]*?)\s+"
+    r"(?P<name>[a-zA-Z_]\w*_?)\s*(?:GUARDED_BY\([^)]*\))?\s*(?:=[^;]*)?;")
+
+SELF_SYNC_TYPES = (
+    "std::atomic", "common::Mutex", "common::SharedMutex", "common::CondVar",
+    "Mutex", "CondVar", "std::thread", "std::jthread", "MetricsRegistry",
+    "common::Counter", "common::Gauge", "common::Histogram",
+    "Counter", "Gauge", "Histogram", "BlockingQueue", "common::BlockingQueue",
+)
+
+
+def find_repo_root(start: Path) -> Path:
+    p = start.resolve()
+    while p != p.parent:
+        if (p / "CMakeLists.txt").exists() and (p / "src").is_dir():
+            return p
+        p = p.parent
+    raise SystemExit("cannot locate repo root (no CMakeLists.txt + src/)")
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings = []
+
+    def fail(self, check: str, where: str, message: str):
+        self.findings.append(f"[{check}] {where}: {message}")
+
+    def rel(self, path: Path) -> str:
+        return str(path.relative_to(self.root))
+
+    # --- failpoints --------------------------------------------------------
+    def check_failpoints(self):
+        sites = {}  # name -> set of files
+        for path in sorted((self.root / "src").rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            if path.name == "failpoint.h":
+                continue
+            text = path.read_text()
+            for name in FAILPOINT_MACROS.findall(text):
+                sites.setdefault(name, set()).add(self.rel(path))
+        for name, files in sorted(sites.items()):
+            if not FAILPOINT_NAME.match(name):
+                self.fail("FP-NAMING", sorted(files)[0],
+                          f"site '{name}' is not <layer>.<component>.<verb>")
+            if len(files) > 1:
+                self.fail("FP-UNIQUE", ", ".join(sorted(files)),
+                          f"site '{name}' is declared in more than one file")
+
+        readme = self.root / "README.md"
+        table = set()
+        in_table = False
+        for line in readme.read_text().splitlines():
+            if line.strip().startswith("| Site") and "`" not in line:
+                in_table = True
+                continue
+            if in_table:
+                m = re.match(r"\|\s*`([^`]+)`\s*\|", line)
+                if m:
+                    table.add(m.group(1))
+                elif line.strip().startswith("|---") or line.strip().startswith("| ---"):
+                    continue
+                else:
+                    in_table = False
+        code = set(sites)
+        for name in sorted(code - table):
+            self.fail("FP-README", "README.md",
+                      f"site '{name}' is in code but missing from the "
+                      "README failpoint table")
+        for name in sorted(table - code):
+            self.fail("FP-README", "README.md",
+                      f"site '{name}' is in the README failpoint table but "
+                      "not in code")
+
+    # --- metrics -----------------------------------------------------------
+    def check_metric_names(self):
+        for path in sorted((self.root / "src").rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            for name in METRIC_CALLS.findall(path.read_text()):
+                if not METRIC_NAME.match(name):
+                    self.fail("METRIC-NAME", self.rel(path),
+                              f"metric '{name}' is not snake_case")
+                elif not name.startswith(METRIC_PREFIXES):
+                    self.fail("METRIC-NAME", self.rel(path),
+                              f"metric '{name}' lacks a known subsystem "
+                              f"prefix {METRIC_PREFIXES}")
+
+    # --- headers -----------------------------------------------------------
+    def check_pragma_once(self):
+        for sub in ("src", "tests", "bench"):
+            for path in sorted((self.root / sub).rglob("*.h")):
+                text = path.read_text()
+                if "#pragma once" not in text.split("\n\n")[0] \
+                        and "#pragma once" not in text[:2000]:
+                    self.fail("PRAGMA-ONCE", self.rel(path),
+                              "header lacks #pragma once")
+
+    # --- sleeps ------------------------------------------------------------
+    def check_sleeps(self):
+        for sub in ("src", "tests", "bench", "examples"):
+            root = self.root / sub
+            if not root.is_dir():
+                continue
+            for path in sorted(root.rglob("*")):
+                if path.suffix not in (".h", ".cc"):
+                    continue
+                rel = self.rel(path)
+                if rel in SLEEP_ALLOWLIST or path.name == "testing_util.h":
+                    continue
+                for i, line in enumerate(path.read_text().splitlines(), 1):
+                    if "sleep_for" in line:
+                        self.fail("RAW-SLEEP", f"{rel}:{i}",
+                                  "naked sleep_for (use common::SleepMillis/"
+                                  "SleepMicros or testing_util helpers)")
+
+    # --- raw synchronization primitives ------------------------------------
+    def check_raw_mutexes(self):
+        for path in sorted((self.root / "src").rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            if path.name == "thread_annotations.h":
+                continue
+            for i, line in enumerate(path.read_text().splitlines(), 1):
+                m = RAW_SYNC.search(line)
+                if m:
+                    self.fail("RAW-MUTEX", f"{self.rel(path)}:{i}",
+                              f"raw std::{m.group(1)} (use the annotated "
+                              "common:: wrappers)")
+
+    # --- GUARDED_BY coverage -------------------------------------------------
+    def check_guarded_by(self):
+        """In any class body that declares a `common::Mutex ...mutex...`,
+        every data member declared after it must be GUARDED_BY-annotated,
+        inherently synchronized, const, or carry a comment on its
+        declaration (the declared opt-out for single-writer fields)."""
+        decl = re.compile(
+            r"(?:mutable\s+)?(?:common::)?(?:Shared)?Mutex\s+(\w*mutex\w*)\s*;")
+        for path in sorted((self.root / "src").rglob("*.h")):
+            if path.name == "thread_annotations.h":
+                continue
+            lines = path.read_text().splitlines()
+            # Brace depth at the start of each line, so nested structs and
+            # inline function bodies after the mutex are skipped.
+            depths = []
+            depth = 0
+            for ln in lines:
+                depths.append(depth)
+                code = re.sub(r"//.*", "", ln)
+                depth += code.count("{") - code.count("}")
+            i = 0
+            while i < len(lines):
+                m = decl.search(lines[i])
+                if not m or "std::" in lines[i]:
+                    i += 1
+                    continue
+                mutex_name = m.group(1)
+                d0 = depths[i]
+                j = i + 1
+                while j < len(lines) and depths[j] >= d0:
+                    if depths[j] > d0:  # nested struct / function body
+                        j += 1
+                        continue
+                    stripped = lines[j].strip()
+                    if (not stripped or stripped.startswith("//")
+                            or stripped.startswith("}")
+                            or stripped.startswith("#")
+                            or stripped.endswith(":")):
+                        j += 1
+                        continue
+                    joined = stripped
+                    k = j
+                    while (";" not in joined and "{" not in joined
+                           and k + 1 < len(lines) and len(joined) < 400):
+                        k += 1
+                        joined += " " + lines[k].strip()
+                    # Parens outside GUARDED_BY(...) → a function
+                    # declaration, not a data member.
+                    probe = re.sub(r"GUARDED_BY\([^)]*\)", "", joined)
+                    fm = FIELD_DECL.match(joined)
+                    if fm and "(" not in probe:
+                        ftype = fm.group("type").strip()
+                        ok = (
+                            "GUARDED_BY" in joined
+                            or "//" in joined
+                            or (j > 0 and lines[j - 1].strip().startswith("//"))
+                            or ftype.startswith("const ")
+                            or ftype.startswith(SELF_SYNC_TYPES)
+                            or "atomic" in ftype
+                        )
+                        if not ok:
+                            self.fail(
+                                "GUARDED-BY", f"{self.rel(path)}:{j + 1}",
+                                f"field '{fm.group('name')}' follows "
+                                f"'{mutex_name}' but has no GUARDED_BY (add "
+                                "the annotation, or a comment saying why "
+                                "it needs none)")
+                    j = k + 1
+                i = j
+        # Note: this is a heuristic proximity check. The authoritative
+        # check is Clang's -Wthread-safety in the analyze preset.
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", type=Path,
+                        default=Path(__file__).resolve().parents[2])
+    args = parser.parse_args()
+    root = find_repo_root(args.repo)
+
+    linter = Linter(root)
+    linter.check_failpoints()
+    linter.check_metric_names()
+    linter.check_pragma_once()
+    linter.check_sleeps()
+    linter.check_raw_mutexes()
+    linter.check_guarded_by()
+
+    if linter.findings:
+        print(f"check_invariants: {len(linter.findings)} finding(s)")
+        for f in linter.findings:
+            print("  " + f)
+        return 1
+    print("check_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
