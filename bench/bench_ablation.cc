@@ -42,7 +42,7 @@ void BM_JointDelivery(benchmark::State& state) {
   }
   FramePtr frame = SampleFrame(64);
   for (auto _ : state) {
-    joint.NextFrame(frame);
+    CHECK_OK(joint.NextFrame(frame));
     for (auto& queue : queues) {
       benchmark::DoNotOptimize(queue->Next(0));
     }
@@ -61,7 +61,7 @@ void BM_FrameSize(benchmark::State& state) {
   auto queue = joint.Subscribe(options);
   FramePtr frame = SampleFrame(records_per_frame);
   for (auto _ : state) {
-    joint.NextFrame(frame);
+    CHECK_OK(joint.NextFrame(frame));
     benchmark::DoNotOptimize(queue->Next(0));
   }
   state.SetItemsProcessed(state.iterations() * records_per_frame);
@@ -107,7 +107,7 @@ BENCHMARK(BM_LsmInsert);
 /// Substrate: WAL append (non-durable buffering).
 void BM_WalAppend(benchmark::State& state) {
   storage::Wal wal("/tmp/asterix_bench.wal");
-  wal.Open();
+  CHECK_OK(wal.Open());
   gen::TweetFactory factory(0);
   std::string payload = factory.NextTweetText();
   for (auto _ : state) {

@@ -30,8 +30,8 @@ struct RunResult {
 
 RunResult RunCascade(int64_t f1_cost, int64_t f2_cost) {
   AsterixInstance db(InstanceOptions{.num_nodes = kNodes});
-  db.Start();
-  db.CreatePolicy("TightDiscard", "Discard", {{"memory.budget", "512KB"}});
+  CHECK_OK(db.Start());
+  CHECK_OK(db.CreatePolicy("TightDiscard", "Discard", {{"memory.budget", "512KB"}}));
   gen::TweetGenServer source(0, gen::Pattern::Constant(kRateTps, kWindowMs));
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "casc:1", &source.channel());
@@ -39,32 +39,32 @@ RunResult RunCascade(int64_t f1_cost, int64_t f2_cost) {
   // The contended resource: the cluster's aggregate CPU (see DESIGN.md —
   // modelled as a token bucket because the harness host is single-core).
   gen::SimulatedCpu cpu(kNodes);
-  db.CreateDataset(TweetsDataset("D1"));
-  db.CreateDataset(TweetsDataset("D2"));
-  db.InstallUdf(CpuUdf("lib", "f1", &cpu, f1_cost * kUnitUs));
-  db.InstallUdf(CpuUdf("lib", "f2", &cpu, f2_cost * kUnitUs));
+  CHECK_OK(db.CreateDataset(TweetsDataset("D1")));
+  CHECK_OK(db.CreateDataset(TweetsDataset("D2")));
+  CHECK_OK(db.InstallUdf(CpuUdf("lib", "f1", &cpu, f1_cost * kUnitUs)));
+  CHECK_OK(db.InstallUdf(CpuUdf("lib", "f2", &cpu, f2_cost * kUnitUs)));
 
   feeds::FeedDef raw;
   raw.name = "Raw";
   raw.adaptor_alias = "TweetGenAdaptor";
   raw.adaptor_config = {{"sockets", "casc:1"}};
-  db.CreateFeed(raw);
+  CHECK_OK(db.CreateFeed(raw));
   feeds::FeedDef feed_a;
   feed_a.name = "FeedA";
   feed_a.is_primary = false;
   feed_a.parent_feed = "Raw";
   feed_a.udf = "lib#f1";
-  db.CreateFeed(feed_a);
+  CHECK_OK(db.CreateFeed(feed_a));
   feeds::FeedDef feed_b;
   feed_b.name = "FeedB";
   feed_b.is_primary = false;
   feed_b.parent_feed = "FeedA";
   feed_b.udf = "lib#f2";
-  db.CreateFeed(feed_b);
+  CHECK_OK(db.CreateFeed(feed_b));
 
   // Cascade: Feed_B taps Feed_A's compute joint — f1() runs once.
-  db.ConnectFeed("FeedA", "D1", "TightDiscard");
-  db.ConnectFeed("FeedB", "D2", "TightDiscard");
+  CHECK_OK(db.ConnectFeed("FeedA", "D1", "TightDiscard"));
+  CHECK_OK(db.ConnectFeed("FeedB", "D2", "TightDiscard"));
 
   source.Start();
   source.Join();
@@ -79,8 +79,8 @@ RunResult RunCascade(int64_t f1_cost, int64_t f2_cost) {
 
 RunResult RunIndependent(int64_t f1_cost, int64_t f2_cost) {
   AsterixInstance db(InstanceOptions{.num_nodes = kNodes});
-  db.Start();
-  db.CreatePolicy("TightDiscard", "Discard", {{"memory.budget", "512KB"}});
+  CHECK_OK(db.Start());
+  CHECK_OK(db.CreatePolicy("TightDiscard", "Discard", {{"memory.budget", "512KB"}}));
   gen::SimulatedCpu cpu(kNodes);
   // Two independent connections to the external source: the source
   // disseminates the data twice (two TweetGen endpoints, same pattern).
@@ -91,27 +91,27 @@ RunResult RunIndependent(int64_t f1_cost, int64_t f2_cost) {
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "ind:b", &source_b.channel());
 
-  db.CreateDataset(TweetsDataset("D1"));
-  db.CreateDataset(TweetsDataset("D2"));
-  db.InstallUdf(CpuUdf("lib", "f1", &cpu, f1_cost * kUnitUs));
+  CHECK_OK(db.CreateDataset(TweetsDataset("D1")));
+  CHECK_OK(db.CreateDataset(TweetsDataset("D2")));
+  CHECK_OK(db.InstallUdf(CpuUdf("lib", "f1", &cpu, f1_cost * kUnitUs)));
   // f3 = f2 ∘ f1 executed as one black box on the independent path.
-  db.InstallUdf(CpuUdf("lib", "f3", &cpu, (f1_cost + f2_cost) * kUnitUs));
+  CHECK_OK(db.InstallUdf(CpuUdf("lib", "f3", &cpu, (f1_cost + f2_cost) * kUnitUs)));
 
   feeds::FeedDef feed_a;
   feed_a.name = "FeedA";
   feed_a.adaptor_alias = "TweetGenAdaptor";
   feed_a.adaptor_config = {{"sockets", "ind:a"}};
   feed_a.udf = "lib#f1";
-  db.CreateFeed(feed_a);
+  CHECK_OK(db.CreateFeed(feed_a));
   feeds::FeedDef feed_b;
   feed_b.name = "FeedB";
   feed_b.adaptor_alias = "TweetGenAdaptor";
   feed_b.adaptor_config = {{"sockets", "ind:b"}};
   feed_b.udf = "lib#f3";
-  db.CreateFeed(feed_b);
+  CHECK_OK(db.CreateFeed(feed_b));
 
-  db.ConnectFeed("FeedA", "D1", "TightDiscard");
-  db.ConnectFeed("FeedB", "D2", "TightDiscard");
+  CHECK_OK(db.ConnectFeed("FeedA", "D1", "TightDiscard"));
+  CHECK_OK(db.ConnectFeed("FeedB", "D2", "TightDiscard"));
 
   source_a.Start();
   source_b.Start();

@@ -24,8 +24,8 @@ int64_t RunAtClusterSize(int nodes) {
   InstanceOptions options;
   options.num_nodes = nodes;
   AsterixInstance db(options);
-  db.Start();
-  db.CreatePolicy("TightDiscard", "Discard", {{"memory.budget", "1MB"}});
+  CHECK_OK(db.Start());
+  CHECK_OK(db.CreatePolicy("TightDiscard", "Discard", {{"memory.budget", "1MB"}}));
 
   std::vector<std::unique_ptr<gen::TweetGenServer>> sources;
   std::vector<std::string> addresses;
@@ -39,10 +39,10 @@ int64_t RunAtClusterSize(int nodes) {
   }
 
   // Dataset partitioned across every node (the default nodegroup).
-  db.CreateDataset(TweetsDataset("ProcessedTweets"));
+  CHECK_OK(db.CreateDataset(TweetsDataset("ProcessedTweets")));
   // The paper's addFeatures: a Java UDF collecting hashtags, made
   // moderately expensive so compute is the bottleneck.
-  db.InstallUdf(std::make_shared<feeds::JavaUdf>(
+  CHECK_OK(db.InstallUdf(std::make_shared<feeds::JavaUdf>(
       "lib", "addFeatures",
       [](const adm::Value& tweet) -> std::optional<adm::Value> {
         common::SleepMicros(600);  // 600us service time per record
@@ -56,18 +56,18 @@ int64_t RunAtClusterSize(int nodes) {
         }
         out.SetField("topics", adm::Value::List(std::move(topics)));
         return out;
-      }));
+      })));
 
   feeds::FeedDef feed;
   feed.name = "TweetGenFeed";
   feed.adaptor_alias = "TweetGenAdaptor";
   feed.adaptor_config = {{"sockets", common::Join(addresses, ",")}};
   feed.udf = "lib#addFeatures";
-  db.CreateFeed(feed);
+  CHECK_OK(db.CreateFeed(feed));
   // Intake parallelism stays fixed at 6 (the TweetGen count); compute
   // and store parallelism track the cluster size (Figure 5.15).
-  db.ConnectFeed("TweetGenFeed", "ProcessedTweets", "TightDiscard",
-                 {.compute_count = nodes});
+  CHECK_OK(db.ConnectFeed("TweetGenFeed", "ProcessedTweets",
+                          "TightDiscard", {.compute_count = nodes}));
 
   for (auto& source : sources) source->Start();
   for (auto& source : sources) source->Join();

@@ -40,7 +40,7 @@ int main() {
   // timeouts of seconds) so the recovery dip is visible in the bins.
   options.heartbeat_timeout_ms = 1200;
   AsterixInstance db(options);
-  db.Start();
+  CHECK_OK(db.Start());
 
   gen::TweetGenServer gen_one(0, gen::Pattern::Constant(3500, 21000));
   gen::TweetGenServer gen_two(1, gen::Pattern::Constant(3500, 21000));
@@ -49,29 +49,29 @@ int main() {
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "tg:2", &gen_two.channel());
 
-  db.CreateDataset(TweetsDataset("Tweets", {"G"}));
-  db.CreateDataset(TweetsDataset("ProcessedTweets", {"H"}));
-  db.InstallUdf(feeds::AqlUdf::ExtractHashtags("addHashTags"));
+  CHECK_OK(db.CreateDataset(TweetsDataset("Tweets", {"G"})));
+  CHECK_OK(db.CreateDataset(TweetsDataset("ProcessedTweets", {"H"})));
+  CHECK_OK(db.InstallUdf(feeds::AqlUdf::ExtractHashtags("addHashTags")));
 
   feeds::FeedDef primary;
   primary.name = "TweetGenFeed";
   primary.adaptor_alias = "TweetGenAdaptor";
   primary.adaptor_config = {{"sockets", "tg:1, tg:2"}};
-  db.CreateFeed(primary);
+  CHECK_OK(db.CreateFeed(primary));
   feeds::FeedDef secondary;
   secondary.name = "ProcessedTweetGenFeed";
   secondary.is_primary = false;
   secondary.parent_feed = "TweetGenFeed";
   secondary.udf = "addHashTags";
-  db.CreateFeed(secondary);
+  CHECK_OK(db.CreateFeed(secondary));
 
   // As in the paper, the secondary is connected BEFORE its parent; the
   // parent then reuses the head section the secondary built.
   feeds::ConnectOptions copts;
   copts.compute_locations = {"C", "D"};  // pin compute for the script
-  db.ConnectFeed("ProcessedTweetGenFeed", "ProcessedTweets",
-                 "FaultTolerant", copts);
-  db.ConnectFeed("TweetGenFeed", "Tweets", "FaultTolerant");
+  CHECK_OK(db.ConnectFeed("ProcessedTweetGenFeed", "ProcessedTweets",
+                          "FaultTolerant", copts));
+  CHECK_OK(db.ConnectFeed("TweetGenFeed", "Tweets", "FaultTolerant"));
 
   auto raw_conn = db.feed_manager().GetConnection("TweetGenFeed", "Tweets");
   std::printf("intake nodes: %s %s; secondary compute: C D; stores: G H\n",

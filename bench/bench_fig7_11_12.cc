@@ -41,7 +41,7 @@ GlueOutput RunGlued(baseline::WriteConcern concern) {
   gen::TweetGenServer source(0, Workload());
   baseline::MongoServer mongo("/tmp/asterix_bench_mongo_" +
                               std::to_string(common::NowMicros()));
-  mongo.CreateCollection("tweets", concern);
+  CHECK_OK(mongo.CreateCollection("tweets", concern));
   baseline::MongoCollection* collection = mongo.GetCollection("tweets");
 
   feeds::IntervalCounter timeline(500);
@@ -72,7 +72,7 @@ GlueOutput RunGlued(baseline::WriteConcern concern) {
          const adm::Value* id = v.GetField("id");
          return id != nullptr ? id->AsString() : std::string();
        }});
-  cluster.Submit(std::move(topology));
+  CHECK_OK(cluster.Submit(std::move(topology)));
 
   // Track the worst journal lag during the run: documents acknowledged
   // to the client but not yet on disk (the non-durable loss window).
@@ -112,19 +112,19 @@ struct NativeOutput {
 
 NativeOutput RunAsterix() {
   AsterixInstance db(InstanceOptions{.num_nodes = 3});
-  db.Start();
+  CHECK_OK(db.Start());
   gen::TweetGenServer source(0, Workload());
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "cmp:1", &source.channel());
-  db.CreateDataset(TweetsDataset("Tweets"));
-  db.InstallUdf(feeds::AqlUdf::ExtractHashtags("tags"));
+  CHECK_OK(db.CreateDataset(TweetsDataset("Tweets")));
+  CHECK_OK(db.InstallUdf(feeds::AqlUdf::ExtractHashtags("tags")));
   feeds::FeedDef feed;
   feed.name = "F";
   feed.adaptor_alias = "TweetGenAdaptor";
   feed.adaptor_config = {{"sockets", "cmp:1"}};
   feed.udf = "tags";
-  db.CreateFeed(feed);
-  db.ConnectFeed("F", "Tweets", "Basic");
+  CHECK_OK(db.CreateFeed(feed));
+  CHECK_OK(db.ConnectFeed("F", "Tweets", "Basic"));
   auto metrics = db.FeedMetrics("F", "Tweets");
 
   source.Start();

@@ -29,28 +29,28 @@ IdPattern RunPolicy(const std::string& policy) {
   InstanceOptions options;
   options.num_nodes = 3;
   AsterixInstance db(options);
-  db.Start();
-  db.CreatePolicy("D", "Discard", {{"memory.budget", "192KB"}});
-  db.CreatePolicy("T", "Throttle", {{"memory.budget", "192KB"}});
+  CHECK_OK(db.Start());
+  CHECK_OK(db.CreatePolicy("D", "Discard", {{"memory.budget", "192KB"}}));
+  CHECK_OK(db.CreatePolicy("T", "Throttle", {{"memory.budget", "192KB"}}));
 
   gen::TweetGenServer source(0,
                              gen::Pattern::Burst(150, 1600, 1500, 2));
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "ids:1", &source.channel());
-  db.CreateDataset(TweetsDataset("Sink"));
-  db.InstallUdf(std::make_shared<feeds::JavaUdf>(
+  CHECK_OK(db.CreateDataset(TweetsDataset("Sink")));
+  CHECK_OK(db.InstallUdf(std::make_shared<feeds::JavaUdf>(
       "lib", "expensive",
       [](const adm::Value& t) -> std::optional<adm::Value> {
         common::SleepMicros(kServiceUs);
         return t;
-      }));
+      })));
   feeds::FeedDef feed;
   feed.name = "F";
   feed.adaptor_alias = "TweetGenAdaptor";
   feed.adaptor_config = {{"sockets", "ids:1"}};
   feed.udf = "lib#expensive";
-  db.CreateFeed(feed);
-  db.ConnectFeed("F", "Sink", policy, {.compute_count = 1});
+  CHECK_OK(db.CreateFeed(feed));
+  CHECK_OK(db.ConnectFeed("F", "Sink", policy, {.compute_count = 1}));
 
   source.Start();
   source.Join();
@@ -59,12 +59,12 @@ IdPattern RunPolicy(const std::string& policy) {
   IdPattern pattern;
   pattern.sent = source.tweets_sent();
   std::vector<bool> present(static_cast<size_t>(pattern.sent), false);
-  db.ScanDataset("Sink", [&](const adm::Value& record) {
+  CHECK_OK(db.ScanDataset("Sink", [&](const adm::Value& record) {
     int64_t seq = record.GetField("seq")->AsInt64();
     if (seq >= 0 && seq < pattern.sent) {
       present[static_cast<size_t>(seq)] = true;
     }
-  });
+  }));
   pattern.persisted = db.CountDataset("Sink").value();
   // Density per bucket and longest contiguous gap.
   constexpr int kBuckets = 40;

@@ -43,33 +43,33 @@ RunOutput RunPolicy(const std::string& policy) {
   InstanceOptions options;
   options.num_nodes = 4;
   AsterixInstance db(options);
-  db.Start();
-  db.CreatePolicy("B", "Basic", {{"memory.budget", "512KB"}});
-  db.CreatePolicy("S", "Spill", {{"memory.budget", "256KB"}});
-  db.CreatePolicy("D", "Discard", {{"memory.budget", "256KB"}});
-  db.CreatePolicy("T", "Throttle", {{"memory.budget", "256KB"}});
-  db.CreatePolicy("E", "Elastic", {{"memory.budget", "256KB"}});
+  CHECK_OK(db.Start());
+  CHECK_OK(db.CreatePolicy("B", "Basic", {{"memory.budget", "512KB"}}));
+  CHECK_OK(db.CreatePolicy("S", "Spill", {{"memory.budget", "256KB"}}));
+  CHECK_OK(db.CreatePolicy("D", "Discard", {{"memory.budget", "256KB"}}));
+  CHECK_OK(db.CreatePolicy("T", "Throttle", {{"memory.budget", "256KB"}}));
+  CHECK_OK(db.CreatePolicy("E", "Elastic", {{"memory.budget", "256KB"}}));
 
   gen::TweetGenServer source(
       0, gen::Pattern::Burst(kLowTps, kHighTps, kIntervalMs, kCycles));
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "pol:1", &source.channel());
 
-  db.CreateDataset(TweetsDataset("Sink"));
-  db.InstallUdf(std::make_shared<feeds::JavaUdf>(
+  CHECK_OK(db.CreateDataset(TweetsDataset("Sink")));
+  CHECK_OK(db.InstallUdf(std::make_shared<feeds::JavaUdf>(
       "lib", "expensive",
       [](const adm::Value& tweet) -> std::optional<adm::Value> {
         common::SleepMicros(kServiceUs);
         return tweet;
-      }));
+      })));
 
   feeds::FeedDef feed;
   feed.name = "BurstFeed";
   feed.adaptor_alias = "TweetGenAdaptor";
   feed.adaptor_config = {{"sockets", "pol:1"}};
   feed.udf = "lib#expensive";
-  db.CreateFeed(feed);
-  db.ConnectFeed("BurstFeed", "Sink", policy, {.compute_count = 1});
+  CHECK_OK(db.CreateFeed(feed));
+  CHECK_OK(db.ConnectFeed("BurstFeed", "Sink", policy, {.compute_count = 1}));
 
   auto metrics = db.FeedMetrics("BurstFeed", "Sink");
   // Arrival-rate recorder (Figure 7.2/7.8): sample the source counter.

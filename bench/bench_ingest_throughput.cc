@@ -62,7 +62,7 @@ RunResult RunOnce(size_t partitions, bool async,
   for (int t = 0; t < kWriterThreads; ++t) {
     writers.emplace_back([&, t] {
       for (size_t i = static_cast<size_t>(t); i < n; i += kWriterThreads) {
-        index.Insert(keys[i], Value::String(payload));
+        CHECK_OK(index.Insert(keys[i], Value::String(payload)));
       }
     });
   }

@@ -34,17 +34,17 @@ std::vector<adm::Value> MakeUsers(int n, int start) {
 
 double RunBatchInsert(int batch_size, int total_records) {
   AsterixInstance db(InstanceOptions{.num_nodes = 3});
-  db.Start();
-  db.CreateDataset(TweetsDataset("Users"));
+  CHECK_OK(db.Start());
+  CHECK_OK(db.CreateDataset(TweetsDataset("Users")));
   // Pre-populate (the paper pre-loads 590M records; we scale down — the
   // overhead under measurement is per-statement, not per-existing-byte).
-  db.InsertBatch("Users", MakeUsers(5000, 1000000));
+  CHECK_OK(db.InsertBatch("Users", MakeUsers(5000, 1000000)));
 
   common::Stopwatch watch;
   for (int done = 0; done < total_records; done += batch_size) {
     // Each iteration = one insert statement: construct, compile into a
     // job, schedule, execute, clean up.
-    db.InsertBatch("Users", MakeUsers(batch_size, done));
+    CHECK_OK(db.InsertBatch("Users", MakeUsers(batch_size, done)));
   }
   return static_cast<double>(watch.ElapsedMicros()) / 1000.0 /
          total_records;
@@ -52,9 +52,9 @@ double RunBatchInsert(int batch_size, int total_records) {
 
 double RunFeedIngest(int total_records) {
   AsterixInstance db(InstanceOptions{.num_nodes = 3});
-  db.Start();
-  db.CreateDataset(TweetsDataset("Users"));
-  db.InsertBatch("Users", MakeUsers(5000, 1000000));
+  CHECK_OK(db.Start());
+  CHECK_OK(db.CreateDataset(TweetsDataset("Users")));
+  CHECK_OK(db.InsertBatch("Users", MakeUsers(5000, 1000000)));
 
   // The paper's file_based_feed: records pre-generated on disk, ingested
   // through a feed pipeline set up once.
@@ -70,10 +70,10 @@ double RunFeedIngest(int total_records) {
   feed.adaptor_alias = "file_based_feed";
   feed.adaptor_config = {{"path", path}, {"type_name", "UserType"},
                          {"format", "adm"}};
-  db.CreateFeed(feed);
+  CHECK_OK(db.CreateFeed(feed));
 
   common::Stopwatch watch;
-  db.ConnectFeed("UsersOnDisk", "Users", "Basic");
+  CHECK_OK(db.ConnectFeed("UsersOnDisk", "Users", "Basic"));
   WaitFor(
       [&] {
         return db.CountDataset("Users").value() >= 5000 + total_records;
@@ -81,7 +81,7 @@ double RunFeedIngest(int total_records) {
       120000);
   double ms_per_record =
       static_cast<double>(watch.ElapsedMicros()) / 1000.0 / total_records;
-  db.DisconnectFeed("UsersOnDisk", "Users");
+  CHECK_OK(db.DisconnectFeed("UsersOnDisk", "Users"));
   std::remove(path.c_str());
   return ms_per_record;
 }

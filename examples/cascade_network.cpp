@@ -28,7 +28,7 @@ static storage::DatasetDef Dataset(const std::string& name) {
 
 int main() {
   AsterixInstance db(InstanceOptions{.num_nodes = 4});
-  db.Start();
+  CHECK_OK(db.Start());
 
   // The external source: TweetGen pushing 3000 tweets/sec for 3 seconds
   // into an in-process socket.
@@ -36,14 +36,14 @@ int main() {
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
       "10.1.0.1:9000", &tweetgen.channel());
 
-  db.CreateDataset(Dataset("Tweets"));
-  db.CreateDataset(Dataset("ProcessedTweets"));
-  db.CreateDataset(Dataset("TwitterSentiments"));
+  CHECK_OK(db.CreateDataset(Dataset("Tweets")));
+  CHECK_OK(db.CreateDataset(Dataset("ProcessedTweets")));
+  CHECK_OK(db.CreateDataset(Dataset("TwitterSentiments")));
 
   // UDFs: the AQL hashtag extractor of Listing 4.2 and a black-box
   // "Java" sentiment function (Listing 5.9).
-  db.InstallUdf(feeds::AqlUdf::ExtractHashtags("addHashTags"));
-  db.InstallUdf(std::make_shared<feeds::JavaUdf>(
+  CHECK_OK(db.InstallUdf(feeds::AqlUdf::ExtractHashtags("addHashTags")));
+  CHECK_OK(db.InstallUdf(std::make_shared<feeds::JavaUdf>(
       "tweetlib", "sentimentAnalysis",
       [](const adm::Value& tweet) -> std::optional<adm::Value> {
         adm::Value out = tweet;
@@ -51,34 +51,34 @@ int main() {
                      adm::Value::Double(feeds::PseudoSentiment(
                          tweet.GetField("message_text")->AsString())));
         return out;
-      }));
+      })));
 
   // The feed hierarchy.
   feeds::FeedDef twitter;
   twitter.name = "TwitterFeed";
   twitter.adaptor_alias = "TweetGenAdaptor";
   twitter.adaptor_config = {{"sockets", "10.1.0.1:9000"}};
-  db.CreateFeed(twitter);
+  CHECK_OK(db.CreateFeed(twitter));
 
   feeds::FeedDef processed;
   processed.name = "ProcessedTwitterFeed";
   processed.is_primary = false;
   processed.parent_feed = "TwitterFeed";
   processed.udf = "addHashTags";
-  db.CreateFeed(processed);
+  CHECK_OK(db.CreateFeed(processed));
 
   feeds::FeedDef sentiment;
   sentiment.name = "SentimentFeed";
   sentiment.is_primary = false;
   sentiment.parent_feed = "ProcessedTwitterFeed";
   sentiment.udf = "tweetlib#sentimentAnalysis";
-  db.CreateFeed(sentiment);
+  CHECK_OK(db.CreateFeed(sentiment));
 
   // Connect in an arbitrary order (Chapter 4: order does not matter) —
   // the compiler picks the nearest connected ancestor's joint each time.
-  db.ConnectFeed("ProcessedTwitterFeed", "ProcessedTweets");
-  db.ConnectFeed("TwitterFeed", "Tweets");
-  db.ConnectFeed("SentimentFeed", "TwitterSentiments");
+  CHECK_OK(db.ConnectFeed("ProcessedTwitterFeed", "ProcessedTweets"));
+  CHECK_OK(db.ConnectFeed("TwitterFeed", "Tweets"));
+  CHECK_OK(db.ConnectFeed("SentimentFeed", "TwitterSentiments"));
 
   auto show = [&](const char* when) {
     std::printf(
@@ -118,18 +118,18 @@ int main() {
   // A taste of the analysis the ingested data supports: top sentiment
   // buckets over the persisted TwitterSentiments dataset.
   int buckets[5] = {0, 0, 0, 0, 0};
-  db.ScanDataset("TwitterSentiments", [&](const adm::Value& t) {
+  CHECK_OK(db.ScanDataset("TwitterSentiments", [&](const adm::Value& t) {
     double s = t.GetField("sentiment")->AsDouble();
     ++buckets[std::min(4, static_cast<int>(s * 5))];
-  });
+  }));
   std::printf("sentiment histogram: ");
   for (int b = 0; b < 5; ++b) std::printf("[%.1f) %d  ", 0.2 * (b + 1),
                                           buckets[b]);
   std::printf("\n");
 
-  db.DisconnectFeed("SentimentFeed", "TwitterSentiments");
-  db.DisconnectFeed("ProcessedTwitterFeed", "ProcessedTweets");
-  db.DisconnectFeed("TwitterFeed", "Tweets");
+  CHECK_OK(db.DisconnectFeed("SentimentFeed", "TwitterSentiments"));
+  CHECK_OK(db.DisconnectFeed("ProcessedTwitterFeed", "ProcessedTweets"));
+  CHECK_OK(db.DisconnectFeed("TwitterFeed", "Tweets"));
   feeds::ExternalSourceRegistry::Instance().UnregisterChannel(
       "10.1.0.1:9000");
   return 0;

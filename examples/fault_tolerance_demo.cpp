@@ -18,7 +18,7 @@ int main() {
   InstanceOptions options;
   options.num_nodes = 6;  // A..F; spare capacity for substitution
   AsterixInstance db(options);
-  db.Start();
+  CHECK_OK(db.Start());
 
   gen::TweetGenServer tweetgen(0, gen::Pattern::Constant(2000, 6000));
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
@@ -29,19 +29,19 @@ int main() {
   sink.datatype = "Tweet";
   sink.primary_key_field = "id";
   sink.nodegroup = {"E", "F"};  // keep store partitions off compute nodes
-  db.CreateDataset(sink);
-  db.InstallUdf(feeds::AqlUdf::ExtractHashtags("addHashTags"));
+  CHECK_OK(db.CreateDataset(sink));
+  CHECK_OK(db.InstallUdf(feeds::AqlUdf::ExtractHashtags("addHashTags")));
 
   feeds::FeedDef feed;
   feed.name = "TweetFeed";
   feed.adaptor_alias = "TweetGenAdaptor";
   feed.adaptor_config = {{"sockets", "src:9000"}};
   feed.udf = "addHashTags";
-  db.CreateFeed(feed);
+  CHECK_OK(db.CreateFeed(feed));
 
   feeds::ConnectOptions copts;
   copts.compute_locations = {"B", "C"};  // pin compute for the demo
-  db.ConnectFeed("TweetFeed", "Tweets", "FaultTolerant", copts);
+  CHECK_OK(db.ConnectFeed("TweetFeed", "Tweets", "FaultTolerant", copts));
   std::printf("connected: intake follows the adaptor, compute on B,C, "
               "store on E,F\n");
 
@@ -81,7 +81,7 @@ int main() {
   }
   std::printf("(B was substituted)\n");
 
-  db.DisconnectFeed("TweetFeed", "Tweets");
+  CHECK_OK(db.DisconnectFeed("TweetFeed", "Tweets"));
   feeds::ExternalSourceRegistry::Instance().UnregisterChannel("src:9000");
   return 0;
 }

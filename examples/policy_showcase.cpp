@@ -38,17 +38,19 @@ RunResult RunUnderPolicy(const std::string& policy) {
   InstanceOptions options;
   options.num_nodes = 2;
   AsterixInstance db(options);
-  db.Start();
-  db.CreatePolicy("Spill_then_Throttle", "Spill",
-                  {{"max.spill.size.on.disk", "64KB"},
-                   {"excess.records.throttle", "true"},
-                   {"memory.budget", "64KB"}});
-  db.CreatePolicy("TightBasic", "Basic", {{"memory.budget", "256KB"}});
-  db.CreatePolicy("TightDiscard", "Discard",
-                  {{"memory.budget", "64KB"}});
-  db.CreatePolicy("TightThrottle", "Throttle",
-                  {{"memory.budget", "64KB"}});
-  db.CreatePolicy("TightSpill", "Spill", {{"memory.budget", "64KB"}});
+  CHECK_OK(db.Start());
+  CHECK_OK(db.CreatePolicy("Spill_then_Throttle", "Spill",
+                           {{"max.spill.size.on.disk", "64KB"},
+                            {"excess.records.throttle", "true"},
+                            {"memory.budget", "64KB"}}));
+  CHECK_OK(db.CreatePolicy("TightBasic", "Basic",
+                           {{"memory.budget", "256KB"}}));
+  CHECK_OK(db.CreatePolicy("TightDiscard", "Discard",
+                           {{"memory.budget", "64KB"}}));
+  CHECK_OK(db.CreatePolicy("TightThrottle", "Throttle",
+                           {{"memory.budget", "64KB"}}));
+  CHECK_OK(db.CreatePolicy("TightSpill", "Spill",
+                           {{"memory.budget", "64KB"}}));
 
   gen::TweetGenServer tweetgen(0, gen::Pattern::Burst(
                                       /*low=*/100, /*high=*/2500,
@@ -60,16 +62,17 @@ RunResult RunUnderPolicy(const std::string& policy) {
   sink.name = "Sink";
   sink.datatype = "Tweet";
   sink.primary_key_field = "id";
-  db.CreateDataset(sink);
-  db.InstallUdf(SlowUdf());
+  CHECK_OK(db.CreateDataset(sink));
+  CHECK_OK(db.InstallUdf(SlowUdf()));
 
   feeds::FeedDef feed;
   feed.name = "BurstFeed";
   feed.adaptor_alias = "TweetGenAdaptor";
   feed.adaptor_config = {{"sockets", "burst:1"}};
   feed.udf = "lib#slow";
-  db.CreateFeed(feed);
-  db.ConnectFeed("BurstFeed", "Sink", policy, {.compute_count = 1});
+  CHECK_OK(db.CreateFeed(feed));
+  CHECK_OK(db.ConnectFeed("BurstFeed", "Sink", policy,
+                          {.compute_count = 1}));
 
   tweetgen.Start();
   tweetgen.Join();
@@ -86,7 +89,7 @@ RunResult RunUnderPolicy(const std::string& policy) {
     result.queue_stats = queue->stats();
   }
   if (db.feed_manager().IsConnected("BurstFeed", "Sink")) {
-    db.DisconnectFeed("BurstFeed", "Sink");
+    CHECK_OK(db.DisconnectFeed("BurstFeed", "Sink"));
   }
   feeds::ExternalSourceRegistry::Instance().UnregisterChannel("burst:1");
   return result;

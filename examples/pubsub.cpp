@@ -30,28 +30,28 @@ storage::DatasetDef Dataset(const std::string& name) {
 void Subscribe(AsterixInstance* db, const std::string& user,
                const std::string& country) {
   std::string udf_name = "match_" + user;
-  db->InstallUdf(std::make_shared<feeds::AqlUdf>(
+  CHECK_OK(db->InstallUdf(std::make_shared<feeds::AqlUdf>(
       udf_name,
       std::vector<feeds::AqlUdf::Step>{
           {feeds::AqlUdf::Step::Op::kFilterFieldEquals,
            {"country"},
-           adm::Value::String(country)}}));
+           adm::Value::String(country)}})));
   feeds::FeedDef feed;
   feed.name = "Sub_" + user;
   feed.is_primary = false;
   feed.parent_feed = "Firehose";
   feed.udf = udf_name;
-  db->CreateFeed(feed);
-  db->CreateDataset(Dataset("Inbox_" + user));
-  db->ConnectFeed("Sub_" + user, "Inbox_" + user, "Basic",
-                  {.compute_count = 1});
+  CHECK_OK(db->CreateFeed(feed));
+  CHECK_OK(db->CreateDataset(Dataset("Inbox_" + user)));
+  CHECK_OK(db->ConnectFeed("Sub_" + user, "Inbox_" + user, "Basic",
+                           {.compute_count = 1}));
 }
 
 }  // namespace
 
 int main() {
   AsterixInstance db(InstanceOptions{.num_nodes = 3});
-  db.Start();
+  CHECK_OK(db.Start());
 
   gen::TweetGenServer firehose(0, gen::Pattern::Constant(4000, 3000));
   feeds::ExternalSourceRegistry::Instance().RegisterChannel(
@@ -61,7 +61,7 @@ int main() {
   primary.name = "Firehose";
   primary.adaptor_alias = "TweetGenAdaptor";
   primary.adaptor_config = {{"sockets", "hose:1"}};
-  db.CreateFeed(primary);
+  CHECK_OK(db.CreateFeed(primary));
 
   // Three subscribers with different interests; all share one fetch.
   struct Sub {
@@ -106,8 +106,8 @@ int main() {
               db.feed_manager().DescribeFeeds().c_str());
 
   for (const Sub& sub : subs) {
-    db.DisconnectFeed(std::string("Sub_") + sub.user,
-                      std::string("Inbox_") + sub.user);
+    CHECK_OK(db.DisconnectFeed(std::string("Sub_") + sub.user,
+                               std::string("Inbox_") + sub.user));
   }
   feeds::ExternalSourceRegistry::Instance().UnregisterChannel("hose:1");
   return 0;

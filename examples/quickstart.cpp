@@ -22,12 +22,15 @@ int main() {
   // 2. DDL: the Tweet datatype of the dissertation's Listing 3.1 (open
   //    type: extra fields welcome) and a dataset with an R-tree-style
   //    index on location.
-  db.CreateType(adm::TypeBuilder("Tweet", /*open=*/true)
+  if (!db.CreateType(adm::TypeBuilder("Tweet", /*open=*/true)
                     .Field("id", adm::TypeTag::kString)
                     .Field("message_text", adm::TypeTag::kString)
                     .Field("latitude", adm::TypeTag::kDouble, true)
-                    .Field("longitude", adm::TypeTag::kDouble, true)
-                    .Build());
+                      .Field("longitude", adm::TypeTag::kDouble, true)
+                      .Build())
+           .ok()) {
+    return 1;
+  }
   storage::DatasetDef tweets;
   tweets.name = "Tweets";
   tweets.datatype = "Tweet";
@@ -42,7 +45,7 @@ int main() {
   feed.name = "TweetFeed";
   feed.adaptor_alias = "synthetic_tweets";
   feed.adaptor_config = {{"rate", "2000"}, {"limit", "10000"}};
-  db.CreateFeed(feed);
+  if (!db.CreateFeed(feed).ok()) return 1;
 
   // 4. Connect: this is what builds and schedules the ingestion
   //    pipeline (intake -> store, hash-partitioned across the cluster).
@@ -60,7 +63,7 @@ int main() {
     common::SleepMillis(100);
   }
 
-  db.DisconnectFeed("TweetFeed", "Tweets");
+  if (!db.DisconnectFeed("TweetFeed", "Tweets").ok()) return 1;
   std::printf("feed disconnected; total=%lld\n",
               static_cast<long long>(db.CountDataset("Tweets").value()));
 
@@ -73,9 +76,11 @@ int main() {
 
   // ...and a scan-side aggregate (hashtag histogram would go here).
   int64_t with_location = 0;
-  db.ScanDataset("Tweets", [&](const adm::Value& tweet) {
-    if (tweet.GetField("latitude") != nullptr) ++with_location;
-  });
+  if (!db.ScanDataset("Tweets", [&](const adm::Value& tweet) {
+          if (tweet.GetField("latitude") != nullptr) ++with_location;
+        }).ok()) {
+    return 1;
+  }
   std::printf("tweets with coordinates: %lld\n",
               static_cast<long long>(with_location));
   return 0;

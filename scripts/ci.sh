@@ -9,6 +9,8 @@
 #   asan-ubsan  AddressSanitizer+UBSan build, full ctest (includes the
 #               `sanitizer`-labeled chaos soak)
 #   tsan-chaos  ThreadSanitizer build, concurrency-heavy suites
+#   deadlock    runtime lock-order checker ON (ASTERIX_DEADLOCK_DETECTOR),
+#               detector unit tests + chaos/sanitizer-labeled suites
 #   clang-tidy  curated .clang-tidy baseline over src/ (SKIP when
 #               clang-tidy is not installed)
 #   lint        tools/lint/check_invariants.py
@@ -22,7 +24,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default analyze asan-ubsan tsan-chaos clang-tidy lint)
+  STAGES=(default analyze asan-ubsan tsan-chaos deadlock clang-tidy lint)
 fi
 
 declare -A RESULT
@@ -81,6 +83,12 @@ for stage in "${STAGES[@]}"; do
         cmake --preset tsan >/dev/null &&
         cmake --build --preset tsan -j $JOBS &&
         ctest --preset tsan-chaos -j $JOBS"
+      ;;
+    deadlock)
+      run_stage deadlock bash -c "
+        cmake --preset deadlock >/dev/null &&
+        cmake --build --preset deadlock -j $JOBS &&
+        ctest --preset deadlock -j $JOBS"
       ;;
     clang-tidy)
       if command -v clang-tidy >/dev/null 2>&1; then

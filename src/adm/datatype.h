@@ -49,7 +49,7 @@ class Datatype {
 /// dataverse).
 class TypeRegistry {
  public:
-  common::Status Register(Datatype type);
+  [[nodiscard]] common::Status Register(Datatype type);
   const Datatype* Find(const std::string& name) const;
   std::vector<std::string> Names() const;
 
@@ -60,11 +60,11 @@ class TypeRegistry {
   ///  - closed types carry no undeclared fields.
   /// Nested record fields are validated recursively when their
   /// `nested_type` is registered.
-  common::Status Conforms(const Value& record,
+  [[nodiscard]] common::Status Conforms(const Value& record,
                           const std::string& type_name) const;
 
  private:
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kTypeRegistry};
   std::map<std::string, Datatype> types_ GUARDED_BY(mutex_);
 };
 

@@ -15,7 +15,7 @@ namespace adm {
 /// (trailing whitespace allowed). Malformed input yields a Corruption
 /// status whose message pinpoints the offset — this is the error surfaced
 /// as a *soft failure* during ingestion.
-common::Result<Value> ParseAdm(std::string_view text);
+[[nodiscard]] common::Result<Value> ParseAdm(std::string_view text);
 
 }  // namespace adm
 }  // namespace asterix

@@ -30,7 +30,7 @@ namespace aql {
 /// against `db`, stopping at the first error. Keywords are
 /// case-insensitive; identifiers are case-sensitive; `--` starts a
 /// comment running to end of line.
-common::Status Execute(AsterixInstance* db, const std::string& script);
+[[nodiscard]] common::Status Execute(AsterixInstance* db, const std::string& script);
 
 }  // namespace aql
 }  // namespace asterix

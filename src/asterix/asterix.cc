@@ -1,5 +1,6 @@
 #include "asterix/asterix.h"
 
+#include <cstdlib>
 #include <filesystem>
 
 #include "common/clock.h"
@@ -24,7 +25,14 @@ AsterixInstance::AsterixInstance(InstanceOptions options)
   copts.monitor_period_ms =
       std::max<int64_t>(5, options_.heartbeat_period_ms);
   cluster_ = std::make_unique<hyracks::ClusterController>(copts);
-  feeds::RegisterBuiltinAdaptors(&adaptors_);
+  Status adaptors_status = feeds::RegisterBuiltinAdaptors(&adaptors_);
+  if (!adaptors_status.ok()) {
+    // Only possible via an alias collision among the built-ins — a
+    // programming error, not a runtime condition callers could handle.
+    LOG_MSG(kError) << "built-in adaptor registration failed: "
+                    << adaptors_status.message();
+    std::abort();
+  }
 }
 
 AsterixInstance::~AsterixInstance() {

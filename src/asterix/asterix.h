@@ -53,32 +53,32 @@ class AsterixInstance {
   AsterixInstance& operator=(const AsterixInstance&) = delete;
 
   /// Brings the cluster up (node controllers, heartbeats, feed manager).
-  common::Status Start();
+  [[nodiscard]] common::Status Start();
 
   // --- DDL ------------------------------------------------------------
-  common::Status CreateType(adm::Datatype type);
+  [[nodiscard]] common::Status CreateType(adm::Datatype type);
   /// Creates the dataset and its partitions across the nodegroup
   /// (default nodegroup = all nodes, as in AsterixDB).
-  common::Status CreateDataset(storage::DatasetDef def);
+  [[nodiscard]] common::Status CreateDataset(storage::DatasetDef def);
   /// `create index <name> on <dataset>(<field>) type <kind>`: adds a
   /// secondary index to every partition, backfilling from existing data.
-  common::Status CreateIndex(const std::string& dataset,
+  [[nodiscard]] common::Status CreateIndex(const std::string& dataset,
                              storage::IndexDef index_def);
-  common::Status CreateFeed(feeds::FeedDef def);
-  common::Status InstallUdf(std::shared_ptr<feeds::Udf> udf);
-  common::Status RegisterAdaptor(
+  [[nodiscard]] common::Status CreateFeed(feeds::FeedDef def);
+  [[nodiscard]] common::Status InstallUdf(std::shared_ptr<feeds::Udf> udf);
+  [[nodiscard]] common::Status RegisterAdaptor(
       std::shared_ptr<feeds::AdaptorFactory> factory);
   /// `create ingestion policy <name> from policy <base> (...)`.
-  common::Status CreatePolicy(
+  [[nodiscard]] common::Status CreatePolicy(
       const std::string& name, const std::string& base,
       std::map<std::string, std::string> overrides);
 
   // --- feed lifecycle ---------------------------------------------------
-  common::Status ConnectFeed(const std::string& feed,
+  [[nodiscard]] common::Status ConnectFeed(const std::string& feed,
                              const std::string& dataset,
                              const std::string& policy = "Basic",
                              feeds::ConnectOptions options = {});
-  common::Status DisconnectFeed(const std::string& feed,
+  [[nodiscard]] common::Status DisconnectFeed(const std::string& feed,
                                 const std::string& dataset);
   std::shared_ptr<feeds::ConnectionMetrics> FeedMetrics(
       const std::string& feed, const std::string& dataset) const;
@@ -94,10 +94,10 @@ class AsterixInstance {
   /// The conventional insert statement: compiles and schedules one
   /// Hyracks job for the given batch — incurring the per-statement
   /// overhead the feed mechanism amortizes away (§5.7.1).
-  common::Status InsertBatch(const std::string& dataset,
+  [[nodiscard]] common::Status InsertBatch(const std::string& dataset,
                              std::vector<adm::Value> records);
 
-  common::Result<int64_t> CountDataset(const std::string& dataset) const;
+  [[nodiscard]] common::Result<int64_t> CountDataset(const std::string& dataset) const;
 
   /// The spatial aggregation of Listing 3.3 (and the Chapter 8 Twitter
   /// heat-map use case): counts records per grid cell inside `region`,
@@ -109,10 +109,10 @@ class AsterixInstance {
                    const std::string& index_name,
                    const storage::Rect& region, double lat_resolution,
                    double long_resolution) const;
-  common::Result<adm::Value> GetRecord(const std::string& dataset,
+  [[nodiscard]] common::Result<adm::Value> GetRecord(const std::string& dataset,
                                        const adm::Value& key) const;
   /// Visits every record of every partition (no cross-partition order).
-  common::Status ScanDataset(
+  [[nodiscard]] common::Status ScanDataset(
       const std::string& dataset,
       const std::function<void(const adm::Value&)>& visitor) const;
 

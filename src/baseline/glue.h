@@ -62,7 +62,7 @@ class ChannelSpout : public storm::Spout {
 
  private:
   gen::Channel* channel_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kStormSpoutTracker};
   std::map<int64_t, adm::Value> pending_ GUARDED_BY(mutex_);
   std::map<int64_t, adm::Value> replay_ GUARDED_BY(mutex_);
 };
@@ -72,7 +72,7 @@ class ChannelSpout : public storm::Spout {
 /// matching a typical user-written bolt).
 class ParseBolt : public storm::Bolt {
  public:
-  common::Status Execute(const adm::Value& tuple,
+  [[nodiscard]] common::Status Execute(const adm::Value& tuple,
                          storm::Emitter* emitter) override {
     if (tuple.tag() != adm::TypeTag::kString) {
       return common::Status::OK();  // drop
@@ -90,7 +90,7 @@ class UdfBolt : public storm::Bolt {
   explicit UdfBolt(std::shared_ptr<feeds::Udf> udf)
       : udf_(std::move(udf)) {}
 
-  common::Status Execute(const adm::Value& tuple,
+  [[nodiscard]] common::Status Execute(const adm::Value& tuple,
                          storm::Emitter* emitter) override {
     try {
       auto out = udf_->Apply(tuple);
@@ -114,7 +114,7 @@ class MongoInsertBolt : public storm::Bolt {
                   std::function<void(int64_t)> on_insert = nullptr)
       : collection_(collection), on_insert_(std::move(on_insert)) {}
 
-  common::Status Execute(const adm::Value& tuple,
+  [[nodiscard]] common::Status Execute(const adm::Value& tuple,
                          storm::Emitter* emitter) override {
     (void)emitter;
     common::Status status = collection_->Insert(tuple);

@@ -2,8 +2,10 @@
 #include "common/thread_annotations.h"
 
 #include <filesystem>
+#include <iterator>
 
 #include "common/clock.h"
+#include "common/logging.h"
 
 namespace asterix {
 namespace baseline {
@@ -90,11 +92,28 @@ void MongoCollection::JournalLoop() {
       common::MutexLock lock(mutex_);
       batch.swap(unjournaled_);
     }
+    size_t appended = 0;
+    Status journal_status = Status::OK();
     for (const std::string& entry : batch) {
-      journal_.Append(entry);
-      journaled_.fetch_add(1);
+      journal_status = journal_.Append(entry);
+      if (!journal_status.ok()) break;
+      ++appended;
     }
-    journal_.Sync();
+    if (journal_status.ok()) journal_status = journal_.Sync();
+    if (journal_status.ok()) {
+      journaled_.fetch_add(static_cast<int64_t>(appended));
+    } else {
+      // A failed append/sync means nothing in this batch is known
+      // durable: requeue it all (idempotent upserts) and retry next tick
+      // rather than advancing the durability counter past the journal.
+      LOG_MSG(kWarn) << "mongo journal write failed, requeueing "
+                     << batch.size() << " entries: "
+                     << journal_status.message();
+      common::MutexLock lock(mutex_);
+      unjournaled_.insert(unjournaled_.begin(),
+                          std::make_move_iterator(batch.begin()),
+                          std::make_move_iterator(batch.end()));
+    }
     common::SleepMillis(100);  // mongod's journal commit interval
   }
 }

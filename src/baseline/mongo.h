@@ -36,12 +36,12 @@ class MongoCollection {
                   int64_t journal_commit_us = 800);
   ~MongoCollection();
 
-  common::Status Open();
+  [[nodiscard]] common::Status Open();
 
   /// Upserts one document (must be a record with an "_id" or "id" field).
   /// Under kDurable the call returns only after the journal write; under
   /// kNonDurable it returns after the in-memory apply.
-  common::Status Insert(const adm::Value& document);
+  [[nodiscard]] common::Status Insert(const adm::Value& document);
 
   int64_t Count() const;
   /// Documents guaranteed on disk (journaled). Equals Count() under
@@ -61,10 +61,12 @@ class MongoCollection {
   const std::string name_;
   const WriteConcern concern_;
   const int64_t journal_commit_us_;
-  common::Mutex write_lock_;  // MongoDB 2.x-style coarse write lock
+  // MongoDB 2.x-style coarse write lock; outer to mutex_ and the journal.
+  common::Mutex write_lock_{common::LockRank::kMongoWriteLock};
   storage::Wal journal_;
 
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_ ACQUIRED_AFTER(write_lock_){
+      common::LockRank::kMongoCollection};
   std::map<std::string, adm::Value> documents_ GUARDED_BY(mutex_);
   std::vector<std::string> unjournaled_ GUARDED_BY(mutex_);  // pending
                                                   // background journal
@@ -79,13 +81,13 @@ class MongoServer {
  public:
   explicit MongoServer(std::string dir);
 
-  common::Status CreateCollection(const std::string& name,
+  [[nodiscard]] common::Status CreateCollection(const std::string& name,
                                   WriteConcern concern);
   MongoCollection* GetCollection(const std::string& name) const;
 
  private:
   const std::string dir_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kMongoDb};
   std::map<std::string, std::unique_ptr<MongoCollection>> collections_
       GUARDED_BY(mutex_);
 };

@@ -23,7 +23,8 @@ struct LocalCluster::BoltTask {
   std::unique_ptr<Bolt> bolt;
   common::BlockingQueue<Envelope> queue;
 
-  BoltTask(size_t capacity) : queue(capacity) {}
+  BoltTask(size_t capacity)
+      : queue(capacity, common::LockRank::kStormQueue) {}
 };
 
 void LocalCluster::Acker::Register(int64_t root_id, int64_t timeout_at_ms,

@@ -51,9 +51,9 @@ class Spout {
 class Bolt {
  public:
   virtual ~Bolt() = default;
-  virtual common::Status Prepare() { return common::Status::OK(); }
+  [[nodiscard]] virtual common::Status Prepare() { return common::Status::OK(); }
   /// Processes one tuple, emitting any derived tuples via `emitter`.
-  virtual common::Status Execute(const adm::Value& tuple,
+  [[nodiscard]] virtual common::Status Execute(const adm::Value& tuple,
                                  Emitter* emitter) = 0;
 };
 
@@ -97,7 +97,7 @@ class LocalCluster {
   LocalCluster();
   ~LocalCluster();
 
-  common::Status Submit(TopologyDef topology);
+  [[nodiscard]] common::Status Submit(TopologyDef topology);
   /// Stops all executors (processes in-flight tuples best-effort).
   void Shutdown();
   /// Waits until every spout is exhausted and all trees completed, or
@@ -127,7 +127,7 @@ class LocalCluster {
     int64_t pending() const;
 
    private:
-    mutable common::Mutex mutex_;
+    mutable common::Mutex mutex_{common::LockRank::kStormAcker};
     struct Tree {
       int64_t count = 0;
       int64_t timeout_at_ms = 0;

@@ -17,7 +17,13 @@ namespace common {
 template <typename T>
 class BlockingQueue {
  public:
-  explicit BlockingQueue(size_t capacity = SIZE_MAX) : capacity_(capacity) {}
+  /// `rank` names the queue's position in the lock hierarchy
+  /// (common/lock_rank.h). Embedding classes pass the rank of the seam
+  /// the queue sits on (kTaskQueue, kTweetChannel, ...); free-standing
+  /// queues default to kBlockingQueue.
+  explicit BlockingQueue(size_t capacity = SIZE_MAX,
+                         LockRank rank = LockRank::kBlockingQueue)
+      : capacity_(capacity), mutex_(rank) {}
 
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
@@ -162,7 +168,7 @@ class BlockingQueue {
   }
 
   const size_t capacity_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_;  // LOCK-RANK: ctor-injected (see constructor)
   CondVar not_empty_;
   CondVar not_full_;
   std::deque<T> items_ GUARDED_BY(mutex_);

@@ -1,0 +1,83 @@
+// Debug runtime lock-order checker (absl deadlock-graph style).
+//
+// Every annotated common::Mutex/SharedMutex acquisition reports its
+// LockRank and call site here. The detector keeps
+//   * a per-thread stack of currently held locks, and
+//   * a global acquired-before graph over ranks, storing the first
+//     witness (both acquisition sites) for every observed edge.
+//
+// An acquisition must carry a rank STRICTLY LOWER than every rank the
+// thread already holds. On a violation — including a same-rank
+// re-acquisition — the detector prints a witness report naming both
+// acquisition sites (and, when the opposite order was ever observed, the
+// full acquired-before cycle it closes) and aborts. A lock-order
+// inversion is therefore caught on its *first* occurrence, on any path,
+// without needing the actual interleaving that deadlocks.
+//
+// Discipline (same as failpoints, PR 2):
+//   * Compiled out entirely unless ASTERIX_DEADLOCK_DETECTOR is defined
+//     (the CMake option / `deadlock` preset) — release builds carry no
+//     trace of the instrumentation.
+//   * When compiled in, the detector arms itself at process start
+//     (set ASTERIX_DEADLOCK_DISARM=1 to start disarmed); the disarmed
+//     fast path in the Mutex hooks is one relaxed atomic load.
+//   * TryLock acquisitions are recorded as held but never abort at their
+//     own acquisition (a try-lock cannot block, hence cannot deadlock);
+//     they still constrain every later blocking acquisition.
+//   * kUnranked mutexes (tests/examples) are invisible to the detector.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/lock_rank.h"
+
+#ifdef ASTERIX_DEADLOCK_DETECTOR
+#include <source_location>
+#endif
+
+namespace asterix {
+namespace common {
+
+#ifdef ASTERIX_DEADLOCK_DETECTOR
+inline constexpr bool kDeadlockDetectorCompiledIn = true;
+
+class DeadlockDetector {
+ public:
+  /// Disarmed fast path: one relaxed load, checked by the Mutex hooks
+  /// before anything else.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+  static void Arm() { armed_.store(true, std::memory_order_relaxed); }
+  static void Disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+  /// Blocking acquisition about to happen: enforce strict rank descent
+  /// against the thread's held stack, record acquired-before edges, abort
+  /// with a witness report on violation.
+  static void OnAcquire(LockRank rank, const std::source_location& loc);
+
+  /// Successful try-acquisition: record as held, never aborts.
+  static void OnTryAcquire(LockRank rank, const std::source_location& loc);
+
+  static void OnRelease(LockRank rank);
+
+  /// Distinct acquired-before edges observed since start/ResetGraph.
+  static size_t EdgeCount();
+
+  /// Clears the global graph (test isolation). Held stacks are untouched.
+  static void ResetGraph();
+
+  /// Locks currently held by the calling thread (diagnostics/tests).
+  static size_t HeldCount();
+
+ private:
+  static std::atomic<bool> armed_;
+};
+
+#else  // !ASTERIX_DEADLOCK_DETECTOR
+
+inline constexpr bool kDeadlockDetectorCompiledIn = false;
+
+#endif  // ASTERIX_DEADLOCK_DETECTOR
+
+}  // namespace common
+}  // namespace asterix

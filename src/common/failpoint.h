@@ -141,7 +141,7 @@ class FailPointRegistry {
   /// Evaluates the site: returns non-OK iff an error/throw action fired
   /// (throw sites convert the status into an exception at the macro).
   /// Delay/callback actions run here and still return OK.
-  Status Evaluate(const std::string& site, const std::string& instance = "");
+  [[nodiscard]] Status Evaluate(const std::string& site, const std::string& instance = "");
 
   /// Diagnostics: passes through the site while armed / times it fired.
   int64_t Hits(const std::string& site) const;
@@ -158,7 +158,7 @@ class FailPointRegistry {
   FailPointRegistry() = default;
 
   static std::atomic<int64_t> armed_count_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockRank::kFailPointRegistry};
   std::map<std::string, ArmedPoint> points_ GUARDED_BY(mutex_);
 };
 
@@ -203,7 +203,7 @@ class ChaosSchedule {
   const uint64_t seed_;
   Rng seeder_;
   std::vector<Step> steps_;
-  Mutex mutex_;
+  Mutex mutex_{LockRank::kChaosSchedule};
   CondVar cv_;
   bool stop_ GUARDED_BY(mutex_) = false;
   bool started_ = false;  // touched only by the owning (test) thread

@@ -11,7 +11,7 @@ namespace common {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
-common::Mutex g_mutex;
+common::Mutex g_mutex{common::LockRank::kLogging};
 std::string g_log_file GUARDED_BY(g_mutex);
 
 const char* LevelName(LogLevel level) {

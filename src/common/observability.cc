@@ -186,14 +186,14 @@ MetricsRegistry::ProviderHandle MetricsRegistry::RegisterProvider(
     const std::string& name, ProviderKind kind, const MetricLabels& labels,
     std::function<int64_t()> fn) {
   std::string key = MetricsSnapshot::Key(name, labels);
-  common::MutexLock lock(mutex_);
+  common::MutexLock lock(providers_mutex_);
   int64_t id = next_provider_id_++;
   providers_.push_back(Provider{id, kind, key, name, std::move(fn)});
   return ProviderHandle(this, id);
 }
 
 void MetricsRegistry::Unregister(int64_t id) {
-  common::MutexLock lock(mutex_);
+  common::MutexLock lock(providers_mutex_);
   providers_.erase(std::remove_if(providers_.begin(), providers_.end(),
                                   [id](const Provider& p) {
                                     return p.id == id;
@@ -203,22 +203,28 @@ void MetricsRegistry::Unregister(int64_t id) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  common::MutexLock lock(mutex_);
-  for (const auto& [key, counter] : counters_) {
-    snap.counters[key] = counter->Value();
-  }
-  for (const auto& [key, gauge] : gauges_) {
-    snap.gauges[key] = gauge->Value();
-  }
-  for (const auto& [key, hist] : histograms_) {
-    HistogramSnapshot h;
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      h.buckets[i] = hist->buckets_[i].load(std::memory_order_relaxed);
+  // providers_mutex_ (outer) stays held while the callbacks run — that is
+  // the ProviderHandle::Reset guarantee. mutex_ (leaf) is only held for
+  // the owned-map copy: the callbacks take pipeline locks that outrank it.
+  common::MutexLock providers_lock(providers_mutex_);
+  {
+    common::MutexLock lock(mutex_);
+    for (const auto& [key, counter] : counters_) {
+      snap.counters[key] = counter->Value();
     }
-    h.count = hist->count_.load(std::memory_order_relaxed);
-    h.sum = hist->sum_.load(std::memory_order_relaxed);
-    h.max = hist->max_.load(std::memory_order_relaxed);
-    snap.histograms[key] = h;
+    for (const auto& [key, gauge] : gauges_) {
+      snap.gauges[key] = gauge->Value();
+    }
+    for (const auto& [key, hist] : histograms_) {
+      HistogramSnapshot h;
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        h.buckets[i] = hist->buckets_[i].load(std::memory_order_relaxed);
+      }
+      h.count = hist->count_.load(std::memory_order_relaxed);
+      h.sum = hist->sum_.load(std::memory_order_relaxed);
+      h.max = hist->max_.load(std::memory_order_relaxed);
+      snap.histograms[key] = h;
+    }
   }
   for (const auto& provider : providers_) {
     int64_t v = provider.fn();
@@ -238,31 +244,36 @@ std::string MetricsRegistry::Export() const {
   std::map<std::string, std::pair<std::string, std::vector<std::string>>>
       by_name;
   {
-    common::MutexLock lock(mutex_);
-    for (const auto& [key, counter] : counters_) {
-      snap.counters[key] = counter->Value();
-      auto& entry = by_name[names_.at(key)];
-      entry.first = "counter";
-      entry.second.push_back(key);
-    }
-    for (const auto& [key, gauge] : gauges_) {
-      snap.gauges[key] = gauge->Value();
-      auto& entry = by_name[names_.at(key)];
-      entry.first = "gauge";
-      entry.second.push_back(key);
-    }
-    for (const auto& [key, hist] : histograms_) {
-      HistogramSnapshot h;
-      for (int i = 0; i < Histogram::kBuckets; ++i) {
-        h.buckets[i] = hist->buckets_[i].load(std::memory_order_relaxed);
+    // Same nesting as Snapshot(): providers_mutex_ outer, mutex_ inner
+    // and released before the callbacks run.
+    common::MutexLock providers_lock(providers_mutex_);
+    {
+      common::MutexLock lock(mutex_);
+      for (const auto& [key, counter] : counters_) {
+        snap.counters[key] = counter->Value();
+        auto& entry = by_name[names_.at(key)];
+        entry.first = "counter";
+        entry.second.push_back(key);
       }
-      h.count = hist->count_.load(std::memory_order_relaxed);
-      h.sum = hist->sum_.load(std::memory_order_relaxed);
-      h.max = hist->max_.load(std::memory_order_relaxed);
-      snap.histograms[key] = h;
-      auto& entry = by_name[names_.at(key)];
-      entry.first = "histogram";
-      entry.second.push_back(key);
+      for (const auto& [key, gauge] : gauges_) {
+        snap.gauges[key] = gauge->Value();
+        auto& entry = by_name[names_.at(key)];
+        entry.first = "gauge";
+        entry.second.push_back(key);
+      }
+      for (const auto& [key, hist] : histograms_) {
+        HistogramSnapshot h;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          h.buckets[i] = hist->buckets_[i].load(std::memory_order_relaxed);
+        }
+        h.count = hist->count_.load(std::memory_order_relaxed);
+        h.sum = hist->sum_.load(std::memory_order_relaxed);
+        h.max = hist->max_.load(std::memory_order_relaxed);
+        snap.histograms[key] = h;
+        auto& entry = by_name[names_.at(key)];
+        entry.first = "histogram";
+        entry.second.push_back(key);
+      }
     }
     for (const auto& provider : providers_) {
       int64_t v = provider.fn();
@@ -319,18 +330,22 @@ std::string MetricsRegistry::Export() const {
 
 std::vector<MetricInfo> MetricsRegistry::List() const {
   std::vector<MetricInfo> out;
-  common::MutexLock lock(mutex_);
-  for (const auto& kv : counters_) {
-    const std::string& name = names_.at(kv.first);
-    out.push_back(MetricInfo{"counter", name, kv.first.substr(name.size())});
-  }
-  for (const auto& kv : gauges_) {
-    const std::string& name = names_.at(kv.first);
-    out.push_back(MetricInfo{"gauge", name, kv.first.substr(name.size())});
-  }
-  for (const auto& kv : histograms_) {
-    const std::string& name = names_.at(kv.first);
-    out.push_back(MetricInfo{"histogram", name, kv.first.substr(name.size())});
+  common::MutexLock providers_lock(providers_mutex_);
+  {
+    common::MutexLock lock(mutex_);
+    for (const auto& kv : counters_) {
+      const std::string& name = names_.at(kv.first);
+      out.push_back(MetricInfo{"counter", name, kv.first.substr(name.size())});
+    }
+    for (const auto& kv : gauges_) {
+      const std::string& name = names_.at(kv.first);
+      out.push_back(MetricInfo{"gauge", name, kv.first.substr(name.size())});
+    }
+    for (const auto& kv : histograms_) {
+      const std::string& name = names_.at(kv.first);
+      out.push_back(
+          MetricInfo{"histogram", name, kv.first.substr(name.size())});
+    }
   }
   for (const auto& provider : providers_) {
     out.push_back(MetricInfo{

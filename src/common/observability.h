@@ -11,14 +11,20 @@
 //     the registry lives; callers cache the returned pointers.
 //   * Pull-style metrics (values derived from live objects, e.g. pending
 //     intake bytes) register a provider callback; providers are evaluated
-//     under the registry mutex at Snapshot()/Export() time and unregister
+//     under the provider mutex at Snapshot()/Export() time and unregister
 //     via an RAII handle, so a dead object can never be polled.
 //
-// Lock ordering: the registry mutex is taken by Snapshot()/Export(), which
-// then run provider callbacks that may take object-level mutexes
-// (ConnectionMetrics, subscriber queues). Code holding those object locks
-// must therefore never call Snapshot()/Export()/Get* — only the lock-free
-// record calls on cached pointers.
+// Lock ordering: the registry uses TWO mutexes so its rank is coherent
+// from both sides (see common/lock_rank.h).
+//   * mutex_ (kMetricsRegistry, a leaf) guards the metric maps only. It
+//     is safe to call Get* while holding any pipeline or storage lock.
+//   * providers_mutex_ (kMetricsProviders, near the top of the feeds
+//     band) guards the provider list. Snapshot()/Export()/List() hold it
+//     while running the callbacks — which take object-level mutexes
+//     (ConnectionMetrics, subscriber queues) — so code holding those
+//     object locks must never call Snapshot()/Export()/List(), only the
+//     lock-free record calls on cached pointers. mutex_ is ACQUIRED_AFTER
+//     providers_mutex_ (the export paths nest them in that order).
 #pragma once
 
 #include <array>
@@ -191,9 +197,14 @@ class MetricsRegistry {
     std::function<int64_t()> fn;
   };
 
-  void Unregister(int64_t id) EXCLUDES(mutex_);
+  void Unregister(int64_t id) EXCLUDES(providers_mutex_);
 
-  mutable common::Mutex mutex_;
+  /// Provider list lock; held while callbacks run so ProviderHandle::Reset
+  /// still guarantees no further invocation after it returns.
+  mutable common::Mutex providers_mutex_{common::LockRank::kMetricsProviders};
+  /// Metric-map lock, a leaf: Get* may run under any pipeline/storage lock.
+  mutable common::Mutex mutex_ ACQUIRED_AFTER(providers_mutex_){
+      common::LockRank::kMetricsRegistry};
   // key -> metric; unique_ptr keeps addresses stable across rehash.
   std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
@@ -201,8 +212,8 @@ class MetricsRegistry {
       GUARDED_BY(mutex_);
   // key -> bare metric name (for # TYPE grouping in Export()).
   std::map<std::string, std::string> names_ GUARDED_BY(mutex_);
-  std::vector<Provider> providers_ GUARDED_BY(mutex_);
-  int64_t next_provider_id_ GUARDED_BY(mutex_) = 1;
+  std::vector<Provider> providers_ GUARDED_BY(providers_mutex_);
+  int64_t next_provider_id_ GUARDED_BY(providers_mutex_) = 1;
 };
 
 }  // namespace common

@@ -13,7 +13,7 @@ namespace common {
 /// Holds either a value of type T or a non-OK Status explaining why the
 /// value could not be produced.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {  // NOLINT

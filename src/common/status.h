@@ -3,6 +3,8 @@
 // caught at the MetaFeed sandbox boundary.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -10,7 +12,7 @@ namespace asterix {
 namespace common {
 
 /// Result status of a fallible operation. Cheap to copy when OK.
-class Status {
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -99,5 +101,17 @@ class Status {
   do {                                                 \
     ::asterix::common::Status _st = (expr);            \
     if (!_st.ok()) return _st;                         \
+  } while (0)
+
+/// Aborts on a non-OK status. For benchmarks and tool mains where an error
+/// is unrecoverable and the fix is in the harness, not the caller.
+#define CHECK_OK(expr)                                             \
+  do {                                                             \
+    ::asterix::common::Status _st = (expr);                        \
+    if (!_st.ok()) {                                               \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, _st.ToString().c_str());    \
+      std::abort();                                                \
+    }                                                              \
   } while (0)
 

@@ -21,6 +21,48 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "common/deadlock_detector.h"
+#include "common/lock_rank.h"
+
+// Deadlock-detector plumbing. When ASTERIX_DEADLOCK_DETECTOR is compiled
+// in, every Lock/TryLock/Unlock (and the RAII guards) captures the
+// caller's std::source_location and reports the acquisition to
+// common::DeadlockDetector — guarded by one relaxed atomic load when the
+// detector is disarmed. When compiled out, the parameters and hooks
+// vanish entirely and the wrappers are the same zero-cost shims as
+// before.
+#ifdef ASTERIX_DEADLOCK_DETECTOR
+#define ASTERIX_DD_ARG0 \
+  const std::source_location& asterix_dd_loc = std::source_location::current()
+#define ASTERIX_DD_ARGN \
+  , const std::source_location& asterix_dd_loc = std::source_location::current()
+#define ASTERIX_DD_FWD asterix_dd_loc
+#define ASTERIX_DD_ON_ACQUIRE(rank)                                   \
+  do {                                                                \
+    if (::asterix::common::DeadlockDetector::Armed())                 \
+      ::asterix::common::DeadlockDetector::OnAcquire((rank),          \
+                                                     asterix_dd_loc); \
+  } while (0)
+#define ASTERIX_DD_ON_TRY(rank, acquired)                                \
+  do {                                                                   \
+    if ((acquired) && ::asterix::common::DeadlockDetector::Armed())      \
+      ::asterix::common::DeadlockDetector::OnTryAcquire((rank),          \
+                                                        asterix_dd_loc); \
+  } while (0)
+#define ASTERIX_DD_ON_RELEASE(rank)                        \
+  do {                                                     \
+    if (::asterix::common::DeadlockDetector::Armed())      \
+      ::asterix::common::DeadlockDetector::OnRelease(rank); \
+  } while (0)
+#else
+#define ASTERIX_DD_ARG0
+#define ASTERIX_DD_ARGN
+#define ASTERIX_DD_FWD
+#define ASTERIX_DD_ON_ACQUIRE(rank) ((void)0)
+#define ASTERIX_DD_ON_TRY(rank, acquired) ((void)0)
+#define ASTERIX_DD_ON_RELEASE(rank) ((void)0)
+#endif
+
 #if defined(__clang__) && !defined(SWIG)
 #define ASTERIX_TSA_ATTR(x) __attribute__((x))
 #else
@@ -59,26 +101,45 @@ namespace common {
 
 class CondVar;
 
-/// std::mutex with Thread Safety Analysis capability annotations.
+/// std::mutex with Thread Safety Analysis capability annotations and a
+/// LockRank for the runtime lock-order checker (common/lock_rank.h).
 /// Non-reentrant. Prefer the MutexLock guard over manual Lock/Unlock.
+///
+/// Every Mutex in src/ must name its rank (the LOCK-RANK lint enforces
+/// it): `Mutex mu_{LockRank::kSubscriberQueue};`. The default kUnranked
+/// constructor exists for tests and examples only.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock(ASTERIX_DD_ARG0) ACQUIRE() {
+    ASTERIX_DD_ON_ACQUIRE(rank_);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    ASTERIX_DD_ON_RELEASE(rank_);
+  }
+  bool TryLock(ASTERIX_DD_ARG0) TRY_ACQUIRE(true) {
+    bool acquired = mu_.try_lock();
+    ASTERIX_DD_ON_TRY(rank_, acquired);
+    return acquired;
+  }
 
   /// Tells the analysis the lock is already held (runtime no-op), for the
   /// rare callback that is documented to run under a lock the analysis
   /// cannot see being taken.
   void AssertHeld() const ASSERT_CAPABILITY(this) {}
 
+  LockRank rank() const { return rank_; }
+
  private:
   friend class CondVar;
   std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
 };
 
 /// std::shared_mutex with capability annotations: exclusive writers,
@@ -86,29 +147,55 @@ class CAPABILITY("mutex") Mutex {
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(LockRank rank) : rank_(rank) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock(ASTERIX_DD_ARG0) ACQUIRE() {
+    ASTERIX_DD_ON_ACQUIRE(rank_);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    ASTERIX_DD_ON_RELEASE(rank_);
+  }
+  bool TryLock(ASTERIX_DD_ARG0) TRY_ACQUIRE(true) {
+    bool acquired = mu_.try_lock();
+    ASTERIX_DD_ON_TRY(rank_, acquired);
+    return acquired;
+  }
 
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
-  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
-    return mu_.try_lock_shared();
+  // Shared acquisitions obey the same rank discipline: a reader blocked
+  // behind a writer deadlocks exactly like an exclusive waiter.
+  void LockShared(ASTERIX_DD_ARG0) ACQUIRE_SHARED() {
+    ASTERIX_DD_ON_ACQUIRE(rank_);
+    mu_.lock_shared();
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+    ASTERIX_DD_ON_RELEASE(rank_);
+  }
+  bool TryLockShared(ASTERIX_DD_ARG0) TRY_ACQUIRE_SHARED(true) {
+    bool acquired = mu_.try_lock_shared();
+    ASTERIX_DD_ON_TRY(rank_, acquired);
+    return acquired;
   }
 
   void AssertHeld() const ASSERT_CAPABILITY(this) {}
 
+  LockRank rank() const { return rank_; }
+
  private:
   std::shared_mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
 };
 
 /// RAII exclusive lock over Mutex — the annotated std::lock_guard.
 class SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  explicit MutexLock(Mutex& mu ASTERIX_DD_ARGN) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock(ASTERIX_DD_FWD);
+  }
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
   ~MutexLock() RELEASE() { mu_.Unlock(); }
@@ -120,8 +207,9 @@ class SCOPED_CAPABILITY MutexLock {
 /// RAII exclusive lock over SharedMutex.
 class SCOPED_CAPABILITY WriterMutexLock {
  public:
-  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
-    mu_.Lock();
+  explicit WriterMutexLock(SharedMutex& mu ASTERIX_DD_ARGN) ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(ASTERIX_DD_FWD);
   }
   WriterMutexLock(const WriterMutexLock&) = delete;
   WriterMutexLock& operator=(const WriterMutexLock&) = delete;
@@ -134,8 +222,10 @@ class SCOPED_CAPABILITY WriterMutexLock {
 /// RAII shared (reader) lock over SharedMutex.
 class SCOPED_CAPABILITY ReaderMutexLock {
  public:
-  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
-    mu_.LockShared();
+  explicit ReaderMutexLock(SharedMutex& mu ASTERIX_DD_ARGN)
+      ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared(ASTERIX_DD_FWD);
   }
   ReaderMutexLock(const ReaderMutexLock&) = delete;
   ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;

@@ -75,7 +75,7 @@ class AckBus {
     return conn + "#" + std::to_string(partition);
   }
 
-  common::Mutex mutex_;
+  common::Mutex mutex_{common::LockRank::kAckBus};
   std::map<std::string, Handler> handlers_ GUARDED_BY(mutex_);
   std::atomic<int64_t> messages_published_{0};
 };
@@ -137,7 +137,7 @@ class PendingTracker {
     int64_t tracked_at_ms;
   };
   const int64_t timeout_ms_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kPendingTracker};
   std::map<int64_t, Entry> pending_ GUARDED_BY(mutex_);
 };
 
@@ -175,7 +175,8 @@ class AckCollector {
   std::shared_ptr<AckBus> bus_;
   const std::string conn_;
   const int64_t window_ms_;
-  common::Mutex mutex_;
+  // Outer to the bus: FlushLocked publishes while holding this.
+  common::Mutex mutex_{common::LockRank::kAckCollector};
   std::map<int, std::vector<int64_t>> grouped_ GUARDED_BY(mutex_);
   int64_t window_start_ms_ GUARDED_BY(mutex_);
 };

@@ -264,12 +264,14 @@ Result<std::unique_ptr<FeedAdaptor>> SyntheticTweetAdaptorFactory::Create(
       ConfigInt(config, "rate", 100), ConfigInt(config, "limit", -1)));
 }
 
-void RegisterBuiltinAdaptors(AdaptorRegistry* registry) {
-  registry->Register(std::make_shared<SocketAdaptorFactory>());
-  registry->Register(
-      std::make_shared<SocketAdaptorFactory>("TweetGenAdaptor", "Tweet"));
-  registry->Register(std::make_shared<FileAdaptorFactory>());
-  registry->Register(std::make_shared<SyntheticTweetAdaptorFactory>());
+Status RegisterBuiltinAdaptors(AdaptorRegistry* registry) {
+  RETURN_IF_ERROR(registry->Register(std::make_shared<SocketAdaptorFactory>()));
+  RETURN_IF_ERROR(registry->Register(
+      std::make_shared<SocketAdaptorFactory>("TweetGenAdaptor", "Tweet")));
+  RETURN_IF_ERROR(registry->Register(std::make_shared<FileAdaptorFactory>()));
+  RETURN_IF_ERROR(
+      registry->Register(std::make_shared<SyntheticTweetAdaptorFactory>()));
+  return Status::OK();
 }
 
 }  // namespace feeds

@@ -33,13 +33,13 @@ class FeedAdaptor {
 
   /// Fetches up to `max` raw records, waiting at most `timeout_ms` when
   /// nothing is pending. The empty batch simply means "nothing yet".
-  virtual common::Result<RawBatch> Fetch(size_t max,
+  [[nodiscard]] virtual common::Result<RawBatch> Fetch(size_t max,
                                          int64_t timeout_ms) = 0;
 
   /// Called when the external source appears lost. The adaptor owns the
   /// recovery logic (§6.2.3, External Source Failure): it may reconnect,
   /// switch servers, or give up (non-OK status ends the feed).
-  virtual common::Status Reconnect() {
+  [[nodiscard]] virtual common::Status Reconnect() {
     return common::Status::Unavailable("source lost; no recovery defined");
   }
 };
@@ -55,21 +55,21 @@ class AdaptorFactory {
   virtual bool push_based() const = 0;
   /// Datatype name of the ADM records this adaptor emits.
   virtual std::string output_type() const = 0;
-  virtual common::Result<hyracks::PartitionConstraint> GetConstraints(
+  [[nodiscard]] virtual common::Result<hyracks::PartitionConstraint> GetConstraints(
       const AdaptorConfig& config) const = 0;
-  virtual common::Result<std::unique_ptr<FeedAdaptor>> Create(
+  [[nodiscard]] virtual common::Result<std::unique_ptr<FeedAdaptor>> Create(
       const AdaptorConfig& config, int partition) const = 0;
 };
 
 /// The DatasourceAdapter metadata dataset: alias -> factory.
 class AdaptorRegistry {
  public:
-  common::Status Register(std::shared_ptr<AdaptorFactory> factory);
-  common::Result<std::shared_ptr<AdaptorFactory>> Find(
+  [[nodiscard]] common::Status Register(std::shared_ptr<AdaptorFactory> factory);
+  [[nodiscard]] common::Result<std::shared_ptr<AdaptorFactory>> Find(
       const std::string& alias) const;
 
  private:
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kAdaptorRegistry};
   std::map<std::string, std::shared_ptr<AdaptorFactory>> factories_
       GUARDED_BY(mutex_);
 };
@@ -86,7 +86,7 @@ class ExternalSourceRegistry {
   gen::Channel* FindChannel(const std::string& address) const;
 
  private:
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kChannelRegistry};
   std::map<std::string, gen::Channel*> channels_ GUARDED_BY(mutex_);
 };
 
@@ -104,9 +104,9 @@ class SocketAdaptorFactory : public AdaptorFactory {
   std::string alias() const override { return alias_; }
   bool push_based() const override { return true; }
   std::string output_type() const override { return output_type_; }
-  common::Result<hyracks::PartitionConstraint> GetConstraints(
+  [[nodiscard]] common::Result<hyracks::PartitionConstraint> GetConstraints(
       const AdaptorConfig& config) const override;
-  common::Result<std::unique_ptr<FeedAdaptor>> Create(
+  [[nodiscard]] common::Result<std::unique_ptr<FeedAdaptor>> Create(
       const AdaptorConfig& config, int partition) const override;
 
  private:
@@ -122,9 +122,9 @@ class FileAdaptorFactory : public AdaptorFactory {
   std::string alias() const override { return "file_based_feed"; }
   bool push_based() const override { return false; }
   std::string output_type() const override { return "any"; }
-  common::Result<hyracks::PartitionConstraint> GetConstraints(
+  [[nodiscard]] common::Result<hyracks::PartitionConstraint> GetConstraints(
       const AdaptorConfig& config) const override;
-  common::Result<std::unique_ptr<FeedAdaptor>> Create(
+  [[nodiscard]] common::Result<std::unique_ptr<FeedAdaptor>> Create(
       const AdaptorConfig& config, int partition) const override;
 };
 
@@ -137,15 +137,16 @@ class SyntheticTweetAdaptorFactory : public AdaptorFactory {
   std::string alias() const override { return "synthetic_tweets"; }
   bool push_based() const override { return false; }
   std::string output_type() const override { return "Tweet"; }
-  common::Result<hyracks::PartitionConstraint> GetConstraints(
+  [[nodiscard]] common::Result<hyracks::PartitionConstraint> GetConstraints(
       const AdaptorConfig& config) const override;
-  common::Result<std::unique_ptr<FeedAdaptor>> Create(
+  [[nodiscard]] common::Result<std::unique_ptr<FeedAdaptor>> Create(
       const AdaptorConfig& config, int partition) const override;
 };
 
 /// Registers all built-in adaptors (pre-populating the DatasourceAdapter
-/// dataset, §5.1).
-void RegisterBuiltinAdaptors(AdaptorRegistry* registry);
+/// dataset, §5.1). Fails only on an alias collision — a registry that
+/// already holds one of the built-in names.
+[[nodiscard]] common::Status RegisterBuiltinAdaptors(AdaptorRegistry* registry);
 
 }  // namespace feeds
 }  // namespace asterix

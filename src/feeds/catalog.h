@@ -28,19 +28,19 @@ struct FeedDef {
 
 class FeedCatalog {
  public:
-  common::Status CreateFeed(FeedDef def);
-  common::Status DropFeed(const std::string& name);
-  common::Result<FeedDef> Find(const std::string& name) const;
+  [[nodiscard]] common::Status CreateFeed(FeedDef def);
+  [[nodiscard]] common::Status DropFeed(const std::string& name);
+  [[nodiscard]] common::Result<FeedDef> Find(const std::string& name) const;
 
   /// The feed's lineage from the primary root down to the feed itself:
   /// [root, ..., parent, feed]. Errors on unknown feeds or cycles.
-  common::Result<std::vector<FeedDef>> PathFromRoot(
+  [[nodiscard]] common::Result<std::vector<FeedDef>> PathFromRoot(
       const std::string& name) const;
 
   std::vector<std::string> Names() const;
 
  private:
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kFeedCatalog};
   std::map<std::string, FeedDef> feeds_ GUARDED_BY(mutex_);
 };
 

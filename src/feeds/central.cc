@@ -967,17 +967,28 @@ void CentralFeedManager::MonitorLoop(int64_t period_ms) {
         signals.initial_compute_width = conn.initial_compute_width;
         signals.alive_nodes =
             static_cast<int>(cluster_->AliveNodeIds().size());
-        switch (EvaluateElastic(signals, conn.policy, &conn.congestion)) {
+        ScaleDecision decision =
+            EvaluateElastic(signals, conn.policy, &conn.congestion);
+        switch (decision) {
           case ScaleDecision::kScaleOut:
-            LOG_MSG(kInfo) << "elastic scale-out of " << id << " to width "
-                           << conn.compute_width + 1;
-            RebuildTailLocked(&conn, {}, conn.compute_width + 1);
+          case ScaleDecision::kScaleIn: {
+            int new_width = conn.compute_width +
+                (decision == ScaleDecision::kScaleOut ? 1 : -1);
+            LOG_MSG(kInfo) << "elastic "
+                           << (decision == ScaleDecision::kScaleOut
+                                   ? "scale-out"
+                                   : "scale-in")
+                           << " of " << id << " to width " << new_width;
+            Status rebuild_status = RebuildTailLocked(&conn, {}, new_width);
+            if (!rebuild_status.ok()) {
+              // The old tail is still running at the old width; the
+              // monitor retries on a later evaluation when the signals
+              // still warrant it.
+              LOG_MSG(kWarn) << "elastic rescale of " << id << " failed: "
+                             << rebuild_status.message();
+            }
             break;
-          case ScaleDecision::kScaleIn:
-            LOG_MSG(kInfo) << "elastic scale-in of " << id << " to width "
-                           << conn.compute_width - 1;
-            RebuildTailLocked(&conn, {}, conn.compute_width - 1);
-            break;
+          }
           case ScaleDecision::kNone:
             break;
         }

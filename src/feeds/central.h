@@ -88,7 +88,7 @@ class CentralFeedManager : public hyracks::ClusterListener {
   ~CentralFeedManager() override;
 
   /// `connect feed <feed> to dataset <dataset> using policy <policy>`.
-  common::Status ConnectFeed(const std::string& feed,
+  [[nodiscard]] common::Status ConnectFeed(const std::string& feed,
                              const std::string& dataset,
                              const std::string& policy_name = "Basic",
                              ConnectOptions options = {});
@@ -96,7 +96,7 @@ class CentralFeedManager : public hyracks::ClusterListener {
   /// `disconnect feed <feed> from dataset <dataset>`. Graceful: already
   /// received records drain into the target dataset; dependent feeds keep
   /// flowing (partial dismantling when they exist).
-  common::Status DisconnectFeed(const std::string& feed,
+  [[nodiscard]] common::Status DisconnectFeed(const std::string& feed,
                                 const std::string& dataset);
 
   /// Metrics of the shared head section of a feed hierarchy (records
@@ -109,7 +109,7 @@ class CentralFeedManager : public hyracks::ClusterListener {
       const std::string& feed, const std::string& dataset) const;
 
   /// Snapshot of a connection's runtime record.
-  common::Result<ConnectionInfo> GetConnection(
+  [[nodiscard]] common::Result<ConnectionInfo> GetConnection(
       const std::string& feed, const std::string& dataset) const;
 
   std::vector<std::string> ActiveConnectionIds() const;
@@ -142,7 +142,7 @@ class CentralFeedManager : public hyracks::ClusterListener {
 
   /// Exposed for tests/benches: force a rebuild of a connection with a
   /// new compute width (the elastic scale-out/in step).
-  common::Status Rescale(const std::string& feed,
+  [[nodiscard]] common::Status Rescale(const std::string& feed,
                          const std::string& dataset, int new_width);
 
   std::shared_ptr<AckBus> ack_bus() const { return ack_bus_; }
@@ -161,16 +161,16 @@ class CentralFeedManager : public hyracks::ClusterListener {
   }
 
   // All Locked methods require mutex_ held.
-  common::Status BuildHeadLocked(const FeedDef& root,
+  [[nodiscard]] common::Status BuildHeadLocked(const FeedDef& root,
                                  const std::vector<std::string>& locations)
       REQUIRES(mutex_);
-  common::Status BuildTailLocked(ConnectionInfo* conn) REQUIRES(mutex_);
-  common::Status ConnectFeedLocked(const std::string& feed,
+  [[nodiscard]] common::Status BuildTailLocked(ConnectionInfo* conn) REQUIRES(mutex_);
+  [[nodiscard]] common::Status ConnectFeedLocked(const std::string& feed,
                                    const std::string& dataset,
                                    const std::string& policy_name,
                                    ConnectOptions options) REQUIRES(mutex_);
   /// Dismantles a tail gracefully and releases its joints/head refs.
-  common::Status FullDisconnectLocked(ConnectionInfo* conn) REQUIRES(mutex_);
+  [[nodiscard]] common::Status FullDisconnectLocked(ConnectionInfo* conn) REQUIRES(mutex_);
   void ReleaseHeadIfIdleLocked(const std::string& root_feed)
       REQUIRES(mutex_);
   /// Connections transitively sourcing from `conn` (rebuild closure).
@@ -192,7 +192,7 @@ class CentralFeedManager : public hyracks::ClusterListener {
 
   /// Stops a connection's tail (handoff/zombie state capture) and starts
   /// a revised tail. `substitute(node)` maps old locations to new.
-  common::Status RebuildTailLocked(
+  [[nodiscard]] common::Status RebuildTailLocked(
       ConnectionInfo* conn,
       const std::map<std::string, std::string>& substitutions,
       int new_compute_width) REQUIRES(mutex_);
@@ -213,7 +213,7 @@ class CentralFeedManager : public hyracks::ClusterListener {
   storage::DatasetCatalog* datasets_;
   std::shared_ptr<AckBus> ack_bus_ = std::make_shared<AckBus>();
 
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kCentralFeedManager};
   std::map<std::string, ConnectionInfo> connections_ GUARDED_BY(mutex_);
   std::map<std::string, HeadSection> heads_ GUARDED_BY(mutex_);
   std::map<std::string, JointInfo> joints_ GUARDED_BY(mutex_);

@@ -60,7 +60,7 @@ class FeedManager {
 
  private:
   const std::string node_id_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kFeedManager};
   std::map<std::string, std::shared_ptr<FeedJoint>> joints_
       GUARDED_BY(mutex_);
   std::map<std::string, std::vector<hyracks::FramePtr>> zombie_state_

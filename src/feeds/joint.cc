@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "feeds/trace.h"
 
 namespace asterix {
@@ -25,7 +26,16 @@ void FeedJoint::DetachPrimary() {
     primary = std::move(primary_);
     primary_.reset();
   }
-  if (primary != nullptr) primary->Close();
+  if (primary != nullptr) {
+    Status close_status = primary->Close();
+    if (!close_status.ok()) {
+      // Detach is teardown: the pipeline downstream of the joint is going
+      // away regardless, so a failed flush-on-close is reported, not
+      // propagated (there is no caller left to retry it).
+      LOG_MSG(kWarn) << "joint primary close failed during detach: "
+                     << close_status.message();
+    }
+  }
 }
 
 std::shared_ptr<SubscriberQueue> FeedJoint::Subscribe(

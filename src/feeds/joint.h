@@ -48,9 +48,9 @@ class FeedJoint : public hyracks::IFrameWriter {
   size_t subscriber_count() const;
 
   /// Producer-side IFrameWriter API (the subscribable operator's output).
-  common::Status NextFrame(const hyracks::FramePtr& frame) override;
+  [[nodiscard]] common::Status NextFrame(const hyracks::FramePtr& frame) override;
   void Fail() override;
-  common::Status Close() override;
+  [[nodiscard]] common::Status Close() override;
 
   bool closed() const;
   int64_t frames_routed() const;
@@ -58,7 +58,7 @@ class FeedJoint : public hyracks::IFrameWriter {
 
  private:
   const std::string id_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kFeedJoint};
   // pool_ must be declared before subscribers_: queue entries hold
   // DataBucket* into the pool, and ~SubscriberQueue (run when
   // subscribers_ drops the last reference) consumes them. The pool is

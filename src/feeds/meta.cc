@@ -138,7 +138,14 @@ void MetaFeedOperator::LogSoftFailure(const Value& record,
       {"record", Value::String(record.ToAdmString())},
       {"at", Value::Datetime(common::NowMillis())},
   });
-  partition->Insert(entry);  // best effort
+  Status insert_status = partition->Insert(entry);
+  if (!insert_status.ok()) {
+    // The record already went to the error log above; failing to ALSO
+    // persist it into the exception dataset must not cascade into the
+    // soft-failure path that is reporting it.
+    LOG_MSG(kWarn) << "exception-dataset insert failed: "
+                   << insert_status.message();
+  }
 }
 
 std::unique_ptr<hyracks::Operator> WrapWithMetaFeed(

@@ -38,13 +38,13 @@ class MetaFeedOperator : public hyracks::Operator {
       : core_(std::move(core)), options_(std::move(options)) {}
 
   bool is_source() const override { return core_->is_source(); }
-  common::Status Open(hyracks::TaskContext* ctx) override;
-  common::Status Run(hyracks::TaskContext* ctx) override {
+  [[nodiscard]] common::Status Open(hyracks::TaskContext* ctx) override;
+  [[nodiscard]] common::Status Run(hyracks::TaskContext* ctx) override {
     return core_->Run(ctx);
   }
-  common::Status ProcessFrame(const hyracks::FramePtr& frame,
+  [[nodiscard]] common::Status ProcessFrame(const hyracks::FramePtr& frame,
                               hyracks::TaskContext* ctx) override;
-  common::Status Close(hyracks::TaskContext* ctx) override {
+  [[nodiscard]] common::Status Close(hyracks::TaskContext* ctx) override {
     return core_->Close(ctx);
   }
   void OnSignal(const std::string& signal) override {
@@ -55,7 +55,7 @@ class MetaFeedOperator : public hyracks::Operator {
   int64_t soft_failures() const { return soft_failures_; }
 
  private:
-  common::Status ProcessFrameSandboxed(const hyracks::FramePtr& frame,
+  [[nodiscard]] common::Status ProcessFrameSandboxed(const hyracks::FramePtr& frame,
                                        hyracks::TaskContext* ctx);
   void LogSoftFailure(const adm::Value& record, const std::string& what,
                       hyracks::TaskContext* ctx);

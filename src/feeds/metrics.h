@@ -68,7 +68,7 @@ class IntervalCounter {
 
  private:
   const int64_t bin_width_ms_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kIntervalCounter};
   int64_t start_ms_ GUARDED_BY(mutex_);
   std::vector<int64_t> bins_ GUARDED_BY(mutex_);
 };
@@ -107,7 +107,7 @@ struct ConnectionMetrics {
 
   /// Intake-side subscriber queues (one per intake partition), for the
   /// congestion monitor. Guarded by `mutex`.
-  common::Mutex mutex;
+  common::Mutex mutex{common::LockRank::kConnectionMetrics};
   std::vector<std::shared_ptr<SubscriberQueue>> intake_queues
       GUARDED_BY(mutex);
 

@@ -45,9 +45,9 @@ class FeedCollectOperator : public hyracks::Operator {
                       PipelineConfig pipeline);
 
   bool is_source() const override { return true; }
-  common::Status Open(hyracks::TaskContext* ctx) override;
-  common::Status Run(hyracks::TaskContext* ctx) override;
-  common::Status ProcessFrame(const hyracks::FramePtr&,
+  [[nodiscard]] common::Status Open(hyracks::TaskContext* ctx) override;
+  [[nodiscard]] common::Status Run(hyracks::TaskContext* ctx) override;
+  [[nodiscard]] common::Status ProcessFrame(const hyracks::FramePtr&,
                               hyracks::TaskContext*) override {
     return common::Status::NotSupported("source operator");
   }
@@ -69,10 +69,10 @@ class FeedIntakeOperator : public hyracks::Operator {
   FeedIntakeOperator(std::string source_joint_id, PipelineConfig pipeline);
 
   bool is_source() const override { return true; }
-  common::Status Open(hyracks::TaskContext* ctx) override;
-  common::Status Run(hyracks::TaskContext* ctx) override;
-  common::Status Close(hyracks::TaskContext* ctx) override;
-  common::Status ProcessFrame(const hyracks::FramePtr&,
+  [[nodiscard]] common::Status Open(hyracks::TaskContext* ctx) override;
+  [[nodiscard]] common::Status Run(hyracks::TaskContext* ctx) override;
+  [[nodiscard]] common::Status Close(hyracks::TaskContext* ctx) override;
+  [[nodiscard]] common::Status ProcessFrame(const hyracks::FramePtr&,
                               hyracks::TaskContext*) override {
     return common::Status::NotSupported("source operator");
   }
@@ -90,9 +90,9 @@ class FeedIntakeOperator : public hyracks::Operator {
  private:
   enum class Mode { kForward, kBuffer, kHandoff };
 
-  common::Status ForwardFrame(const hyracks::FramePtr& frame,
+  [[nodiscard]] common::Status ForwardFrame(const hyracks::FramePtr& frame,
                               hyracks::TaskContext* ctx);
-  common::Status ForwardTagged(const hyracks::FramePtr& frame,
+  [[nodiscard]] common::Status ForwardTagged(const hyracks::FramePtr& frame,
                                const hyracks::TraceContext& tc,
                                hyracks::TaskContext* ctx);
 
@@ -119,8 +119,8 @@ class AssignOperator : public hyracks::Operator {
   AssignOperator(std::vector<std::shared_ptr<Udf>> udfs,
                  PipelineConfig pipeline);
 
-  common::Status Open(hyracks::TaskContext* ctx) override;
-  common::Status ProcessFrame(const hyracks::FramePtr& frame,
+  [[nodiscard]] common::Status Open(hyracks::TaskContext* ctx) override;
+  [[nodiscard]] common::Status ProcessFrame(const hyracks::FramePtr& frame,
                               hyracks::TaskContext* ctx) override;
 
  private:
@@ -133,10 +133,10 @@ class FeedStoreOperator : public hyracks::Operator {
  public:
   FeedStoreOperator(std::string dataset, PipelineConfig pipeline);
 
-  common::Status Open(hyracks::TaskContext* ctx) override;
-  common::Status ProcessFrame(const hyracks::FramePtr& frame,
+  [[nodiscard]] common::Status Open(hyracks::TaskContext* ctx) override;
+  [[nodiscard]] common::Status ProcessFrame(const hyracks::FramePtr& frame,
                               hyracks::TaskContext* ctx) override;
-  common::Status Close(hyracks::TaskContext* ctx) override;
+  [[nodiscard]] common::Status Close(hyracks::TaskContext* ctx) override;
 
  private:
   const std::string dataset_;

@@ -166,13 +166,13 @@ class PolicyRegistry {
   PolicyRegistry();
 
   /// `create ingestion policy <name> from policy <base> (overrides)`.
-  common::Status Create(const std::string& name, const std::string& base,
+  [[nodiscard]] common::Status Create(const std::string& name, const std::string& base,
                         std::map<std::string, std::string> overrides);
 
-  common::Result<IngestionPolicy> Find(const std::string& name) const;
+  [[nodiscard]] common::Result<IngestionPolicy> Find(const std::string& name) const;
 
  private:
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kPolicyRegistry};
   std::map<std::string, IngestionPolicy> policies_ GUARDED_BY(mutex_);
 };
 

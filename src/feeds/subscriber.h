@@ -55,7 +55,7 @@ class DataBucketPool {
   int64_t reuses() const { return reuses_.load(); }
 
  private:
-  common::Mutex mutex_;
+  common::Mutex mutex_{common::LockRank::kBucketPool};
   std::deque<DataBucket*> free_ GUARDED_BY(mutex_);
   std::atomic<int64_t> allocations_{0};
   std::atomic<int64_t> reuses_{0};
@@ -118,7 +118,7 @@ class SubscriberQueue {
   /// Set when the Basic policy exhausted its memory budget (feed must
   /// terminate) or spillage overflowed without a throttle fallback.
   bool failed() const { return failed_.load(); }
-  common::Status failure() const;
+  [[nodiscard]] common::Status failure() const;
 
   SubscriberStats stats() const;
   int64_t pending_bytes() const;
@@ -144,7 +144,7 @@ class SubscriberQueue {
                                 double keep_probability) REQUIRES(mutex_);
 
   const SubscriberOptions options_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kSubscriberQueue};
   common::CondVar not_empty_;
   std::deque<Entry> entries_ GUARDED_BY(mutex_);
   int64_t pending_bytes_ GUARDED_BY(mutex_) = 0;

@@ -111,7 +111,7 @@ class Tracer {
   std::atomic<int64_t> traces_started_{0};
   std::atomic<uint64_t> sample_counter_{0};  // fractional-rate stride
 
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kTracer};
   size_t ring_capacity_ GUARDED_BY(mutex_) = 64 * 1024;
   std::deque<TraceSpan> ring_ GUARDED_BY(mutex_);
   std::deque<uint64_t> started_ids_ GUARDED_BY(mutex_);

@@ -118,12 +118,12 @@ double PseudoSentiment(const std::string& text);
 /// The Function metadata dataset: registry of installed UDFs.
 class UdfRegistry {
  public:
-  common::Status Register(std::shared_ptr<Udf> udf);
-  common::Result<std::shared_ptr<Udf>> Find(const std::string& name) const;
+  [[nodiscard]] common::Status Register(std::shared_ptr<Udf> udf);
+  [[nodiscard]] common::Result<std::shared_ptr<Udf>> Find(const std::string& name) const;
   std::vector<std::string> Names() const;
 
  private:
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kUdfRegistry};
   std::map<std::string, std::shared_ptr<Udf>> udfs_ GUARDED_BY(mutex_);
 };
 

@@ -62,7 +62,7 @@ struct Pattern {
 ///
 /// `duration` is in milliseconds here (the paper uses seconds; benches
 /// time-scale). Unknown tags/attributes are rejected.
-common::Result<Pattern> ParsePatternXml(const std::string& xml);
+[[nodiscard]] common::Result<Pattern> ParsePatternXml(const std::string& xml);
 
 /// Serializes a pattern back to the XML descriptor form.
 std::string PatternToXml(const Pattern& pattern);

@@ -63,7 +63,7 @@ class SimulatedCpu {
   }
 
   const double credits_per_us_;
-  common::Mutex mutex_;
+  common::Mutex mutex_{common::LockRank::kSimCpu};
   common::CondVar cv_;
   double available_us_ GUARDED_BY(mutex_) = 0;
   int64_t last_refill_us_ GUARDED_BY(mutex_);

@@ -49,7 +49,8 @@ class Channel {
   size_t pending() const { return queue_.size(); }
 
  private:
-  common::BlockingQueue<std::string> queue_;
+  common::BlockingQueue<std::string> queue_{SIZE_MAX,
+                                            common::LockRank::kTweetChannel};
 };
 
 /// Synthesizes one tweet record per call. Deterministic per seed.

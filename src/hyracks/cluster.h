@@ -107,7 +107,7 @@ class ClusterController {
 
   /// Plans and starts `spec`: resolves constraints to alive nodes,
   /// instantiates tasks, wires connectors, starts task threads.
-  common::Result<std::shared_ptr<JobHandle>> StartJob(JobSpec spec);
+  [[nodiscard]] common::Result<std::shared_ptr<JobHandle>> StartJob(JobSpec spec);
 
   std::shared_ptr<JobHandle> GetJob(JobId id) const;
   void ForgetJob(JobId id);
@@ -124,7 +124,7 @@ class ClusterController {
   void ReapFailedJobs();
 
   const ClusterOptions options_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kClusterController};
   std::map<std::string, std::unique_ptr<NodeController>> nodes_
       GUARDED_BY(mutex_);
   std::map<JobId, std::shared_ptr<JobHandle>> jobs_ GUARDED_BY(mutex_);

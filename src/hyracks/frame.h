@@ -111,12 +111,12 @@ struct FrameMessage {
 class IFrameWriter {
  public:
   virtual ~IFrameWriter() = default;
-  virtual common::Status Open() { return common::Status::OK(); }
-  virtual common::Status NextFrame(const FramePtr& frame) = 0;
+  [[nodiscard]] virtual common::Status Open() { return common::Status::OK(); }
+  [[nodiscard]] virtual common::Status NextFrame(const FramePtr& frame) = 0;
   /// Signals abnormal termination of the producing operator.
   virtual void Fail() {}
   /// Signals clean end-of-data.
-  virtual common::Status Close() { return common::Status::OK(); }
+  [[nodiscard]] virtual common::Status Close() { return common::Status::OK(); }
 };
 
 /// Accumulates records and emits full frames to a writer. Frame capacity
@@ -127,7 +127,7 @@ class FrameAppender {
                 size_t max_bytes = 32 * 1024)
       : writer_(writer), max_records_(max_records), max_bytes_(max_bytes) {}
 
-  common::Status Append(adm::Value record) {
+  [[nodiscard]] common::Status Append(adm::Value record) {
     if (pending_.empty()) {
       // A new frame is born with this record: stamp its trace identity.
       pending_trace_ = trace_source_ ? trace_source_() : fixed_trace_;
@@ -141,7 +141,7 @@ class FrameAppender {
   }
 
   /// Emits any buffered records as a final (possibly short) frame.
-  common::Status FlushFrame() {
+  [[nodiscard]] common::Status FlushFrame() {
     if (pending_.empty()) return common::Status::OK();
     FramePtr frame = MakeFrame(std::move(pending_), pending_bytes_,
                                pending_trace_);

@@ -68,7 +68,7 @@ class NodeController {
   std::atomic<bool> alive_{true};
   storage::StorageManager storage_;
 
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kNodeController};
   std::map<std::string, std::shared_ptr<void>> services_ GUARDED_BY(mutex_);
   std::vector<std::shared_ptr<Task>> tasks_ GUARDED_BY(mutex_);
 

@@ -48,18 +48,18 @@ class Operator {
  public:
   virtual ~Operator() = default;
 
-  virtual common::Status Open(TaskContext* ctx) {
+  [[nodiscard]] virtual common::Status Open(TaskContext* ctx) {
     (void)ctx;
     return common::Status::OK();
   }
 
   /// Handles one input frame, emitting zero or more output frames.
-  virtual common::Status ProcessFrame(const FramePtr& frame,
+  [[nodiscard]] virtual common::Status ProcessFrame(const FramePtr& frame,
                                       TaskContext* ctx) = 0;
 
   /// Clean end-of-input: flush any buffered output. The task closes the
   /// downstream writer afterwards.
-  virtual common::Status Close(TaskContext* ctx) {
+  [[nodiscard]] virtual common::Status Close(TaskContext* ctx) {
     (void)ctx;
     return common::Status::OK();
   }
@@ -74,7 +74,7 @@ class Operator {
   virtual bool is_source() const { return false; }
 
   /// Source drive loop; must return when ctx->ShouldStop() becomes true.
-  virtual common::Status Run(TaskContext* ctx) {
+  [[nodiscard]] virtual common::Status Run(TaskContext* ctx) {
     (void)ctx;
     return common::Status::NotSupported("not a source operator");
   }

@@ -27,7 +27,7 @@ class MapOperator : public Operator {
   explicit MapOperator(Fn fn, size_t frame_records = 128)
       : fn_(std::move(fn)), frame_records_(frame_records) {}
 
-  common::Status ProcessFrame(const FramePtr& frame,
+  [[nodiscard]] common::Status ProcessFrame(const FramePtr& frame,
                               TaskContext* ctx) override {
     FrameAppender appender(ctx->writer(), frame_records_);
     for (const adm::Value& record : frame->records()) {
@@ -54,7 +54,7 @@ class IndexInsertOperator : public Operator {
                                InsertHook on_insert = nullptr)
       : dataset_(std::move(dataset)), on_insert_(std::move(on_insert)) {}
 
-  common::Status Open(TaskContext* ctx) override {
+  [[nodiscard]] common::Status Open(TaskContext* ctx) override {
     partition_ = ctx->node()->storage().GetPartition(dataset_);
     if (partition_ == nullptr) {
       return common::Status::NotFound(
@@ -64,7 +64,7 @@ class IndexInsertOperator : public Operator {
     return common::Status::OK();
   }
 
-  common::Status ProcessFrame(const FramePtr& frame,
+  [[nodiscard]] common::Status ProcessFrame(const FramePtr& frame,
                               TaskContext* ctx) override {
     (void)ctx;
     for (const adm::Value& record : frame->records()) {
@@ -84,7 +84,7 @@ class IndexInsertOperator : public Operator {
 class CollectSinkOperator : public Operator {
  public:
   struct Shared {
-    common::Mutex mutex;
+    common::Mutex mutex{common::LockRank::kCollectSink};
     std::vector<adm::Value> records GUARDED_BY(mutex);
 
     size_t size() {
@@ -100,7 +100,7 @@ class CollectSinkOperator : public Operator {
   explicit CollectSinkOperator(std::shared_ptr<Shared> shared)
       : shared_(std::move(shared)) {}
 
-  common::Status ProcessFrame(const FramePtr& frame,
+  [[nodiscard]] common::Status ProcessFrame(const FramePtr& frame,
                               TaskContext* ctx) override {
     (void)ctx;
     common::MutexLock lock(shared_->mutex);
@@ -123,7 +123,7 @@ class VectorSourceOperator : public Operator {
 
   bool is_source() const override { return true; }
 
-  common::Status Run(TaskContext* ctx) override {
+  [[nodiscard]] common::Status Run(TaskContext* ctx) override {
     FrameAppender appender(ctx->writer(), frame_records_);
     for (adm::Value& record : records_) {
       if (ctx->ShouldStop()) break;
@@ -132,7 +132,7 @@ class VectorSourceOperator : public Operator {
     return appender.FlushFrame();
   }
 
-  common::Status ProcessFrame(const FramePtr&, TaskContext*) override {
+  [[nodiscard]] common::Status ProcessFrame(const FramePtr&, TaskContext*) override {
     return common::Status::NotSupported("source operator");
   }
 
@@ -144,7 +144,7 @@ class VectorSourceOperator : public Operator {
 /// The paper's NullSink: consumes and discards frames.
 class NullSinkOperator : public Operator {
  public:
-  common::Status ProcessFrame(const FramePtr&, TaskContext*) override {
+  [[nodiscard]] common::Status ProcessFrame(const FramePtr&, TaskContext*) override {
     return common::Status::OK();
   }
 };

@@ -20,7 +20,7 @@ Task::Task(JobId job_id, std::string op_name, int partition,
       partition_count_(partition_count),
       node_(node),
       op_(std::move(op)),
-      input_(queue_capacity) {}
+      input_(queue_capacity, common::LockRank::kTaskQueue) {}
 
 Task::~Task() {
   Kill();

@@ -91,7 +91,7 @@ class Task : public TaskContext,
   const int partition_count_;
   NodeController* node_;
   std::unique_ptr<Operator> op_;
-  common::BlockingQueue<FrameMessage> input_;
+  common::BlockingQueue<FrameMessage> input_;  // rank kTaskQueue (ctor)
   // Unprocessed tail of the in-flight pop batch when the task is killed
   // mid-batch. Written only by the task thread; read by FreezeAndDrain
   // after Join() (the join is the synchronization point).
@@ -115,9 +115,9 @@ class Router : public IFrameWriter {
   Router(ConnectorDescriptor connector, int source_partition,
          std::vector<std::shared_ptr<Task>> targets);
 
-  common::Status NextFrame(const FramePtr& frame) override;
+  [[nodiscard]] common::Status NextFrame(const FramePtr& frame) override;
   void Fail() override;
-  common::Status Close() override;
+  [[nodiscard]] common::Status Close() override;
 
  private:
   const ConnectorDescriptor connector_;
@@ -131,14 +131,14 @@ class BroadcastWriter : public IFrameWriter {
  public:
   explicit BroadcastWriter(std::vector<std::shared_ptr<IFrameWriter>> outs)
       : outs_(std::move(outs)) {}
-  common::Status NextFrame(const FramePtr& frame) override {
+  [[nodiscard]] common::Status NextFrame(const FramePtr& frame) override {
     for (auto& out : outs_) RETURN_IF_ERROR(out->NextFrame(frame));
     return common::Status::OK();
   }
   void Fail() override {
     for (auto& out : outs_) out->Fail();
   }
-  common::Status Close() override {
+  [[nodiscard]] common::Status Close() override {
     for (auto& out : outs_) RETURN_IF_ERROR(out->Close());
     return common::Status::OK();
   }
@@ -150,7 +150,7 @@ class BroadcastWriter : public IFrameWriter {
 /// Terminal writer: discards frames (the paper's NullSink operator).
 class NullWriter : public IFrameWriter {
  public:
-  common::Status NextFrame(const FramePtr&) override {
+  [[nodiscard]] common::Status NextFrame(const FramePtr&) override {
     return common::Status::OK();
   }
 };

@@ -54,14 +54,14 @@ class DatasetPartition {
   DatasetPartition(DatasetDef def, int partition_id, std::string dir,
                    const adm::TypeRegistry* types);
 
-  common::Status Open();
+  [[nodiscard]] common::Status Open();
 
   /// Inserts (upserts) one record: WAL append, primary index insert,
   /// secondary index maintenance. Thread-safe.
-  common::Status Insert(const adm::Value& record);
+  [[nodiscard]] common::Status Insert(const adm::Value& record);
 
   /// Point lookup by primary key value.
-  common::Result<adm::Value> Get(const adm::Value& primary_key) const;
+  [[nodiscard]] common::Result<adm::Value> Get(const adm::Value& primary_key) const;
 
   /// Visits all records in primary key order.
   void Scan(const std::function<void(const adm::Value&)>& visitor) const;
@@ -71,13 +71,13 @@ class DatasetPartition {
 
   /// Adds a secondary index to a live partition, backfilling it from
   /// the primary index (the `create index` DDL after data has arrived).
-  common::Status AddIndex(const IndexDef& index_def);
+  [[nodiscard]] common::Status AddIndex(const IndexDef& index_def);
 
   PartitionedLsmIndex& primary() { return primary_; }
   const PartitionedLsmIndex& primary() const { return primary_; }
   const Wal& wal() const { return wal_; }
   /// Flushes buffered WAL entries to the OS.
-  common::Status SyncWal() { return wal_.Sync(); }
+  [[nodiscard]] common::Status SyncWal() { return wal_.Sync(); }
   SecondaryIndex* FindIndex(const std::string& index_name) const;
   const DatasetDef& def() const { return def_; }
   int partition_id() const { return partition_id_; }
@@ -88,7 +88,7 @@ class DatasetPartition {
   const adm::TypeRegistry* types_;
   Wal wal_;
   PartitionedLsmIndex primary_;
-  mutable common::Mutex indexes_mutex_;  // guards secondaries_ membership
+  mutable common::Mutex indexes_mutex_{common::LockRank::kDatasetIndexes};  // guards secondaries_ membership
   std::vector<std::unique_ptr<SecondaryIndex>> secondaries_
       GUARDED_BY(indexes_mutex_);
   std::atomic<int64_t> inserts_{0};
@@ -100,13 +100,13 @@ class StorageManager {
   StorageManager(std::string node_id, std::string base_dir);
 
   /// Creates (opens) this node's partition of `def` with id `partition_id`.
-  common::Status CreatePartition(const DatasetDef& def, int partition_id,
+  [[nodiscard]] common::Status CreatePartition(const DatasetDef& def, int partition_id,
                                  const adm::TypeRegistry* types);
 
   /// This node's partition of `dataset`, or nullptr.
   DatasetPartition* GetPartition(const std::string& dataset) const;
 
-  common::Status DropPartition(const std::string& dataset);
+  [[nodiscard]] common::Status DropPartition(const std::string& dataset);
 
   const std::string& node_id() const { return node_id_; }
   std::vector<std::string> DatasetNames() const;
@@ -114,7 +114,7 @@ class StorageManager {
  private:
   const std::string node_id_;
   const std::string base_dir_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kStorageManager};
   std::map<std::string, std::unique_ptr<DatasetPartition>> partitions_
       GUARDED_BY(mutex_);
 };
@@ -131,16 +131,16 @@ class DatasetCatalog {
     std::vector<std::string> nodegroup;  // node of partition i
   };
 
-  common::Status Register(DatasetDef def,
+  [[nodiscard]] common::Status Register(DatasetDef def,
                           std::vector<std::string> nodegroup);
-  common::Result<Entry> Find(const std::string& name) const;
+  [[nodiscard]] common::Result<Entry> Find(const std::string& name) const;
   /// Records a secondary index added after dataset creation.
-  common::Status AddIndex(const std::string& dataset,
+  [[nodiscard]] common::Status AddIndex(const std::string& dataset,
                           const IndexDef& index_def);
   std::vector<std::string> Names() const;
 
  private:
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kDatasetCatalog};
   std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
 };
 

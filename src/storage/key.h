@@ -13,10 +13,10 @@ namespace storage {
 
 /// Encodes a primitive ADM value (int64, double, string, datetime) into an
 /// order-preserving byte string. Keys of different type tags order by tag.
-common::Result<std::string> EncodeKey(const adm::Value& v);
+[[nodiscard]] common::Result<std::string> EncodeKey(const adm::Value& v);
 
 /// Decodes a key produced by EncodeKey back into its ADM value.
-common::Result<adm::Value> DecodeKey(const std::string& key);
+[[nodiscard]] common::Result<adm::Value> DecodeKey(const std::string& key);
 
 }  // namespace storage
 }  // namespace asterix

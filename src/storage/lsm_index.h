@@ -85,12 +85,12 @@ class LsmIndex {
   LsmIndex(const LsmIndex&) = delete;
   LsmIndex& operator=(const LsmIndex&) = delete;
 
-  common::Status Insert(const std::string& key, adm::Value value);
+  [[nodiscard]] common::Status Insert(const std::string& key, adm::Value value);
 
   /// Deletes `key` by writing a tombstone (a null value) that shadows any
   /// older component. Tombstones are dropped when a merge produces the
   /// oldest run; until then Get/Scan/Size treat the key as absent.
-  common::Status Delete(const std::string& key);
+  [[nodiscard]] common::Status Delete(const std::string& key);
 
   /// True if `value` is the tombstone marker. Datasets store only records,
   /// so null is free to reserve as the deletion sentinel.
@@ -149,7 +149,7 @@ class LsmIndex {
       bool drop_tombstones);
 
   const LsmOptions options_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kLsmIndex};
   common::CondVar maintenance_cv_;  // wakes the maintenance thread
   common::CondVar drained_cv_;      // wakes Drain()/stalled inserts
   Memtable memtable_ GUARDED_BY(mutex_);
@@ -183,8 +183,8 @@ class PartitionedLsmIndex {
  public:
   explicit PartitionedLsmIndex(LsmOptions options = {});
 
-  common::Status Insert(const std::string& key, adm::Value value);
-  common::Status Delete(const std::string& key);
+  [[nodiscard]] common::Status Insert(const std::string& key, adm::Value value);
+  [[nodiscard]] common::Status Delete(const std::string& key);
   std::optional<adm::Value> Get(const std::string& key) const;
 
   /// Visits every live (key, value) pair in global key order (k-way merge

@@ -36,7 +36,7 @@ class SecondaryIndex {
   /// Indexes `record` (which must contain `field()`), associating it with
   /// `primary_key`. Records lacking the field (or with null) are skipped —
   /// optional fields are legal in ADM.
-  virtual common::Status Insert(const adm::Value& record,
+  [[nodiscard]] virtual common::Status Insert(const adm::Value& record,
                                 const std::string& primary_key) = 0;
 
   virtual int64_t entry_count() const = 0;
@@ -54,7 +54,7 @@ class BTreeSecondaryIndex : public SecondaryIndex {
  public:
   using SecondaryIndex::SecondaryIndex;
 
-  common::Status Insert(const adm::Value& record,
+  [[nodiscard]] common::Status Insert(const adm::Value& record,
                         const std::string& primary_key) override;
   int64_t entry_count() const override;
 
@@ -66,7 +66,7 @@ class BTreeSecondaryIndex : public SecondaryIndex {
                                        const adm::Value& hi) const;
 
  private:
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kSecondaryIndex};
   std::multimap<std::string, std::string> entries_ GUARDED_BY(mutex_);
 };
 
@@ -79,7 +79,7 @@ class SpatialGridIndex : public SecondaryIndex {
       : SecondaryIndex(std::move(name), std::move(field)),
         cell_size_(cell_size) {}
 
-  common::Status Insert(const adm::Value& record,
+  [[nodiscard]] common::Status Insert(const adm::Value& record,
                         const std::string& primary_key) override;
   int64_t entry_count() const override;
 
@@ -95,7 +95,7 @@ class SpatialGridIndex : public SecondaryIndex {
   std::pair<int64_t, int64_t> CellOf(const adm::Point& p) const;
 
   const double cell_size_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kSecondaryIndex};
   std::map<std::pair<int64_t, int64_t>,
            std::vector<std::pair<adm::Point, std::string>>>
       cells_ GUARDED_BY(mutex_);

@@ -26,16 +26,16 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  common::Status Open();
+  [[nodiscard]] common::Status Open();
 
   /// Appends one entry (opaque payload). Thread-safe.
-  common::Status Append(const std::string& payload);
+  [[nodiscard]] common::Status Append(const std::string& payload);
 
   /// Flushes buffered entries to the OS.
-  common::Status Sync();
+  [[nodiscard]] common::Status Sync();
 
   /// Replays all entries in append order. Used by node-rejoin recovery.
-  common::Status Replay(
+  [[nodiscard]] common::Status Replay(
       const std::function<void(const std::string&)>& consumer) const;
 
   int64_t entry_count() const;
@@ -45,7 +45,7 @@ class Wal {
  private:
   const std::string path_;
   const bool durable_;
-  mutable common::Mutex mutex_;
+  mutable common::Mutex mutex_{common::LockRank::kWal};
   std::FILE* file_ GUARDED_BY(mutex_) = nullptr;
   int64_t entry_count_ GUARDED_BY(mutex_) = 0;
   int64_t bytes_written_ GUARDED_BY(mutex_) = 0;

@@ -94,9 +94,9 @@ TEST_F(AqlTest, SecondaryFeedWithFunction) {
   ASSERT_TRUE(WaitFor(
       [&] { return db_->CountDataset("ProcessedTweets").value() == 200; },
       10000));
-  db_->ScanDataset("ProcessedTweets", [](const Value& record) {
+  ASSERT_TRUE(db_->ScanDataset("ProcessedTweets", [](const Value& record) {
     EXPECT_NE(record.GetField("topics"), nullptr);
-  });
+  }).ok());
   ASSERT_TRUE(aql::Execute(db_.get(),
                            "disconnect feed ProcessedTwitterFeed from "
                            "dataset ProcessedTweets;")

@@ -1,0 +1,22 @@
+// compile-fail: locks a mutex declared ACQUIRED_AFTER another while that
+// other is not yet held in the required order. Under -Wthread-safety-beta
+// -Werror (the analyze preset) this must NOT build; at runtime the
+// deadlock detector would abort on the rank inversion.
+#include "common/thread_annotations.h"
+
+namespace {
+
+asterix::common::Mutex g_outer;
+asterix::common::Mutex g_inner ACQUIRED_AFTER(g_outer);
+
+int g_value GUARDED_BY(g_inner) = 0;
+
+int WrongOrder() {
+  asterix::common::MutexLock inner(g_inner);
+  asterix::common::MutexLock outer(g_outer);  // BUG: outer after inner
+  return ++g_value;
+}
+
+}  // namespace
+
+int main() { return WrongOrder(); }

@@ -1,0 +1,173 @@
+// Tests for the runtime lock-order checker (common/deadlock_detector.h):
+// inversions abort with a witness report naming both acquisition sites,
+// same-rank nesting is rejected, try-locks never abort, and the disarmed
+// fast path is a no-op. Compiled against a detector-ON tree (the
+// `deadlock` preset); under a default build every test SKIPs.
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.h"
+
+namespace asterix {
+namespace common {
+namespace {
+
+#ifndef ASTERIX_DEADLOCK_DETECTOR
+
+TEST(DeadlockDetectorTest, CompiledOut) {
+  static_assert(!kDeadlockDetectorCompiledIn);
+  GTEST_SKIP()
+      << "detector compiled out; configure with -DASTERIX_DEADLOCK_DETECTOR=ON";
+}
+
+#else  // ASTERIX_DEADLOCK_DETECTOR
+
+class DeadlockDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static_assert(kDeadlockDetectorCompiledIn);
+    DeadlockDetector::ResetGraph();
+    DeadlockDetector::Arm();
+    ASSERT_EQ(DeadlockDetector::HeldCount(), 0u);
+  }
+};
+
+using DeadlockDetectorDeathTest = DeadlockDetectorTest;
+
+TEST_F(DeadlockDetectorTest, LegalDescentRecordsEdgesAndUnwinds) {
+  Mutex high(LockRank::kTestRankHigh);
+  Mutex mid(LockRank::kTestRankMid);
+  Mutex low(LockRank::kTestRankLow);
+  {
+    MutexLock a(high);
+    MutexLock b(mid);
+    MutexLock c(low);
+    EXPECT_EQ(DeadlockDetector::HeldCount(), 3u);
+  }
+  EXPECT_EQ(DeadlockDetector::HeldCount(), 0u);
+  // high->mid, high->low, mid->low.
+  EXPECT_EQ(DeadlockDetector::EdgeCount(), 3u);
+}
+
+TEST_F(DeadlockDetectorTest, UnrankedMutexIsInvisible) {
+  Mutex unranked;  // kUnranked: tests/examples escape hatch
+  Mutex low(LockRank::kTestRankLow);
+  MutexLock a(low);
+  MutexLock b(unranked);  // ascent over `low`, but invisible
+  EXPECT_EQ(DeadlockDetector::HeldCount(), 1u);
+}
+
+// A successful try-lock cannot have blocked, so it is exempt from the
+// descent rule — but it is held, and still constrains later acquisitions.
+TEST_F(DeadlockDetectorTest, TryLockAscentDoesNotAbort) {
+  Mutex high(LockRank::kTestRankHigh);
+  Mutex low(LockRank::kTestRankLow);
+  low.Lock();
+  ASSERT_TRUE(high.TryLock());  // ascent via try-lock: recorded, no abort
+  EXPECT_EQ(DeadlockDetector::HeldCount(), 2u);
+  EXPECT_GE(DeadlockDetector::EdgeCount(), 1u);  // low->high witnessed
+  high.Unlock();
+  low.Unlock();
+  EXPECT_EQ(DeadlockDetector::HeldCount(), 0u);
+}
+
+TEST_F(DeadlockDetectorTest, DisarmedPathIsANoOp) {
+  DeadlockDetector::Disarm();
+  Mutex high(LockRank::kTestRankHigh);
+  Mutex low(LockRank::kTestRankLow);
+  {
+    MutexLock a(low);
+    MutexLock b(high);  // would abort if armed
+    EXPECT_EQ(DeadlockDetector::HeldCount(), 0u);
+  }
+  EXPECT_EQ(DeadlockDetector::EdgeCount(), 0u);
+  DeadlockDetector::Arm();
+}
+
+TEST_F(DeadlockDetectorDeathTest, TwoLockInversionAbortsWithWitness) {
+  Mutex high(LockRank::kTestRankHigh);
+  Mutex low(LockRank::kTestRankLow);
+  // The legal order first: records the acquired-before edge high->low
+  // that the inversion below closes into a cycle.
+  {
+    MutexLock outer(high);
+    MutexLock inner(low);
+  }
+  EXPECT_DEATH(
+      {
+        MutexLock outer(low);
+        MutexLock inner(high);  // inversion
+      },
+      "lock-order violation.*acquiring kTestRankHigh \\(rank 930\\) at "
+      ".*deadlock_test\\.cc:[0-9]+.*while holding kTestRankLow \\(rank "
+      "910\\) acquired at .*deadlock_test\\.cc:[0-9]+.*witness cycle.*"
+      "kTestRankHigh -> kTestRankLow.*closes the cycle");
+}
+
+TEST_F(DeadlockDetectorDeathTest, ThreeLockCycleNamesEveryEdge) {
+  Mutex high(LockRank::kTestRankHigh);
+  Mutex mid(LockRank::kTestRankMid);
+  Mutex low(LockRank::kTestRankLow);
+  // Record high->mid and mid->low on separate legal chains, so the
+  // inversion low-then-high closes a three-edge cycle through mid.
+  {
+    MutexLock outer(high);
+    MutexLock inner(mid);
+  }
+  {
+    MutexLock outer(mid);
+    MutexLock inner(low);
+  }
+  EXPECT_DEATH(
+      {
+        MutexLock outer(low);
+        MutexLock inner(high);  // closes high->mid->low->high
+      },
+      "witness cycle.*kTestRankHigh -> kTestRankMid.*held at "
+      ".*deadlock_test\\.cc:[0-9]+.*kTestRankMid -> kTestRankLow.*"
+      "kTestRankLow -> kTestRankHigh: closes the cycle");
+}
+
+TEST_F(DeadlockDetectorDeathTest, HierarchyViolationWithoutPriorCycle) {
+  Mutex high(LockRank::kTestRankHigh);
+  Mutex low(LockRank::kTestRankLow);
+  // No legal-order edge was ever recorded: still aborts, as a pure rank
+  // violation caught before any cycle materialized.
+  EXPECT_DEATH(
+      {
+        MutexLock outer(low);
+        MutexLock inner(high);
+      },
+      "lock-order violation.*no prior opposite-order edge recorded");
+}
+
+TEST_F(DeadlockDetectorDeathTest, SameRankNestingRejected) {
+  // Two distinct mutexes of one rank: instances of a rank are unordered,
+  // so nesting them can deadlock against the opposite nesting.
+  Mutex a(LockRank::kTestRankMid);
+  Mutex b(LockRank::kTestRankMid);
+  EXPECT_DEATH(
+      {
+        MutexLock outer(a);
+        MutexLock inner(b);
+      },
+      "same-rank re-acquisition: kTestRankMid \\(rank 920\\).*already "
+      "held, acquired at .*deadlock_test\\.cc:[0-9]+.*re-acquired at *"
+      ".*deadlock_test\\.cc:[0-9]+");
+}
+
+TEST_F(DeadlockDetectorDeathTest, SharedMutexReadersObeyRanks) {
+  SharedMutex high(LockRank::kTestRankHigh);
+  Mutex low(LockRank::kTestRankLow);
+  EXPECT_DEATH(
+      {
+        MutexLock outer(low);
+        ReaderMutexLock inner(high);  // shared ascent deadlocks the same
+      },
+      "lock-order violation.*acquiring kTestRankHigh");
+}
+
+#endif  // ASTERIX_DEADLOCK_DETECTOR
+
+}  // namespace
+}  // namespace common
+}  // namespace asterix

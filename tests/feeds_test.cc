@@ -251,7 +251,7 @@ TEST(JointTest, CongestionIsolationBetweenSubscribers) {
 TEST(JointTest, CloseEndsSubscribers) {
   FeedJoint joint("J");
   auto queue = joint.Subscribe({});
-  joint.NextFrame(FrameOf(1));
+  ASSERT_TRUE(joint.NextFrame(FrameOf(1)).ok());
   ASSERT_TRUE(joint.Close().ok());
   EXPECT_TRUE(queue->Next(100).has_value());  // drains
   EXPECT_FALSE(queue->Next(100).has_value());
@@ -278,11 +278,11 @@ TEST(JointTest, DetachPrimaryClosesOnlyInJobPath) {
   FeedJoint joint("J");
   joint.SetPrimary(probe);
   auto queue = joint.Subscribe({});
-  joint.NextFrame(FrameOf(1));
+  ASSERT_TRUE(joint.NextFrame(FrameOf(1)).ok());
   EXPECT_EQ(probe->frames, 1);
   joint.DetachPrimary();
   EXPECT_TRUE(probe->closed);
-  joint.NextFrame(FrameOf(1));
+  ASSERT_TRUE(joint.NextFrame(FrameOf(1)).ok());
   EXPECT_EQ(probe->frames, 1);  // primary no longer fed
   EXPECT_EQ(queue->stats().frames_delivered, 2);  // subscriber still is
 }
@@ -570,7 +570,7 @@ TEST(FeedCatalogTest, DropRefusesWhenDependentsExist) {
 
 TEST(AdaptorTest, RegistryHasBuiltins) {
   AdaptorRegistry registry;
-  RegisterBuiltinAdaptors(&registry);
+  ASSERT_TRUE(RegisterBuiltinAdaptors(&registry).ok());
   for (const char* alias : {"socket_adaptor", "TweetGenAdaptor",
                             "file_based_feed", "synthetic_tweets"}) {
     EXPECT_TRUE(registry.Find(alias).ok()) << alias;

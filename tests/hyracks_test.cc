@@ -297,7 +297,8 @@ class EndlessSource : public Operator {
         records.push_back(Value::Record(
             {{"id", Value::String("e" + std::to_string(i++))}}));
       }
-      ctx->writer()->NextFrame(MakeFrame(std::move(records)));
+      // Delivery may fail once the abort under test tears the job down.
+      (void)ctx->writer()->NextFrame(MakeFrame(std::move(records)));
       emitted_->fetch_add(10);
       common::SleepMillis(1);
     }

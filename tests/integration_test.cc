@@ -87,12 +87,12 @@ TEST_F(IntegrationTest, SecondaryFeedAppliesUdf) {
       10000));
   // Every stored record carries the UDF-added topics list.
   int64_t checked = 0;
-  db_->ScanDataset("Processed", [&](const Value& record) {
+  ASSERT_TRUE(db_->ScanDataset("Processed", [&](const Value& record) {
     ++checked;
     const Value* topics = record.GetField("topics");
     ASSERT_NE(topics, nullptr);
     EXPECT_TRUE(topics->is_list());
-  });
+  }).ok());
   EXPECT_EQ(checked, 300);
   ASSERT_TRUE(db_->DisconnectFeed("Hashtagged", "Processed").ok());
 }

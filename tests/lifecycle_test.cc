@@ -107,16 +107,16 @@ TEST_F(LifecycleTest, DeepCascadeChainsJointsCorrectly) {
       10000));
   // Chain semantics: D3 records carry both marks, D2 only topics.
   bool checked = false;
-  db_->ScanDataset("D3", [&](const Value& record) {
+  ASSERT_TRUE(db_->ScanDataset("D3", [&](const Value& record) {
     checked = true;
     EXPECT_NE(record.GetField("topics"), nullptr);
     EXPECT_NE(record.GetField("mark2"), nullptr);
-  });
+  }).ok());
   EXPECT_TRUE(checked);
-  db_->ScanDataset("D2", [&](const Value& record) {
+  ASSERT_TRUE(db_->ScanDataset("D2", [&](const Value& record) {
     EXPECT_NE(record.GetField("topics"), nullptr);
     EXPECT_EQ(record.GetField("mark2"), nullptr);
-  });
+  }).ok());
 
   EXPECT_TRUE(db_->DisconnectFeed("Root", "D1").ok());
   EXPECT_TRUE(db_->DisconnectFeed("Mid", "D2").ok());

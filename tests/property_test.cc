@@ -255,11 +255,13 @@ TEST_P(JointFanoutTest, GuaranteedInOrderDeliveryToAllSubscribers) {
   }
   constexpr int kFrames = 200;
   for (int f = 0; f < kFrames; ++f) {
-    joint.NextFrame(hyracks::MakeFrame(
-        {Value::Record({{"id", Value::String(std::to_string(f))},
-                        {"n", Value::Int64(f)}})}));
+    ASSERT_TRUE(joint
+                    .NextFrame(hyracks::MakeFrame({Value::Record(
+                        {{"id", Value::String(std::to_string(f))},
+                         {"n", Value::Int64(f)}})}))
+                    .ok());
   }
-  joint.Close();
+  ASSERT_TRUE(joint.Close().ok());
   for (auto& queue : queues) {
     int64_t expected = 0;
     while (auto frame = queue->Next(500)) {

@@ -18,13 +18,21 @@ Checks, each with a stable ID used in failure output:
   RAW-SLEEP   no naked std::this_thread::sleep_for outside the allowlist
               (common/clock.h wraps it; tests use testing_util helpers)
   RAW-MUTEX   src/ never declares std::mutex / std::shared_mutex /
-              std::condition_variable outside common/thread_annotations.h,
+              std::condition_variable outside common/thread_annotations.h
+              and the deadlock detector (which cannot instrument itself),
               so every lock is an annotated common::Mutex
   GUARDED-BY  in annotated classes (those declaring a common::Mutex named
               *mutex*), every mutable container/scalar field declared
               after the mutex carries GUARDED_BY unless annotated with an
               explanatory comment or inherently synchronized (atomic,
               const, thread, CondVar, another Mutex)
+  LOCK-RANK   every common::Mutex/SharedMutex construction in src/ names
+              a LockRank in its brace initializer, or carries a
+              `LOCK-RANK:` comment naming where the rank is injected
+              (constructor-parameterised locks like BlockingQueue's)
+  RANK-README the README "Lock ranking" table lists exactly the ranks in
+              src/common/lock_rank.h, with matching numeric values (same
+              mechanism as the failpoint-site table)
 
 Exit status 0 iff no findings. Run directly:  python3 tools/lint/check_invariants.py
 """
@@ -46,6 +54,20 @@ METRIC_NAME = re.compile(r"^[a-z][a-z0-9]*(_[a-z0-9]+)+$")
 SLEEP_ALLOWLIST = {"src/common/clock.h"}
 
 RAW_SYNC = re.compile(r"std::(mutex|shared_mutex|condition_variable\w*)\b")
+
+# The runtime lock-order checker must use a raw std::mutex internally:
+# instrumenting its own lock would recurse.
+RAW_SYNC_ALLOWLIST = {"thread_annotations.h", "deadlock_detector.h",
+                      "deadlock_detector.cc"}
+
+# A Mutex/SharedMutex member or global declaration, with an optional TSA
+# ordering attribute and an optional brace initializer (which may span
+# lines — [^}] matches newlines inside a character class).
+MUTEX_DECL = re.compile(
+    r"(?:mutable\s+)?(?:common::)?\b(?:Shared)?Mutex\s+(\w+)\s*"
+    r"(?:ACQUIRED_(?:BEFORE|AFTER)\([^)]*\)\s*)?(\{[^}]*\})?\s*;")
+
+LOCK_RANK_ENTRY = re.compile(r"^\s*k(\w+)\s*=\s*(\d+),")
 
 FIELD_DECL = re.compile(
     r"^\s*(?:mutable\s+)?(?P<type>[A-Za-z_][\w:<>,\s\*&]*?)\s+"
@@ -170,7 +192,7 @@ class Linter:
         for path in sorted((self.root / "src").rglob("*")):
             if path.suffix not in (".h", ".cc"):
                 continue
-            if path.name == "thread_annotations.h":
+            if path.name in RAW_SYNC_ALLOWLIST:
                 continue
             for i, line in enumerate(path.read_text().splitlines(), 1):
                 m = RAW_SYNC.search(line)
@@ -179,6 +201,68 @@ class Linter:
                               f"raw std::{m.group(1)} (use the annotated "
                               "common:: wrappers)")
 
+    # --- lock ranks ---------------------------------------------------------
+    def check_lock_ranks(self):
+        """Every Mutex/SharedMutex construction in src/ must name its
+        LockRank inline, or carry a `LOCK-RANK:` comment pointing at the
+        constructor that injects it."""
+        for path in sorted((self.root / "src").rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            if path.name in ("thread_annotations.h", "lock_rank.h",
+                             "deadlock_detector.h", "deadlock_detector.cc"):
+                continue
+            text = path.read_text()
+            for m in MUTEX_DECL.finditer(text):
+                init = m.group(2) or ""
+                if "LockRank" in init:
+                    continue
+                line_no = text.count("\n", 0, m.start()) + 1
+                decl_line = text.splitlines()[line_no - 1]
+                if "LOCK-RANK:" in decl_line:
+                    continue  # rank injected via constructor parameter
+                self.fail(
+                    "LOCK-RANK", f"{self.rel(path)}:{line_no}",
+                    f"mutex '{m.group(1)}' constructed without a LockRank "
+                    "(brace-initialize with common::LockRank::k..., or add "
+                    "a `LOCK-RANK:` comment naming the injecting ctor)")
+
+        # README rank table <-> enum lockstep.
+        enum = {}
+        for line in (self.root / "src/common/lock_rank.h").read_text() \
+                .splitlines():
+            m = LOCK_RANK_ENTRY.match(line)
+            if m:
+                enum["k" + m.group(1)] = int(m.group(2))
+        table = {}
+        in_table = False
+        for line in (self.root / "README.md").read_text().splitlines():
+            if line.strip().startswith("| Rank") and "`" not in line:
+                in_table = True
+                continue
+            if in_table:
+                m = re.match(r"\|\s*`(k\w+)`\s*\|\s*(\d+)\s*\|", line)
+                if m:
+                    table[m.group(1)] = int(m.group(2))
+                elif line.strip().startswith("|--") or \
+                        line.strip().startswith("| --"):
+                    continue
+                else:
+                    in_table = False
+        for name in sorted(set(enum) - set(table)):
+            self.fail("RANK-README", "README.md",
+                      f"rank '{name}' is in lock_rank.h but missing from "
+                      "the README rank table")
+        for name in sorted(set(table) - set(enum)):
+            self.fail("RANK-README", "README.md",
+                      f"rank '{name}' is in the README rank table but not "
+                      "in lock_rank.h")
+        for name in sorted(set(enum) & set(table)):
+            if enum[name] != table[name]:
+                self.fail("RANK-README", "README.md",
+                          f"rank '{name}' is {enum[name]} in lock_rank.h "
+                          f"but {table[name]} in the README table")
+
     # --- GUARDED_BY coverage -------------------------------------------------
     def check_guarded_by(self):
         """In any class body that declares a `common::Mutex ...mutex...`,
@@ -186,7 +270,8 @@ class Linter:
         inherently synchronized, const, or carry a comment on its
         declaration (the declared opt-out for single-writer fields)."""
         decl = re.compile(
-            r"(?:mutable\s+)?(?:common::)?(?:Shared)?Mutex\s+(\w*mutex\w*)\s*;")
+            r"(?:mutable\s+)?(?:common::)?(?:Shared)?Mutex\s+(\w*mutex\w*)\s*"
+            r"(?:\{[^}]*\})?\s*;")
         for path in sorted((self.root / "src").rglob("*.h")):
             if path.name == "thread_annotations.h":
                 continue
@@ -265,6 +350,7 @@ def main():
     linter.check_pragma_once()
     linter.check_sleeps()
     linter.check_raw_mutexes()
+    linter.check_lock_ranks()
     linter.check_guarded_by()
 
     if linter.findings:
