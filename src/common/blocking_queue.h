@@ -19,7 +19,7 @@ class BlockingQueue {
  public:
   /// `rank` names the queue's position in the lock hierarchy
   /// (common/lock_rank.h). Embedding classes pass the rank of the seam
-  /// the queue sits on (kTaskQueue, kTweetChannel, ...); free-standing
+  /// the queue sits on (kTweetChannel, kStormQueue, ...); free-standing
   /// queues default to kBlockingQueue.
   explicit BlockingQueue(size_t capacity = SIZE_MAX,
                          LockRank rank = LockRank::kBlockingQueue)

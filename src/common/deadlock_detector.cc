@@ -8,6 +8,7 @@ namespace common {
 
 const char* LockRankName(LockRank rank) {
   switch (rank) {
+    case LockRank::kQueueParking: return "kQueueParking";
     case LockRank::kLogging: return "kLogging";
     case LockRank::kMetricsRegistry: return "kMetricsRegistry";
     case LockRank::kFailPointRegistry: return "kFailPointRegistry";
@@ -23,7 +24,6 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kDatasetIndexes: return "kDatasetIndexes";
     case LockRank::kStorageManager: return "kStorageManager";
     case LockRank::kDatasetCatalog: return "kDatasetCatalog";
-    case LockRank::kTaskQueue: return "kTaskQueue";
     case LockRank::kCollectSink: return "kCollectSink";
     case LockRank::kNodeController: return "kNodeController";
     case LockRank::kClusterController: return "kClusterController";

@@ -40,6 +40,9 @@ namespace common {
 
 enum class LockRank : uint16_t {
   // ---- common (0-99): leaves, safe to take while holding anything ----
+  kQueueParking = 5,       // EventCount parking lot under the lock-free
+                           // rings (mpmc_queue.h) — the lowest rank:
+                           // nothing is ever acquired under it
   kLogging = 10,           // logging.cc g_mutex (log-file swap)
   kMetricsRegistry = 20,   // MetricsRegistry metric maps (GetCounter/...)
   kFailPointRegistry = 30, // FailPointRegistry armed-site map
@@ -63,7 +66,9 @@ enum class LockRank : uint16_t {
   kDatasetCatalog = 260,   // cluster-wide dataset metadata
 
   // ---- hyracks (300-399) ----
-  kTaskQueue = 310,        // task input queue (back-pressure seam)
+  // (310 was kTaskQueue, the task input queue's BlockingQueue mutex —
+  // retired when the pump moved to the rank-exempt lock-free ring in
+  // common/mpmc_queue.h.)
   kCollectSink = 320,      // CollectSinkOperator shared vector
   kNodeController = 330,   // node services + task roster
   kClusterController = 340,// cluster node/job/listener maps

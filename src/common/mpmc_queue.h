@@ -1,0 +1,597 @@
+// Lock-free data plane: bounded MPMC frame rings for the hot hand-off
+// paths (task pump, joint -> subscriber), plus the parking layer that
+// lets consumers block when idle instead of spinning.
+//
+// Three components:
+//
+//   * EventCount — a Dekker-style wait/notify gate (condvar fallback of a
+//     futex eventcount). Waiters announce themselves with a sequenced
+//     epoch read; notifiers bump the epoch and only touch the condvar
+//     when a waiter is registered, so the notify fast path with no waiter
+//     is one seq_cst load. This is the ONLY place the data plane takes a
+//     mutex, and that mutex is the dedicated leaf rank kQueueParking:
+//     nothing is ever acquired under it, so it can be taken while holding
+//     any other lock in the system.
+//
+//   * MpmcQueue<T> — a bounded Vyukov MPMC ring. Each slot carries a
+//     sequence counter; the slot protocol (below) makes a push/pop pair a
+//     single CAS plus one release store, with no mutex on the fast path.
+//     Batch APIs (TryPushN / PopAllBounded / PopAll) match
+//     BlockingQueue's batching semantics so the pump-side "one wakeup
+//     drains everything" speedup carries over.
+//
+//   * OverwriteQueue<T> — a lossy newest-wins adapter over MpmcQueue for
+//     Discard-policy feeds and telemetry-grade streams: a full ring
+//     displaces the OLDEST element (handed back to the caller so owned
+//     resources can be released) instead of blocking the producer.
+//
+// Slot sequence protocol (the memory-ordering argument, also in
+// DESIGN.md): slot i stores seq. Initially seq = i. Invariants:
+//
+//     seq == pos          slot is FREE for the producer whose ticket is
+//                         pos (ticket = enqueue_pos_ value it CASed)
+//     seq == pos + 1      slot is FULL for the consumer whose ticket is
+//                         pos (ticket = dequeue_pos_ value it CASed)
+//     otherwise           another thread's ticket owns the slot; retry
+//                         with a fresh ticket or report empty/full
+//
+// A producer that wins the CAS on enqueue_pos_ owns slot
+// (ticket & mask) exclusively: no other producer can obtain the same
+// ticket, and consumers spin out until seq becomes ticket + 1. It
+// constructs the element, then publishes with a RELEASE store of
+// seq = ticket + 1. The consumer's ACQUIRE load of seq synchronizes
+// with that store, so the element construction happens-before the
+// consumer's read — the element itself needs no atomics. The consumer
+// frees the slot for the next lap with a release store of
+// seq = ticket + capacity. Ticket counters only move forward via CAS,
+// so every (ticket, slot) pairing is unique: ABA cannot occur within
+// 2^64 operations.
+//
+// Rank exemption: MpmcQueue/OverwriteQueue themselves carry NO LockRank —
+// there is nothing to rank; the fast path performs no acquisition the
+// deadlock detector could order. The parking mutex inside EventCount is
+// ranked kQueueParking (the lowest rank in the table) so the slow path
+// stays visible to the runtime checker. The linter's SPIN-PARK check
+// keeps raw atomic spin loops confined to this header, where every spin
+// is bounded and falls back to parking.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace asterix {
+namespace common {
+
+/// Condvar-backed eventcount: the parking/wakeup layer under the
+/// lock-free rings. Usage (the standard prepare/recheck/commit dance):
+///
+///     uint64_t epoch = ec.PrepareWait();
+///     if (condition_now_true()) { ec.CancelWait(); return; }
+///     ec.Wait(epoch);            // or ec.WaitFor(epoch, timeout)
+///
+/// Notify() is cheap when nobody waits: one seq_cst load of the waiter
+/// count. The seq_cst fence pairing between PrepareWait's fetch_add and
+/// Notify's load guarantees a notifier either sees the waiter (and takes
+/// the mutex to wake it) or the waiter's recheck sees the notifier's
+/// state change — never neither.
+class EventCount {
+ public:
+  EventCount() = default;
+  EventCount(const EventCount&) = delete;
+  EventCount& operator=(const EventCount&) = delete;
+
+  /// Registers this thread as a prospective waiter and returns the epoch
+  /// to pass to Wait(). The caller MUST then re-check its condition and
+  /// either Wait() or CancelWait().
+  uint64_t PrepareWait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  void CancelWait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  /// Parks until the epoch moves past `epoch`. Consumes the PrepareWait
+  /// registration.
+  void Wait(uint64_t epoch) {
+    MutexLock lock(mutex_);
+    while (epoch_.load(std::memory_order_acquire) == epoch) {
+      cv_.Wait(mutex_);
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Parks until the epoch moves or `timeout` elapses. Returns false on
+  /// timeout. Consumes the PrepareWait registration either way.
+  template <typename Rep, typename Period>
+  bool WaitFor(uint64_t epoch,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    bool woken = true;
+    {
+      MutexLock lock(mutex_);
+      while (epoch_.load(std::memory_order_acquire) == epoch) {
+        auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+          woken = false;
+          break;
+        }
+        (void)cv_.WaitFor(mutex_, deadline - now);
+      }
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    return woken;
+  }
+
+  /// Wakes every parked waiter (they re-check their condition). One
+  /// seq_cst load when nobody waits.
+  void NotifyAll() {
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+    {
+      MutexLock lock(mutex_);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> waiters_{0};
+  // The data plane's only mutex: a dedicated leaf rank, held for a few
+  // instructions around the epoch bump / condvar wait.
+  Mutex mutex_{LockRank::kQueueParking};
+  CondVar cv_;
+};
+
+/// Bounded lock-free MPMC ring (Vyukov). Capacity is rounded up to a
+/// power of two. Drop-in for the BlockingQueue hot-path surface:
+/// Push/TryPush/Pop/PopAll/PopAllFor/TryPopAll/Close keep the same
+/// semantics (Close lets consumers drain, then Pop returns nullopt and
+/// PopAll returns empty; Push fails after Close).
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity)
+      : mask_(RoundUpPow2(capacity) - 1), slots_(mask_ + 1) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  ~MpmcQueue() {
+    // Destroy whatever is still enqueued (no concurrent access by now).
+    T item;
+    while (TryPopInto(&item)) {
+    }
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate depth (exact when quiescent; transiently off by the
+  /// number of in-flight operations otherwise). For monitoring only.
+  size_t size() const {
+    uint64_t tail = enqueue_pos_.load(std::memory_order_relaxed);
+    uint64_t head = dequeue_pos_.load(std::memory_order_relaxed);
+    return tail > head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Non-blocking push. False when the ring is full or closed. The
+  /// by-value overload consumes `item` either way; TryPushFrom leaves
+  /// `item` intact on failure (for callers with a fallback path).
+  bool TryPush(T item) { return TryPushFrom(item); }
+
+  bool TryPushFrom(T& item) {
+    if (closed()) return false;
+    if (!TryPushQuiet(std::move(item))) return false;
+    not_empty_.NotifyAll();
+    return true;
+  }
+
+  /// Pushes as many of items[0..n) as fit, in order. Returns the number
+  /// consumed (prefix); the rest stay with the caller. One wakeup for
+  /// the whole batch.
+  ///
+  /// Bulk ticket claim: a run of free slots is *verified* first, then
+  /// claimed with a single CAS on the producer ticket — one atomic RMW
+  /// per batch instead of per item. The verify-then-claim is sound
+  /// because a slot observed free at generation `pos` can only leave
+  /// that state via a producer claiming it, which requires advancing
+  /// enqueue_pos_ past it — exactly what our CAS rules out.
+  size_t TryPushN(T* items, size_t n) {
+    if (closed()) return 0;
+    size_t pushed = 0;
+    while (pushed < n) {
+      uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+      const size_t limit = n - pushed;
+      size_t run = 0;
+      intptr_t first_dif = 0;
+      while (run < limit) {
+        uint64_t p = pos + run;
+        uint64_t seq = slots_[p & mask_].seq.load(std::memory_order_acquire);
+        intptr_t dif =
+            static_cast<intptr_t>(seq) - static_cast<intptr_t>(p);
+        if (dif != 0) {
+          if (run == 0) first_dif = dif;
+          break;
+        }
+        ++run;
+      }
+      if (run == 0) {
+        if (first_dif > 0) continue;  // stale ticket read: reload
+        break;                        // genuinely full
+      }
+      if (!enqueue_pos_.compare_exchange_strong(
+              pos, pos + run, std::memory_order_relaxed)) {
+        continue;  // another producer moved the ticket: re-verify
+      }
+      for (size_t k = 0; k < run; ++k) {
+        uint64_t p = pos + k;
+        Slot& slot = slots_[p & mask_];
+        slot.value = std::move(items[pushed + k]);
+        slot.seq.store(p + 1, std::memory_order_release);
+      }
+      pushed += run;
+    }
+    if (pushed > 0) not_empty_.NotifyAll();
+    return pushed;
+  }
+
+  /// Blocking push: parks (no spinning) until space frees up or the
+  /// queue closes. False when closed.
+  bool Push(T item) {
+    for (int spin = 0; spin < kSpinLimit; ++spin) {
+      if (closed()) return false;
+      if (TryPushQuiet(std::move(item))) {
+        not_empty_.NotifyAll();
+        return true;
+      }
+      std::this_thread::yield();  // parking fallback below (SPIN-PARK)
+    }
+    for (;;) {
+      if (closed()) return false;
+      if (TryPushQuiet(std::move(item))) {
+        not_empty_.NotifyAll();
+        return true;
+      }
+      uint64_t epoch = not_full_.PrepareWait();
+      if (closed() || !Full()) {
+        not_full_.CancelWait();
+        continue;
+      }
+      not_full_.Wait(epoch);
+    }
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    T item;
+    if (!TryPopInto(&item)) return std::nullopt;
+    not_full_.NotifyAll();
+    return item;
+  }
+
+  /// Blocking pop: drains even after Close; nullopt only when closed and
+  /// drained.
+  std::optional<T> Pop() {
+    int spin = 0;
+    for (;;) {
+      std::optional<T> item = TryPop();
+      if (item.has_value()) return item;
+      if (closed()) {
+        // Re-check: a racing producer may have published before Close.
+        item = TryPop();
+        return item;
+      }
+      if (spin < kSpinLimit) {
+        ++spin;
+        std::this_thread::yield();  // cedes the core to producers
+        continue;
+      }
+      uint64_t epoch = not_empty_.PrepareWait();
+      if (!empty() || closed()) {
+        not_empty_.CancelWait();
+        continue;
+      }
+      not_empty_.Wait(epoch);
+    }
+  }
+
+  /// Pop with a deadline; nullopt on timeout or closed-and-drained.
+  std::optional<T> PopFor(std::chrono::milliseconds timeout) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      std::optional<T> item = TryPop();
+      if (item.has_value()) return item;
+      if (closed()) return TryPop();
+      uint64_t epoch = not_empty_.PrepareWait();
+      if (!empty() || closed()) {
+        not_empty_.CancelWait();
+        continue;
+      }
+      auto now = std::chrono::steady_clock::now();
+      if (now >= deadline || !not_empty_.WaitFor(epoch, deadline - now)) {
+        return TryPop();  // last look on the way out
+      }
+    }
+  }
+
+  /// Drains up to `max` queued items without blocking. One producer-side
+  /// wakeup for the whole batch — the batched-hand-off contract the pump
+  /// loops rely on (BlockingQueue::PopAll's lock-free analogue).
+  ///
+  /// Bulk ticket claim, mirroring TryPushN: verify a run of published
+  /// slots (seq == pos+1), claim the whole run with one CAS on the
+  /// consumer ticket, then move the values out. Slots in a verified run
+  /// cannot regress — consuming one requires advancing dequeue_pos_
+  /// past it, which the CAS rules out; producers cannot reuse it until a
+  /// consumer frees it. So CAS success means exclusive ownership of the
+  /// full run: one atomic RMW per batch instead of per item.
+  std::vector<T> PopAllBounded(size_t max) {
+    std::vector<T> drained;
+    while (drained.size() < max) {
+      uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+      const size_t limit = std::min(max - drained.size(), capacity());
+      size_t run = 0;
+      intptr_t first_dif = 0;
+      while (run < limit) {
+        uint64_t p = pos + run;
+        uint64_t seq = slots_[p & mask_].seq.load(std::memory_order_acquire);
+        intptr_t dif =
+            static_cast<intptr_t>(seq) - static_cast<intptr_t>(p + 1);
+        if (dif != 0) {
+          if (run == 0) first_dif = dif;
+          break;
+        }
+        ++run;
+      }
+      if (run == 0) {
+        if (first_dif > 0) continue;  // stale ticket read: reload
+        break;                        // genuinely empty
+      }
+      if (!dequeue_pos_.compare_exchange_strong(
+              pos, pos + run, std::memory_order_relaxed)) {
+        continue;  // another consumer moved the ticket: re-verify
+      }
+      drained.reserve(drained.size() + run);
+      for (size_t k = 0; k < run; ++k) {
+        uint64_t p = pos + k;
+        Slot& slot = slots_[p & mask_];
+        drained.push_back(std::move(slot.value));
+        slot.value = T{};  // drop payload refs eagerly (frames are counted)
+        slot.seq.store(p + mask_ + 1, std::memory_order_release);
+      }
+      if (run < limit) break;  // partial run: nothing more published yet
+    }
+    if (!drained.empty()) not_full_.NotifyAll();
+    return drained;
+  }
+
+  /// Non-blocking full drain.
+  std::vector<T> TryPopAll() { return PopAllBounded(SIZE_MAX); }
+
+  /// Blocks until at least one item is available (or closed), then
+  /// drains everything queued. Empty only when closed and drained.
+  std::vector<T> PopAll() {
+    int spin = 0;
+    for (;;) {
+      std::vector<T> drained = TryPopAll();
+      if (!drained.empty()) return drained;
+      if (closed()) return TryPopAll();
+      if (spin < kSpinLimit) {
+        ++spin;
+        std::this_thread::yield();  // cedes the core to producers
+        continue;
+      }
+      uint64_t epoch = not_empty_.PrepareWait();
+      if (!empty() || closed()) {
+        not_empty_.CancelWait();
+        continue;
+      }
+      not_empty_.Wait(epoch);
+    }
+  }
+
+  /// PopAll with a deadline; empty on timeout or closed-and-drained.
+  std::vector<T> PopAllFor(std::chrono::milliseconds timeout) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      std::vector<T> drained = TryPopAll();
+      if (!drained.empty()) return drained;
+      if (closed()) return TryPopAll();
+      uint64_t epoch = not_empty_.PrepareWait();
+      if (!empty() || closed()) {
+        not_empty_.CancelWait();
+        continue;
+      }
+      auto now = std::chrono::steady_clock::now();
+      if (now >= deadline || !not_empty_.WaitFor(epoch, deadline - now)) {
+        return TryPopAll();
+      }
+    }
+  }
+
+  /// Closes the queue: Pushes fail, consumers drain then see empty.
+  /// Idempotent.
+  void Close() {
+    closed_.store(true, std::memory_order_release);
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  // On a single hardware thread spinning only burns the timeslice, so
+  // the spin budget is deliberately tiny; parking does the real waiting.
+  // Under TSan every instruction is ~10-20x slower and the scheduler is
+  // already oversubscribed, so even a short yield loop can starve
+  // unrelated timing-sensitive threads (heartbeats) — park immediately.
+#if defined(__SANITIZE_THREAD__)
+  static constexpr int kSpinLimit = 0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  static constexpr int kSpinLimit = 0;
+#else
+  static constexpr int kSpinLimit = 16;
+#endif
+#else
+  static constexpr int kSpinLimit = 16;
+#endif
+
+  static size_t RoundUpPow2(size_t v) {
+    size_t p = 2;  // capacity 1 would make `full` and `empty` coincide
+    while (p < v && p < (size_t{1} << 62)) p <<= 1;
+    return p;
+  }
+
+  bool Full() const { return size() >= capacity(); }
+
+  /// TryPush without the wakeup (batch paths notify once). Moves from
+  /// `item` only on success.
+  bool TryPushQuiet(T&& item) {
+    Slot* slot;
+    uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      uint64_t seq = slot->seq.load(std::memory_order_acquire);
+      intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(
+                pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(item);
+    slot->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Core consumer step; no wakeup (callers batch their notifies).
+  bool TryPopInto(T* out) {
+    Slot* slot;
+    uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      uint64_t seq = slot->seq.load(std::memory_order_acquire);
+      intptr_t dif = static_cast<intptr_t>(seq) -
+                     static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(
+                pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // slot not yet published: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(slot->value);
+    slot->value = T{};  // drop payload refs eagerly (frames are counted)
+    slot->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  const uint64_t mask_;
+  std::vector<Slot> slots_;
+  // Producer and consumer tickets. Kept apart from the slots so false
+  // sharing between the two sides stays off the slot array.
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+  alignas(64) std::atomic<bool> closed_{false};
+  EventCount not_empty_;
+  EventCount not_full_;
+};
+
+/// Lossy newest-wins ring over MpmcQueue: a full ring displaces the
+/// OLDEST queued element instead of rejecting the newest or blocking the
+/// producer. For Discard-policy feeds and monitoring streams where a
+/// stalled consumer must never wedge the producer and the freshest data
+/// is the valuable data.
+template <typename T>
+class OverwriteQueue {
+ public:
+  explicit OverwriteQueue(size_t capacity) : ring_(capacity) {}
+
+  size_t capacity() const { return ring_.capacity(); }
+  size_t size() const { return ring_.size(); }
+  bool closed() const { return ring_.closed(); }
+
+  /// Number of elements displaced by Push since construction.
+  int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Never blocks and never fails while open: displaces the oldest
+  /// element when full. If `displaced` is non-null the first victim is
+  /// moved into it so the caller can release owned resources. Returns
+  /// false only when the queue is closed (the item is dropped).
+  bool Push(T item, std::optional<T>* displaced = nullptr) {
+    if (displaced != nullptr) displaced->reset();
+    for (;;) {
+      if (ring_.closed()) return false;
+      if (ring_.TryPushFrom(item)) return true;
+      std::optional<T> victim = ring_.TryPop();
+      if (victim.has_value()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (displaced != nullptr && !displaced->has_value()) {
+          *displaced = std::move(victim);
+        }
+        // Else: victim destroyed here; the caller did not want it.
+      }
+      // Retry: between our pop and push another producer may have taken
+      // the freed slot; the loop converges because each lap either
+      // pushes or displaces.
+    }
+  }
+
+  /// Plain bounded push (no displacement): false when full or closed.
+  /// Callers that want lossless-until-full behaviour with their own
+  /// overflow handling (the subscriber queue's non-Discard modes) use
+  /// these; Discard-mode callers use Push. TryPushFrom leaves `item`
+  /// intact on failure.
+  bool TryPush(T item) { return ring_.TryPushFrom(item); }
+  bool TryPushFrom(T& item) { return ring_.TryPushFrom(item); }
+
+  bool empty() const { return ring_.empty(); }
+
+  std::optional<T> TryPop() { return ring_.TryPop(); }
+  std::optional<T> PopFor(std::chrono::milliseconds timeout) {
+    return ring_.PopFor(timeout);
+  }
+  std::vector<T> PopAllBounded(size_t max) {
+    return ring_.PopAllBounded(max);
+  }
+  std::vector<T> TryPopAll() { return ring_.TryPopAll(); }
+  void Close() { ring_.Close(); }
+
+ private:
+  MpmcQueue<T> ring_;
+  std::atomic<int64_t> dropped_{0};
+};
+
+}  // namespace common
+}  // namespace asterix

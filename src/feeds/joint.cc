@@ -14,17 +14,26 @@ namespace feeds {
 using common::Status;
 using hyracks::FramePtr;
 
+std::shared_ptr<FeedJoint::Routes> FeedJoint::CloneRoutes() const {
+  return std::make_shared<Routes>(
+      *routes_.load(std::memory_order_acquire));
+}
+
 void FeedJoint::SetPrimary(std::shared_ptr<hyracks::IFrameWriter> primary) {
   common::MutexLock lock(mutex_);
-  primary_ = std::move(primary);
+  auto next = CloneRoutes();
+  next->primary = std::move(primary);
+  routes_.store(std::move(next), std::memory_order_release);
 }
 
 void FeedJoint::DetachPrimary() {
   std::shared_ptr<hyracks::IFrameWriter> primary;
   {
     common::MutexLock lock(mutex_);
-    primary = std::move(primary_);
-    primary_.reset();
+    auto next = CloneRoutes();
+    primary = std::move(next->primary);
+    next->primary = nullptr;
+    routes_.store(std::move(next), std::memory_order_release);
   }
   if (primary != nullptr) {
     Status close_status = primary->Close();
@@ -41,31 +50,38 @@ void FeedJoint::DetachPrimary() {
 std::shared_ptr<SubscriberQueue> FeedJoint::Subscribe(
     SubscriberOptions options) {
   auto queue = std::make_shared<SubscriberQueue>(std::move(options));
+  // Keepalive: the queue may hold bucket entries past this joint's
+  // lifetime, and its destructor returns them to the pool.
+  queue->AttachPool(pool_);
   common::MutexLock lock(mutex_);
-  if (closed_) {
+  auto next = CloneRoutes();
+  if (next->closed) {
     queue->DeliverEnd();
     return queue;
   }
-  subscribers_.push_back(queue);
+  next->subscribers.push_back(queue);
+  routes_.store(std::move(next), std::memory_order_release);
   return queue;
 }
 
 void FeedJoint::Unsubscribe(const std::shared_ptr<SubscriberQueue>& queue) {
   common::MutexLock lock(mutex_);
-  subscribers_.erase(
-      std::remove(subscribers_.begin(), subscribers_.end(), queue),
-      subscribers_.end());
+  auto next = CloneRoutes();
+  next->subscribers.erase(std::remove(next->subscribers.begin(),
+                                      next->subscribers.end(), queue),
+                          next->subscribers.end());
+  routes_.store(std::move(next), std::memory_order_release);
 }
 
 FeedJoint::Mode FeedJoint::mode() const {
-  common::MutexLock lock(mutex_);
-  if (subscribers_.empty()) return Mode::kInactive;
-  return subscribers_.size() == 1 ? Mode::kShortCircuit : Mode::kShared;
+  auto routes = routes_.load(std::memory_order_acquire);
+  if (routes->subscribers.empty()) return Mode::kInactive;
+  return routes->subscribers.size() == 1 ? Mode::kShortCircuit
+                                         : Mode::kShared;
 }
 
 size_t FeedJoint::subscriber_count() const {
-  common::MutexLock lock(mutex_);
-  return subscribers_.size();
+  return routes_.load(std::memory_order_acquire)->subscribers.size();
 }
 
 Status FeedJoint::NextFrame(const FramePtr& frame) {
@@ -74,24 +90,22 @@ Status FeedJoint::NextFrame(const FramePtr& frame) {
   ASTERIX_FAILPOINT("feeds.joint.route");
   const hyracks::TraceContext tc = frame->trace();
   const int64_t route_start_us = tc.sampled() ? common::NowMicros() : 0;
-  // Snapshot recipients under the lock, deliver outside it: a slow
-  // primary must not block subscriber registration, and vice versa.
-  std::shared_ptr<hyracks::IFrameWriter> primary;
-  std::vector<std::shared_ptr<SubscriberQueue>> subscribers;
-  {
-    common::MutexLock lock(mutex_);
-    primary = primary_;
-    subscribers = subscribers_;
-    ++frames_routed_;
-  }
+  // One atomic snapshot load; the shared_ptr keeps the recipient list
+  // (and every queue on it) alive for the duration of the fan-out even
+  // if an Unsubscribe publishes a new snapshot mid-delivery. No lock is
+  // taken and no per-frame copy of the subscriber list is made.
+  std::shared_ptr<const Routes> routes =
+      routes_.load(std::memory_order_acquire);
+  frames_routed_.fetch_add(1, std::memory_order_relaxed);
+  const auto& subscribers = routes->subscribers;
   if (subscribers.size() == 1) {
     // Short-circuited mode: no Data Bucket bookkeeping.
     subscribers[0]->Deliver(frame, nullptr);
   } else if (subscribers.size() > 1) {
     // Shared mode: one bucket per frame, shared by all subscribers.
     DataBucket* bucket =
-        pool_.Get(frame, static_cast<int>(subscribers.size()));
-    for (auto& subscriber : subscribers) {
+        pool_->Get(frame, static_cast<int>(subscribers.size()));
+    for (const auto& subscriber : subscribers) {
       subscriber->Deliver(frame, bucket);
     }
   }
@@ -109,49 +123,43 @@ Status FeedJoint::NextFrame(const FramePtr& frame) {
     span.detail = true;
     Tracer::Instance().RecordSpan(std::move(span));
   }
-  if (primary != nullptr) {
+  if (routes->primary != nullptr) {
     // In-job forwarding last: it may block under this pipeline's own
     // back-pressure without delaying subscribers.
-    return primary->NextFrame(frame);
+    return routes->primary->NextFrame(frame);
   }
   return Status::OK();
 }
 
 void FeedJoint::Fail() {
-  std::shared_ptr<hyracks::IFrameWriter> primary;
-  std::vector<std::shared_ptr<SubscriberQueue>> subscribers;
+  std::shared_ptr<const Routes> last;
   {
     common::MutexLock lock(mutex_);
-    closed_ = true;
-    primary = primary_;
-    subscribers = subscribers_;
+    auto next = CloneRoutes();
+    next->closed = true;
+    last = std::move(next);
+    routes_.store(last, std::memory_order_release);
   }
-  for (auto& subscriber : subscribers) subscriber->DeliverEnd();
-  if (primary != nullptr) primary->Fail();
+  for (const auto& subscriber : last->subscribers) subscriber->DeliverEnd();
+  if (last->primary != nullptr) last->primary->Fail();
 }
 
 Status FeedJoint::Close() {
-  std::shared_ptr<hyracks::IFrameWriter> primary;
-  std::vector<std::shared_ptr<SubscriberQueue>> subscribers;
+  std::shared_ptr<const Routes> last;
   {
     common::MutexLock lock(mutex_);
-    closed_ = true;
-    primary = primary_;
-    subscribers = subscribers_;
+    auto next = CloneRoutes();
+    next->closed = true;
+    last = std::move(next);
+    routes_.store(last, std::memory_order_release);
   }
-  for (auto& subscriber : subscribers) subscriber->DeliverEnd();
-  if (primary != nullptr) return primary->Close();
+  for (const auto& subscriber : last->subscribers) subscriber->DeliverEnd();
+  if (last->primary != nullptr) return last->primary->Close();
   return Status::OK();
 }
 
 bool FeedJoint::closed() const {
-  common::MutexLock lock(mutex_);
-  return closed_;
-}
-
-int64_t FeedJoint::frames_routed() const {
-  common::MutexLock lock(mutex_);
-  return frames_routed_;
+  return routes_.load(std::memory_order_acquire)->closed;
 }
 
 }  // namespace feeds

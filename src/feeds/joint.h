@@ -6,8 +6,16 @@
 // pipelines). With one subscriber it short-circuits (no bucket
 // bookkeeping); with several it shares Data Buckets, giving Guaranteed
 // Delivery and Congestion Isolation.
+//
+// Data-plane layout (lock-free rewire): the routing table (primary +
+// subscriber list + closed flag) is an immutable snapshot behind an
+// atomic shared_ptr. The per-frame path is one atomic snapshot load —
+// no mutex, no per-frame vector copy. Membership changes (subscribe,
+// unsubscribe, detach, close) are rare control-path events: they
+// serialize on mutex_ and publish a fresh copy-on-write snapshot.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,25 +61,41 @@ class FeedJoint : public hyracks::IFrameWriter {
   [[nodiscard]] common::Status Close() override;
 
   bool closed() const;
-  int64_t frames_routed() const;
-  const DataBucketPool& bucket_pool() const { return pool_; }
+  int64_t frames_routed() const {
+    return frames_routed_.load(std::memory_order_relaxed);
+  }
+  const DataBucketPool& bucket_pool() const { return *pool_; }
 
  private:
+  /// One immutable routing snapshot. Never mutated after publication;
+  /// readers hold it alive via shared_ptr while delivering.
+  struct Routes {
+    std::shared_ptr<hyracks::IFrameWriter> primary;
+    std::vector<std::shared_ptr<SubscriberQueue>> subscribers;
+    bool closed = false;
+  };
+
+  /// Copies the current snapshot for a writer to edit. Caller publishes
+  /// the result with a release store to routes_.
+  std::shared_ptr<Routes> CloneRoutes() const REQUIRES(mutex_);
+
   const std::string id_;
+  // Serializes snapshot *writers* only; the frame path never takes it.
   mutable common::Mutex mutex_{common::LockRank::kFeedJoint};
-  // pool_ must be declared before subscribers_: queue entries hold
-  // DataBucket* into the pool, and ~SubscriberQueue (run when
-  // subscribers_ drops the last reference) consumes them. The pool is
-  // internally synchronized and is used outside mutex_ on the routing
-  // path, so it is deliberately not GUARDED_BY.
-  DataBucketPool pool_;
-  std::shared_ptr<hyracks::IFrameWriter> primary_ GUARDED_BY(mutex_);
-  std::vector<std::shared_ptr<SubscriberQueue>> subscribers_
-      GUARDED_BY(mutex_);
-  bool closed_ GUARDED_BY(mutex_) = false;
-  int64_t frames_routed_ GUARDED_BY(mutex_) = 0;
+  // The pool is shared: every SubscriberQueue holds a keepalive
+  // reference (attached in Subscribe), because queue entries hold
+  // DataBucket* into the pool and a queue can outlive the joint (e.g.
+  // ConnectionMetrics keeps queues for reporting). ~SubscriberQueue
+  // consumes leftover buckets, which must land in a live pool. The pool
+  // is internally synchronized and is used outside mutex_ on the
+  // routing path, so it is deliberately not GUARDED_BY.
+  std::shared_ptr<DataBucketPool> pool_ = std::make_shared<DataBucketPool>();
+  // Self-synchronized: readers load (acquire), writers store (release)
+  // under mutex_. Not GUARDED_BY — the hot path is lock-free.
+  std::atomic<std::shared_ptr<const Routes>> routes_{
+      std::make_shared<const Routes>()};
+  std::atomic<int64_t> frames_routed_{0};
 };
 
 }  // namespace feeds
 }  // namespace asterix
-

@@ -1,6 +1,7 @@
 #include "feeds/subscriber.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "adm/parser.h"
@@ -54,17 +55,23 @@ void DataBucketPool::Return(DataBucket* bucket) {
 }
 
 SubscriberQueue::SubscriberQueue(SubscriberOptions options, uint64_t seed)
-    : options_(std::move(options)), rng_(seed) {
+    : options_(std::move(options)),
+      ring_(options_.ring_frames),
+      rng_(seed) {
   spill_path_ = options_.spill_dir + "/" + options_.name + "." +
                 std::to_string(common::NowMicros()) + ".spill";
 }
 
 SubscriberQueue::~SubscriberQueue() {
-  common::MutexLock lock(mutex_);
-  for (Entry& e : entries_) {
+  // No concurrent producers/consumers by now (shared_ptr ownership).
+  for (Entry& e : ring_.TryPopAll()) {
     if (e.bucket != nullptr) e.bucket->Consume();
   }
-  entries_.clear();
+  common::MutexLock lock(mutex_);
+  for (Entry& e : overflow_) {
+    if (e.bucket != nullptr) e.bucket->Consume();
+  }
+  overflow_.clear();
   if (spill_file_ != nullptr) {
     std::fclose(spill_file_);
     std::remove(spill_path_.c_str());
@@ -103,18 +110,22 @@ void SubscriberQueue::SpillLocked(const FramePtr& frame) {
   uint32_t len = static_cast<uint32_t>(payload.size());
   std::fwrite(&len, sizeof(len), 1, spill_file_);
   std::fwrite(payload.data(), 1, payload.size(), spill_file_);
-  ++spill_pending_frames_;
+  spill_pending_frames_.fetch_add(1, std::memory_order_release);
   ++stats_.frames_spilled;
   stats_.bytes_spilled += static_cast<int64_t>(payload.size());
 }
 
 bool SubscriberQueue::RestoreFromSpillLocked() {
-  if (spill_pending_frames_ == 0 || spill_file_ == nullptr) return false;
+  if (spill_pending_frames_.load(std::memory_order_relaxed) == 0 ||
+      spill_file_ == nullptr) {
+    return false;
+  }
   std::fflush(spill_file_);
   std::fseek(spill_file_, spill_read_offset_, SEEK_SET);
   // Restore a small batch per call so memory stays bounded.
   int restored = 0;
-  while (spill_pending_frames_ > 0 && restored < 8) {
+  while (spill_pending_frames_.load(std::memory_order_relaxed) > 0 &&
+         restored < 8) {
     uint32_t len = 0;
     if (std::fread(&len, sizeof(len), 1, spill_file_) != 1) break;
     std::string payload(len, '\0');
@@ -128,16 +139,19 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
       auto parsed = adm::ParseAdm(line);
       if (parsed.ok()) records.push_back(std::move(*parsed));
     }
-    --spill_pending_frames_;
+    spill_pending_frames_.fetch_sub(1, std::memory_order_release);
     ++stats_.frames_restored;
     ++restored;
     if (!records.empty()) {
-      FramePtr frame = hyracks::MakeFrame(std::move(records));
-      pending_bytes_ += static_cast<int64_t>(frame->ApproxBytes());
-      entries_.push_back({std::move(frame), nullptr});
+      Entry entry;
+      entry.frame = hyracks::MakeFrame(std::move(records));
+      pending_bytes_.fetch_add(
+          static_cast<int64_t>(entry.frame->ApproxBytes()),
+          std::memory_order_relaxed);
+      EnqueueEntryLocked(std::move(entry));
     }
   }
-  if (spill_pending_frames_ == 0) {
+  if (spill_pending_frames_.load(std::memory_order_relaxed) == 0) {
     // Fully drained: reclaim the file so a later burst starts fresh.
     std::fclose(spill_file_);
     std::remove(spill_path_.c_str());
@@ -145,6 +159,57 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
     spill_read_offset_ = 0;
   }
   return restored > 0;
+}
+
+void SubscriberQueue::RetireEntry(const Entry& entry) {
+  pending_bytes_.fetch_sub(static_cast<int64_t>(entry.frame->ApproxBytes()),
+                           std::memory_order_relaxed);
+  if (entry.bucket != nullptr) entry.bucket->Consume();
+}
+
+void SubscriberQueue::EnqueueEntryLocked(Entry entry) {
+  if (options_.mode == ExcessMode::kDiscard) {
+    // Newest-wins ring: a full ring displaces the OLDEST queued frame
+    // (the paper's Discard policy values fresh data; the byte-budget
+    // hysteresis in DeliverLocked is the primary drop mechanism, this is
+    // the bounded-ring backstop). The displaced frame's records count as
+    // discarded even though they were once counted delivered.
+    std::optional<Entry> displaced;
+    ring_.Push(std::move(entry), &displaced);
+    if (displaced.has_value()) {
+      stats_.records_discarded +=
+          static_cast<int64_t>(displaced->frame->record_count());
+      RetireEntry(*displaced);
+    }
+    return;
+  }
+  // Lossless modes: ring first; a full ring (or an already-backed-up
+  // overflow, to preserve FIFO) defers to the mutexed overflow deque.
+  if (overflow_count_.load(std::memory_order_relaxed) == 0 &&
+      ring_.TryPushFrom(entry)) {
+    return;
+  }
+  ++stats_.frames_overflowed;
+  overflow_.push_back(std::move(entry));
+  overflow_count_.fetch_add(1, std::memory_order_release);
+}
+
+bool SubscriberQueue::ReplenishRingLocked() {
+  bool moved = false;
+  // Overflowed entries are older than anything spilled after them; the
+  // producer never pushes to the ring while overflow_count_ > 0, so
+  // migrating front-to-back preserves FIFO.
+  while (!overflow_.empty()) {
+    if (!ring_.TryPushFrom(overflow_.front())) break;
+    overflow_.pop_front();
+    overflow_count_.fetch_sub(1, std::memory_order_release);
+    moved = true;
+  }
+  if (overflow_.empty() && ring_.empty() &&
+      spill_pending_frames_.load(std::memory_order_relaxed) > 0) {
+    moved = RestoreFromSpillLocked() || moved;
+  }
+  return moved;
 }
 
 void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
@@ -167,6 +232,9 @@ void SubscriberQueue::Deliver(FramePtr frame, DataBucket* bucket) {
     common::MutexLock lock(mutex_);
     DeliverLocked(std::move(frame), bucket, traced ? &span : nullptr);
   }
+  // Wake parked consumers after unlocking (one atomic load when nobody
+  // waits). Covers data arrival AND the failure transitions below.
+  ready_.NotifyAll();
   // Recorded after unlocking: RecordSpan takes the tracer (and possibly
   // registry) mutex, which a Snapshot() provider holds around this
   // queue's mutex.
@@ -187,19 +255,23 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
       span->detail = true;  // terminal drop spans don't tile the path
     }
   };
-  if (ended_) {
+  if (ended_.load(std::memory_order_relaxed)) {
     consume();
     outcome("discarded", "ended");
     return;
   }
   int64_t frame_bytes = static_cast<int64_t>(frame->ApproxBytes());
   bool over_budget =
-      pending_bytes_ + frame_bytes > options_.memory_budget_bytes;
+      pending_bytes_.load(std::memory_order_relaxed) + frame_bytes >
+      options_.memory_budget_bytes;
 
   auto append = [&](FramePtr f, DataBucket* b) {
-    pending_bytes_ += static_cast<int64_t>(f->ApproxBytes());
+    int64_t now_pending =
+        pending_bytes_.fetch_add(static_cast<int64_t>(f->ApproxBytes()),
+                                 std::memory_order_relaxed) +
+        static_cast<int64_t>(f->ApproxBytes());
     stats_.peak_pending_bytes =
-        std::max(stats_.peak_pending_bytes, pending_bytes_);
+        std::max(stats_.peak_pending_bytes, now_pending);
     ++stats_.frames_delivered;
     stats_.records_delivered += static_cast<int64_t>(f->record_count());
     if (span != nullptr) {
@@ -212,8 +284,7 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
     entry.frame = std::move(f);
     entry.bucket = b;
     if (span != nullptr) entry.deliver_us = common::NowMicros();
-    entries_.push_back(std::move(entry));
-    not_empty_.NotifyOne();
+    EnqueueEntryLocked(std::move(entry));
   };
 
   if (throttling_) {
@@ -241,14 +312,14 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
             std::to_string(options_.memory_budget_bytes) + " bytes)");
         consume();
         outcome("discarded", "error");
-        not_empty_.NotifyAll();
         return;
       }
       append(std::move(frame), bucket);
       return;
     }
     case ExcessMode::kSpill: {
-      if (over_budget || spill_pending_frames_ > 0) {
+      if (over_budget ||
+          spill_pending_frames_.load(std::memory_order_relaxed) > 0) {
         if (stats_.bytes_spilled >= options_.max_spill_bytes) {
           if (options_.throttle_after_spill) {
             throttling_ = true;
@@ -267,7 +338,6 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
                 "feed '" + options_.name + "' exhausted its spill budget");
             consume();
             outcome("discarded", "error");
-            not_empty_.NotifyAll();
           }
           return;
         }
@@ -276,7 +346,6 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
         // The spill file stores raw records; the trace does not survive
         // the round-trip, so this span is the trace's terminal.
         outcome("spilled", "spilled");
-        not_empty_.NotifyOne();
         return;
       }
       append(std::move(frame), bucket);
@@ -286,7 +355,9 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
       // Hysteresis per §4.5: once the budget is hit, excess records are
       // discarded ALTOGETHER until the existing backlog clears — the
       // "periods of discontinuity" of Figure 7.9.
-      if (discarding_ && pending_bytes_ <= options_.memory_budget_bytes / 4) {
+      if (discarding_ &&
+          pending_bytes_.load(std::memory_order_relaxed) <=
+              options_.memory_budget_bytes / 4) {
         discarding_ = false;
       }
       if (over_budget) discarding_ = true;
@@ -303,8 +374,9 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
     case ExcessMode::kThrottle: {
       // Adaptive sampling: the fuller the queue, the lower the keep
       // probability, regulating the effective arrival rate.
-      double keep = ThrottleKeepProbability(pending_bytes_, frame_bytes,
-                                            options_.memory_budget_bytes);
+      double keep = ThrottleKeepProbability(
+          pending_bytes_.load(std::memory_order_relaxed), frame_bytes,
+          options_.memory_budget_bytes);
       if (keep < 1.0) {
         FramePtr sampled = SampleFrame(frame, keep);
         consume();
@@ -322,14 +394,18 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
 }
 
 void SubscriberQueue::DeliverEnd() {
-  common::MutexLock lock(mutex_);
-  ended_ = true;
-  not_empty_.NotifyAll();
+  {
+    // Serialized with in-flight Delivers so "ended" cleanly partitions
+    // the delivery order (frames after the end marker are dropped).
+    common::MutexLock lock(mutex_);
+    ended_.store(true, std::memory_order_release);
+  }
+  ready_.NotifyAll();
 }
 
 void SubscriberQueue::RecordQueueSpan(const Entry& entry,
                                       int64_t pop_us) const {
-  // Called after mutex_ is released. The "queue" primary span covers the
+  // Called with no lock held. The "queue" primary span covers the
   // frame's residency in this subscriber queue.
   TraceSpan span;
   span.trace_id = entry.frame->trace().id;
@@ -342,70 +418,74 @@ void SubscriberQueue::RecordQueueSpan(const Entry& entry,
 }
 
 std::optional<FramePtr> SubscriberQueue::Next(int64_t timeout_ms) {
-  Entry entry;
-  {
-    common::MutexLock lock(mutex_);
-    bool ready = not_empty_.WaitFor(
-        mutex_, std::chrono::milliseconds(timeout_ms),
-        [this]() REQUIRES(mutex_) {
-          return !entries_.empty() || spill_pending_frames_ > 0 || ended_ ||
-                 failed_.load();
-        });
-    if (!ready) return std::nullopt;
-    if (entries_.empty() && spill_pending_frames_ > 0) {
-      RestoreFromSpillLocked();
-    }
-    if (entries_.empty()) return std::nullopt;  // ended or failed
-    entry = std::move(entries_.front());
-    entries_.pop_front();
-    pending_bytes_ -= static_cast<int64_t>(entry.frame->ApproxBytes());
-    if (entry.bucket != nullptr) entry.bucket->Consume();
-  }
-  // Span recording stays outside the lock: the tracer mutex must never
-  // nest inside a queue mutex (see Deliver()).
-  if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
-    RecordQueueSpan(entry, common::NowMicros());
-  }
-  return entry.frame;
+  std::vector<FramePtr> batch = NextBatch(timeout_ms, 1);
+  if (batch.empty()) return std::nullopt;
+  return std::move(batch.front());
 }
 
 std::vector<FramePtr> SubscriberQueue::NextBatch(int64_t timeout_ms,
                                                  size_t max_frames) {
-  std::vector<FramePtr> batch;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   std::vector<Entry> popped;
-  {
-    common::MutexLock lock(mutex_);
-    bool ready = not_empty_.WaitFor(
-        mutex_, std::chrono::milliseconds(timeout_ms),
-        [this]() REQUIRES(mutex_) {
-          return !entries_.empty() || spill_pending_frames_ > 0 || ended_ ||
-                 failed_.load();
-        });
-    if (!ready) return batch;
-    if (entries_.empty() && spill_pending_frames_ > 0) {
-      RestoreFromSpillLocked();
+  for (;;) {
+    // Fast path: drain straight off the ring, no lock.
+    popped = ring_.PopAllBounded(max_frames);
+    if (!popped.empty()) break;
+    // Rare paths hold data the ring does not: overflowed entries and
+    // spilled frames. Migrate under the mutex, then re-poll.
+    if (overflow_count_.load(std::memory_order_acquire) > 0 ||
+        spill_pending_frames_.load(std::memory_order_acquire) > 0) {
+      common::MutexLock lock(mutex_);
+      ReplenishRingLocked();
+      continue;
     }
-    while (!entries_.empty() && batch.size() < max_frames) {
-      Entry entry = std::move(entries_.front());
-      entries_.pop_front();
-      pending_bytes_ -= static_cast<int64_t>(entry.frame->ApproxBytes());
-      if (entry.bucket != nullptr) entry.bucket->Consume();
-      batch.push_back(entry.frame);
-      if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
-        popped.push_back(std::move(entry));
-      }
+    if (ended_.load(std::memory_order_acquire) || failed_.load()) {
+      return {};  // terminal and drained
+    }
+    // Park until a producer signals (delivery/end/failure) or timeout.
+    uint64_t epoch = ready_.PrepareWait();
+    if (!ring_.empty() ||
+        overflow_count_.load(std::memory_order_acquire) > 0 ||
+        spill_pending_frames_.load(std::memory_order_acquire) > 0 ||
+        ended_.load(std::memory_order_acquire) || failed_.load()) {
+      ready_.CancelWait();
+      continue;
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      ready_.CancelWait();
+      return {};
+    }
+    if (!ready_.WaitFor(epoch, deadline - now)) {
+      // Timed out: one last look so a racing delivery is not stranded
+      // until the caller's next poll.
+      popped = ring_.PopAllBounded(max_frames);
+      break;
     }
   }
-  if (!popped.empty()) {
+  std::vector<FramePtr> batch;
+  batch.reserve(popped.size());
+  std::vector<const Entry*> traced;
+  for (Entry& entry : popped) {
+    RetireEntry(entry);
+    if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
+      traced.push_back(&entry);
+    }
+    batch.push_back(entry.frame);
+  }
+  if (!traced.empty()) {
+    // Span recording happens with no queue lock held (see Deliver()).
     int64_t pop_us = common::NowMicros();
-    for (const Entry& entry : popped) RecordQueueSpan(entry, pop_us);
+    for (const Entry* entry : traced) RecordQueueSpan(*entry, pop_us);
   }
   return batch;
 }
 
 bool SubscriberQueue::ended() const {
-  common::MutexLock lock(mutex_);
-  return ended_ && entries_.empty() && spill_pending_frames_ == 0;
+  return ended_.load(std::memory_order_acquire) && ring_.empty() &&
+         overflow_count_.load(std::memory_order_acquire) == 0 &&
+         spill_pending_frames_.load(std::memory_order_acquire) == 0;
 }
 
 common::Status SubscriberQueue::failure() const {
@@ -418,14 +498,12 @@ SubscriberStats SubscriberQueue::stats() const {
   return stats_;
 }
 
-int64_t SubscriberQueue::pending_bytes() const {
-  common::MutexLock lock(mutex_);
-  return pending_bytes_;
-}
-
 size_t SubscriberQueue::pending_frames() const {
-  common::MutexLock lock(mutex_);
-  return entries_.size() + static_cast<size_t>(spill_pending_frames_);
+  return ring_.size() +
+         static_cast<size_t>(
+             overflow_count_.load(std::memory_order_acquire)) +
+         static_cast<size_t>(
+             spill_pending_frames_.load(std::memory_order_acquire));
 }
 
 }  // namespace feeds

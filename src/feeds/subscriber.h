@@ -3,6 +3,16 @@
 // keep pace, and therefore where the ingestion policy's excess-record
 // handling (Table 4.2) is enforced: block/buffer (Basic), spill to disk
 // (Spill), drop (Discard), or sample (Throttle/Elastic-interim).
+//
+// Data-plane layout (lock-free rewire): the frame hand-off itself rides a
+// bounded lock-free ring (common::OverwriteQueue over the Vyukov
+// MpmcQueue), so the producer (joint routing thread) and the consumer
+// (intake pump) never contend on a mutex for the hot path. The policy
+// machinery — byte budget, spill/restore, sampling, discard hysteresis,
+// stats — is a thin producer-side state layer under mutex_; that mutex is
+// only ever taken by the single producer and by consumers on the *rare*
+// paths (overflow migration, spill restore, terminal states), so the
+// per-frame cost is one ring push + one ring pop.
 #pragma once
 
 #include <atomic>
@@ -13,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mpmc_queue.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -74,6 +85,11 @@ struct SubscriberOptions {
   std::string spill_dir = "/tmp";
   /// Queue identity for spill file naming / logs.
   std::string name = "subscriber";
+  /// Capacity (frames, rounded up to a power of two) of the lock-free
+  /// hand-off ring. Purely mechanical: the byte budget above is the
+  /// policy bound; a full ring under budget falls back to the mutexed
+  /// overflow path (or, in Discard mode, newest-wins displacement).
+  size_t ring_frames = 4096;
 };
 
 struct SubscriberStats {
@@ -85,6 +101,9 @@ struct SubscriberStats {
   int64_t bytes_spilled = 0;
   int64_t frames_restored = 0;
   int64_t peak_pending_bytes = 0;
+  /// Frames that missed the lock-free ring and took the mutexed
+  /// overflow path (non-Discard modes; ring sizing diagnostic).
+  int64_t frames_overflowed = 0;
 };
 
 /// One subscriber's queue. Producer side: the feed joint Delivers frames
@@ -95,6 +114,14 @@ class SubscriberQueue {
  public:
   SubscriberQueue(SubscriberOptions options, uint64_t seed = 17);
   ~SubscriberQueue();
+
+  /// Keepalive for the bucket pool the queued DataBucket* point into.
+  /// Set once by FeedJoint::Subscribe before any delivery; guarantees
+  /// the pool outlives this queue even if the joint dies first (the
+  /// destructor returns leftover buckets to the pool).
+  void AttachPool(std::shared_ptr<DataBucketPool> pool) {
+    pool_keepalive_ = std::move(pool);
+  }
 
   /// Producer side. `bucket` is null in short-circuit mode. Never blocks
   /// the producer (congestion isolation): excess handling follows the
@@ -108,9 +135,9 @@ class SubscriberQueue {
   std::optional<hyracks::FramePtr> Next(int64_t timeout_ms);
 
   /// Consumer side, batched: waits up to `timeout_ms` for data, then
-  /// drains up to `max_frames` queued frames under one lock acquisition
-  /// (one lock op per batch instead of one per frame). Empty result on
-  /// timeout or when the queue ended/failed with nothing buffered.
+  /// drains up to `max_frames` queued frames (lock-free off the ring).
+  /// Empty result on timeout or when the queue ended/failed with nothing
+  /// buffered.
   std::vector<hyracks::FramePtr> NextBatch(int64_t timeout_ms,
                                            size_t max_frames = SIZE_MAX);
 
@@ -121,7 +148,9 @@ class SubscriberQueue {
   [[nodiscard]] common::Status failure() const;
 
   SubscriberStats stats() const;
-  int64_t pending_bytes() const;
+  int64_t pending_bytes() const {
+    return pending_bytes_.load(std::memory_order_relaxed);
+  }
   size_t pending_frames() const;
   const std::string& name() const { return options_.name; }
 
@@ -137,28 +166,54 @@ class SubscriberQueue {
   // unlocking — RecordSpan must not run under a queue mutex.
   void DeliverLocked(hyracks::FramePtr frame, DataBucket* bucket,
                      TraceSpan* span) REQUIRES(mutex_);
+  /// Hands an entry to the consumer side: lock-free ring push first;
+  /// Discard mode displaces the oldest entry when the ring is full,
+  /// other modes fall back to the mutexed overflow deque.
+  void EnqueueEntryLocked(Entry entry) REQUIRES(mutex_);
+  /// Retires a popped/displaced/abandoned entry's bucket reference and
+  /// byte accounting.
+  void RetireEntry(const Entry& entry);
   void RecordQueueSpan(const Entry& entry, int64_t pop_us) const;
   void SpillLocked(const hyracks::FramePtr& frame) REQUIRES(mutex_);
   bool RestoreFromSpillLocked() REQUIRES(mutex_);
+  /// Consumer-side slow path: migrates overflowed entries into the ring
+  /// and restores spilled frames once the ring has drained. Returns true
+  /// if it moved anything (the caller re-polls the ring).
+  bool ReplenishRingLocked() REQUIRES(mutex_);
   hyracks::FramePtr SampleFrame(const hyracks::FramePtr& frame,
                                 double keep_probability) REQUIRES(mutex_);
 
   const SubscriberOptions options_;
+  // Destroyed after the destructor body runs, so leftover buckets can
+  // always be returned safely.
+  std::shared_ptr<DataBucketPool> pool_keepalive_;
+  // The hot hand-off path: rank-exempt lock-free ring (see
+  // common/mpmc_queue.h). Push/displace under mutex_ (producer side),
+  // pop without any lock (consumer side).
+  common::OverwriteQueue<Entry> ring_;
+  // Parking for idle consumers; producers notify after every delivery,
+  // end, or failure.
+  common::EventCount ready_;
   mutable common::Mutex mutex_{common::LockRank::kSubscriberQueue};
-  common::CondVar not_empty_;
-  std::deque<Entry> entries_ GUARDED_BY(mutex_);
-  int64_t pending_bytes_ GUARDED_BY(mutex_) = 0;
-  bool ended_ GUARDED_BY(mutex_) = false;
+  std::atomic<int64_t> pending_bytes_{0};
+  std::atomic<bool> ended_{false};
   std::atomic<bool> failed_{false};
   common::Status failure_ GUARDED_BY(mutex_);
   SubscriberStats stats_ GUARDED_BY(mutex_);
   common::Rng rng_ GUARDED_BY(mutex_);
 
+  // Overflow: entries that missed a full ring in non-Discard modes.
+  // FIFO is preserved by construction: while overflow_count_ > 0 the
+  // producer appends here (never to the ring), and consumers migrate
+  // overflow into the ring only after the ring drained.
+  std::deque<Entry> overflow_ GUARDED_BY(mutex_);
+  std::atomic<int64_t> overflow_count_{0};
+
   // Spill state: once active, all arrivals spill until fully drained
   // (preserves record order).
   std::FILE* spill_file_ GUARDED_BY(mutex_) = nullptr;
   std::string spill_path_;  // written once in the constructor
-  int64_t spill_pending_frames_ GUARDED_BY(mutex_) = 0;
+  std::atomic<int64_t> spill_pending_frames_{0};  // written under mutex_
   int64_t spill_read_offset_ GUARDED_BY(mutex_) = 0;
   bool throttling_ GUARDED_BY(mutex_) = false;   // spill overflow fallback
   bool discarding_ GUARDED_BY(mutex_) = false;   // Discard hysteresis:
@@ -167,4 +222,3 @@ class SubscriberQueue {
 
 }  // namespace feeds
 }  // namespace asterix
-

@@ -5,6 +5,7 @@
 // throws as soft failures.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -94,16 +95,22 @@ class JavaUdf : public Udf {
 
   const std::string& name() const override { return qualified_name_; }
   UdfKind kind() const override { return UdfKind::kJava; }
-  void Initialize() override { initialized_ = true; }
+  // A shared UDF instance is Initialize()d concurrently by every assign
+  // task partition that opens it, so the flag must be atomic.
+  void Initialize() override {
+    initialized_.store(true, std::memory_order_release);
+  }
   std::optional<adm::Value> Apply(const adm::Value& record) override {
     return fn_(record);
   }
-  bool initialized() const { return initialized_; }
+  bool initialized() const {
+    return initialized_.load(std::memory_order_acquire);
+  }
 
  private:
   std::string qualified_name_;
   Fn fn_;
-  bool initialized_ = false;
+  std::atomic<bool> initialized_{false};
 };
 
 /// Busy-spin helper: the synthetic CPU cost knob the evaluation's UDFs use

@@ -55,6 +55,12 @@ void JobHandle::Abort() {
   }
 }
 
+void JobHandle::JoinTasks() {
+  for (const auto& group : tasks_) {
+    for (const auto& task : group) task->Join();
+  }
+}
+
 ClusterController::ClusterController(ClusterOptions options)
     : options_(std::move(options)) {}
 
@@ -67,6 +73,10 @@ ClusterController::~ClusterController() {
     jobs = jobs_;
   }
   for (auto& [id, job] : jobs) job->Abort();
+  // Join the task threads, not just signal them: Task objects may be
+  // kept alive past this destructor by feed-layer references, and their
+  // threads read NodeController state owned by nodes_ below.
+  for (auto& [id, job] : jobs) job->JoinTasks();
 }
 
 NodeController* ClusterController::AddNode(const std::string& node_id) {

@@ -71,6 +71,12 @@ class JobHandle {
   /// Hard-kills every task.
   void Abort();
 
+  /// Joins every task thread. Task objects can outlive the cluster
+  /// controller (feed-layer references), but their threads dereference
+  /// NodeController pointers the controller owns — so teardown must
+  /// stop the threads, not just the Task objects.
+  void JoinTasks();
+
  private:
   friend class ClusterController;
   const JobId id_;

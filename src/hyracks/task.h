@@ -9,7 +9,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/blocking_queue.h"
+#include "common/mpmc_queue.h"
 #include "common/status.h"
 #include "hyracks/job.h"
 #include "hyracks/operator.h"
@@ -84,6 +84,11 @@ class Task : public TaskContext,
 
  private:
   void ThreadMain();
+  /// The single pump drain: blocks until input is available (or the
+  /// queue closes), drains everything queued, and accounts exactly one
+  /// wakeup + batch.size() frames in the pump metrics — every drain
+  /// path goes through here so queue-depth and wakeup counters agree.
+  std::vector<FrameMessage> PumpBatch();
 
   const JobId job_id_;
   const std::string op_name_;
@@ -91,7 +96,11 @@ class Task : public TaskContext,
   const int partition_count_;
   NodeController* node_;
   std::unique_ptr<Operator> op_;
-  common::BlockingQueue<FrameMessage> input_;  // rank kTaskQueue (ctor)
+  // Lock-free input ring: producers (routers) and the pump thread meet
+  // here without a mutex. The old BlockingQueue seam's kTaskQueue rank is
+  // retired on this path — the ring has nothing to rank (see
+  // common/mpmc_queue.h "Rank exemption").
+  common::MpmcQueue<FrameMessage> input_;
   // Unprocessed tail of the in-flight pop batch when the task is killed
   // mid-batch. Written only by the task thread; read by FreezeAndDrain
   // after Join() (the join is the synchronization point).

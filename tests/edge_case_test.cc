@@ -12,6 +12,7 @@
 #include "storage/key.h"
 #include "storage/lsm_index.h"
 #include "storage/wal.h"
+#include "testing_util.h"
 
 namespace asterix {
 namespace {
@@ -216,9 +217,12 @@ TEST(PatternEdgeTest, TimeScalePreservesRecordBudget) {
   fast.Start(/*time_scale=*/0.25);  // runs in ~500ms wall clock
   common::Stopwatch watch;
   fast.Join();
-  EXPECT_LT(watch.ElapsedMillis(), 1500);
-  // ~2000 records were still produced (the described budget).
-  EXPECT_GT(fast.tweets_sent(), 1400);
+  // Wall-clock bounds: meaningless under TSan's slowdown; the budget
+  // ceiling below still holds (time compression must not overproduce).
+  if (!asterix::testing::kTsanActive) {
+    EXPECT_LT(watch.ElapsedMillis(), 1500);
+    EXPECT_GT(fast.tweets_sent(), 1400);
+  }
   EXPECT_LE(fast.tweets_sent(), 2200);
 }
 

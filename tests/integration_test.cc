@@ -138,7 +138,10 @@ TEST_F(IntegrationTest, CascadeSharesHeadSection) {
   source.Start();
   source.Join();  // ~2000 tps for 1.5s
   const int64_t sent = source.tweets_sent();
-  ASSERT_GT(sent, 2000);
+  // Wall-clock rate bound: meaningless under TSan's slowdown (the
+  // conservation checks below are the real assertions there).
+  if (!asterix::testing::kTsanActive) ASSERT_GT(sent, 2000);
+  ASSERT_GT(sent, 0);
   ASSERT_TRUE(WaitFor(
       [&] {
         return db_->CountDataset("Raw").value() == sent &&

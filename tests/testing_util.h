@@ -17,6 +17,23 @@
 namespace asterix {
 namespace testing {
 
+/// True when the binary is built with ThreadSanitizer. Tests that assert
+/// wall-clock throughput (records produced per real second) use this to
+/// skip those assertions: TSan's ~10-20x slowdown makes any real-time
+/// rate bound meaningless regardless of the code under test, while the
+/// rest of the test still runs and contributes race coverage.
+#if defined(__SANITIZE_THREAD__)
+inline constexpr bool kTsanActive = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+inline constexpr bool kTsanActive = true;
+#else
+inline constexpr bool kTsanActive = false;
+#endif
+#else
+inline constexpr bool kTsanActive = false;
+#endif
+
 /// Waits until `predicate` holds or `timeout_ms` elapses; returns the
 /// predicate's final verdict either way.
 inline bool WaitFor(const std::function<bool()>& predicate,

@@ -33,6 +33,14 @@ Checks, each with a stable ID used in failure output:
   RANK-README the README "Lock ranking" table lists exactly the ranks in
               src/common/lock_rank.h, with matching numeric values (same
               mechanism as the failpoint-site table)
+  RANK-EXEMPT the lock-free data plane (src/common/mpmc_queue.h) is
+              rank-exempt by design — the README "Data plane" section
+              must exist and document the exemption, so the rank table's
+              completeness claim stays honest
+  SPIN-PARK   no raw atomic spin loops outside src/common/mpmc_queue.h:
+              std::this_thread::yield and empty-body `while (x.load())`
+              busy-waits are banned in src/ — waiters must park on a
+              CondVar or the queues' EventCount, not burn a core
 
 Exit status 0 iff no findings. Run directly:  python3 tools/lint/check_invariants.py
 """
@@ -78,7 +86,13 @@ SELF_SYNC_TYPES = (
     "Mutex", "CondVar", "std::thread", "std::jthread", "MetricsRegistry",
     "common::Counter", "common::Gauge", "common::Histogram",
     "Counter", "Gauge", "Histogram", "BlockingQueue", "common::BlockingQueue",
+    "MpmcQueue", "common::MpmcQueue", "OverwriteQueue",
+    "common::OverwriteQueue", "EventCount", "common::EventCount",
 )
+
+# The one place raw spin loops are legitimate: the lock-free queues, whose
+# bounded spins always fall back to EventCount parking.
+SPIN_ALLOWLIST = {"src/common/mpmc_queue.h"}
 
 
 def find_repo_root(start: Path) -> Path:
@@ -200,6 +214,49 @@ class Linter:
                     self.fail("RAW-MUTEX", f"{self.rel(path)}:{i}",
                               f"raw std::{m.group(1)} (use the annotated "
                               "common:: wrappers)")
+
+    # --- spin loops ---------------------------------------------------------
+    def check_spin_park(self):
+        """Raw busy-wait loops are confined to the lock-free queue header
+        (whose spins are bounded and fall back to EventCount parking).
+        Heuristics: any std::this_thread::yield — the signature of a
+        spin-wait — and any empty-body `while (<atomic>.load...)`."""
+        empty_spin = re.compile(r"while\s*\([^)]*\.load\([^)]*\)[^)]*\)\s*"
+                                r"(?:;|\{\s*\})\s*$")
+        for path in sorted((self.root / "src").rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            if self.rel(path) in SPIN_ALLOWLIST:
+                continue
+            for i, line in enumerate(path.read_text().splitlines(), 1):
+                code = re.sub(r"//.*", "", line)
+                if "std::this_thread::yield" in code:
+                    self.fail("SPIN-PARK", f"{self.rel(path)}:{i}",
+                              "raw spin loop (yield busy-wait): park on a "
+                              "CondVar or common::EventCount instead — spin "
+                              "loops live only in common/mpmc_queue.h")
+                elif empty_spin.search(code.strip()):
+                    self.fail("SPIN-PARK", f"{self.rel(path)}:{i}",
+                              "empty-body atomic busy-wait: park on a "
+                              "CondVar or common::EventCount instead")
+
+        # The rank exemption the spin allowlist leans on must be documented:
+        # README "Data plane" section names the header and says rank-exempt.
+        readme = (self.root / "README.md").read_text()
+        m = re.search(r"^## Data plane$(.*?)(?=^## )", readme,
+                      re.MULTILINE | re.DOTALL)
+        if not m:
+            self.fail("RANK-EXEMPT", "README.md",
+                      "no '## Data plane' section documenting the lock-free "
+                      "queues' rank exemption")
+        else:
+            section = m.group(1)
+            if "rank-exempt" not in section or \
+                    "src/common/mpmc_queue.h" not in section:
+                self.fail("RANK-EXEMPT", "README.md",
+                          "the 'Data plane' section must name "
+                          "src/common/mpmc_queue.h and the word "
+                          "'rank-exempt' (keep the exemption documented)")
 
     # --- lock ranks ---------------------------------------------------------
     def check_lock_ranks(self):
@@ -350,6 +407,7 @@ def main():
     linter.check_pragma_once()
     linter.check_sleeps()
     linter.check_raw_mutexes()
+    linter.check_spin_park()
     linter.check_lock_ranks()
     linter.check_guarded_by()
 
