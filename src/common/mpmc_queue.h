@@ -77,11 +77,11 @@ namespace common {
 ///     if (condition_now_true()) { ec.CancelWait(); return; }
 ///     ec.Wait(epoch);            // or ec.WaitFor(epoch, timeout)
 ///
-/// Notify() is cheap when nobody waits: one seq_cst load of the waiter
-/// count. The seq_cst fence pairing between PrepareWait's fetch_add and
-/// Notify's load guarantees a notifier either sees the waiter (and takes
-/// the mutex to wake it) or the waiter's recheck sees the notifier's
-/// state change — never neither.
+/// Notify() is cheap when nobody waits: one seq_cst fence + one load of
+/// the waiter count. The fence pairing between PrepareWait's seq_cst
+/// fetch_add and the fence in NotifyAll guarantees a notifier either
+/// sees the waiter (and takes the mutex to wake it) or the waiter's
+/// recheck sees the notifier's state change — never neither.
 class EventCount {
  public:
   EventCount() = default;
@@ -97,6 +97,14 @@ class EventCount {
   }
 
   void CancelWait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  /// Registered-waiter count (monitoring/tests). Transiently nonzero
+  /// inside a PrepareWait..Wait/CancelWait window; a value that stays
+  /// nonzero with no thread parked is a leaked registration, which
+  /// permanently pessimizes the NotifyAll fast path.
+  uint64_t waiters() const {
+    return waiters_.load(std::memory_order_seq_cst);
+  }
 
   /// Parks until the epoch moves past `epoch`. Consumes the PrepareWait
   /// registration.
@@ -131,8 +139,20 @@ class EventCount {
   }
 
   /// Wakes every parked waiter (they re-check their condition). One
-  /// seq_cst load when nobody waits.
+  /// fence + load when nobody waits.
   void NotifyAll() {
+    // The caller's preceding condition change is typically only a
+    // RELEASE store (closed_, a slot's seq, the subscriber's ended_),
+    // and a release store followed by a load — even a seq_cst load —
+    // may be StoreLoad-reordered (on x86 both compile to plain MOVs).
+    // Without a full barrier here the notifier can read waiters_ == 0
+    // while a concurrently registering waiter's recheck still reads the
+    // stale condition: both sides miss and the waiter parks forever.
+    // The seq_cst fence pairs with PrepareWait's seq_cst fetch_add
+    // (the standard eventcount requirement): either this load observes
+    // the registration, or the waiter's recheck observes the condition
+    // change — never neither.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (waiters_.load(std::memory_order_seq_cst) == 0) return;
     {
       MutexLock lock(mutex_);
@@ -148,6 +168,82 @@ class EventCount {
   // instructions around the epoch bump / condvar wait.
   Mutex mutex_{LockRank::kQueueParking};
   CondVar cv_;
+};
+
+/// Atomic publication slot for immutable copy-on-write snapshots:
+/// readers `load()` a shared_ptr to the current snapshot, writers
+/// publish a replacement with `store()`. The narrow load/store surface
+/// of std::atomic<std::shared_ptr<T>>, which it deliberately replaces.
+///
+/// Why not std::atomic<std::shared_ptr<T>>: libstdc++'s _Sp_atomic
+/// guards a PLAIN pointer field with an embedded one-word lock bit, and
+/// its load() releases that lock with a RELAXED fetch_sub
+/// (bits/shared_ptr_atomic.h). A relaxed unlock synchronizes-with
+/// nothing, so a reader's plain pointer read and the NEXT writer's
+/// plain pointer write carry no happens-before edge — a formal data
+/// race under the C++ memory model that only the hardware's temporal
+/// mutual exclusion on the lock bit papers over. ThreadSanitizer
+/// (correctly) reports it. This class is the same lock-bit design with
+/// an acquire lock and a RELEASE unlock on BOTH paths, so consecutive
+/// critical sections are ordered in every direction — for the model and
+/// for TSan alike.
+///
+/// The spin is legitimate here (this header is the SPIN-PARK
+/// allowlist): the critical section is one shared_ptr refcount
+/// operation — a handful of instructions, no blocking call — so a
+/// contender waits nanoseconds unless the holder is descheduled, and
+/// then it yields its quantum instead of burning it.
+template <typename T>
+class SnapshotPtr {
+ public:
+  SnapshotPtr() = default;
+  explicit SnapshotPtr(std::shared_ptr<T> initial)
+      : ptr_(std::move(initial)) {}
+  SnapshotPtr(const SnapshotPtr&) = delete;
+  SnapshotPtr& operator=(const SnapshotPtr&) = delete;
+
+  /// Returns the current snapshot. The refcount bump happens under the
+  /// lock bit, so the snapshot cannot be released out from under the
+  /// copy by a concurrent store().
+  std::shared_ptr<T> load() const {
+    Lock();
+    std::shared_ptr<T> snapshot = ptr_;
+    Unlock();
+    return snapshot;
+  }
+
+  /// Publishes `next`. The displaced snapshot's refcount drop — and any
+  /// destruction it triggers — runs after the lock bit is released, so
+  /// a snapshot with a non-trivial destructor never extends the
+  /// critical section.
+  void store(std::shared_ptr<T> next) {
+    Lock();
+    ptr_.swap(next);
+    Unlock();
+  }
+
+ private:
+  void Lock() const {
+    int spins = 0;
+    // Test-and-test-and-set: the winning exchange's ACQUIRE pairs with
+    // the RELEASE in Unlock, ordering the previous holder's ptr_ access
+    // before this holder's.
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins >= kSpinLimit) {
+          spins = 0;
+          std::this_thread::yield();  // holder was descheduled (SPIN-PARK)
+        }
+      }
+    }
+  }
+
+  void Unlock() const { locked_.store(false, std::memory_order_release); }
+
+  static constexpr int kSpinLimit = 64;
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<T> ptr_;  // guarded by locked_
 };
 
 /// Bounded lock-free MPMC ring (Vyukov). Capacity is rounded up to a
@@ -188,6 +284,11 @@ class MpmcQueue {
   bool empty() const { return size() == 0; }
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Prospective-consumer registrations on the not-empty gate
+  /// (monitoring/tests): every timed-out or cancelled wait must return
+  /// this to zero once no consumer is blocked.
+  uint64_t consumer_waiters() const { return not_empty_.waiters(); }
 
   /// Non-blocking push. False when the ring is full or closed. The
   /// by-value overload consumes `item` either way; TryPushFrom leaves
@@ -323,8 +424,15 @@ class MpmcQueue {
         continue;
       }
       auto now = std::chrono::steady_clock::now();
-      if (now >= deadline || !not_empty_.WaitFor(epoch, deadline - now)) {
+      if (now >= deadline) {
+        // WaitFor never runs on this branch, so it cannot consume the
+        // PrepareWait registration — release it here or waiters_ leaks
+        // and every future NotifyAll takes the parking mutex.
+        not_empty_.CancelWait();
         return TryPop();  // last look on the way out
+      }
+      if (!not_empty_.WaitFor(epoch, deadline - now)) {
+        return TryPop();
       }
     }
   }
@@ -418,7 +526,11 @@ class MpmcQueue {
         continue;
       }
       auto now = std::chrono::steady_clock::now();
-      if (now >= deadline || !not_empty_.WaitFor(epoch, deadline - now)) {
+      if (now >= deadline) {
+        not_empty_.CancelWait();  // WaitFor never ran; see PopFor
+        return TryPopAll();
+      }
+      if (!not_empty_.WaitFor(epoch, deadline - now)) {
         return TryPopAll();
       }
     }

@@ -78,6 +78,7 @@ class [[nodiscard]] Status {
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
   }
+  bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }

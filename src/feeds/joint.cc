@@ -16,14 +16,14 @@ using hyracks::FramePtr;
 
 std::shared_ptr<FeedJoint::Routes> FeedJoint::CloneRoutes() const {
   return std::make_shared<Routes>(
-      *routes_.load(std::memory_order_acquire));
+      *routes_.load());
 }
 
 void FeedJoint::SetPrimary(std::shared_ptr<hyracks::IFrameWriter> primary) {
   common::MutexLock lock(mutex_);
   auto next = CloneRoutes();
   next->primary = std::move(primary);
-  routes_.store(std::move(next), std::memory_order_release);
+  routes_.store(std::move(next));
 }
 
 void FeedJoint::DetachPrimary() {
@@ -33,7 +33,7 @@ void FeedJoint::DetachPrimary() {
     auto next = CloneRoutes();
     primary = std::move(next->primary);
     next->primary = nullptr;
-    routes_.store(std::move(next), std::memory_order_release);
+    routes_.store(std::move(next));
   }
   if (primary != nullptr) {
     Status close_status = primary->Close();
@@ -60,7 +60,7 @@ std::shared_ptr<SubscriberQueue> FeedJoint::Subscribe(
     return queue;
   }
   next->subscribers.push_back(queue);
-  routes_.store(std::move(next), std::memory_order_release);
+  routes_.store(std::move(next));
   return queue;
 }
 
@@ -70,18 +70,18 @@ void FeedJoint::Unsubscribe(const std::shared_ptr<SubscriberQueue>& queue) {
   next->subscribers.erase(std::remove(next->subscribers.begin(),
                                       next->subscribers.end(), queue),
                           next->subscribers.end());
-  routes_.store(std::move(next), std::memory_order_release);
+  routes_.store(std::move(next));
 }
 
 FeedJoint::Mode FeedJoint::mode() const {
-  auto routes = routes_.load(std::memory_order_acquire);
+  auto routes = routes_.load();
   if (routes->subscribers.empty()) return Mode::kInactive;
   return routes->subscribers.size() == 1 ? Mode::kShortCircuit
                                          : Mode::kShared;
 }
 
 size_t FeedJoint::subscriber_count() const {
-  return routes_.load(std::memory_order_acquire)->subscribers.size();
+  return routes_.load()->subscribers.size();
 }
 
 Status FeedJoint::NextFrame(const FramePtr& frame) {
@@ -95,7 +95,7 @@ Status FeedJoint::NextFrame(const FramePtr& frame) {
   // if an Unsubscribe publishes a new snapshot mid-delivery. No lock is
   // taken and no per-frame copy of the subscriber list is made.
   std::shared_ptr<const Routes> routes =
-      routes_.load(std::memory_order_acquire);
+      routes_.load();
   frames_routed_.fetch_add(1, std::memory_order_relaxed);
   const auto& subscribers = routes->subscribers;
   if (subscribers.size() == 1) {
@@ -138,7 +138,7 @@ void FeedJoint::Fail() {
     auto next = CloneRoutes();
     next->closed = true;
     last = std::move(next);
-    routes_.store(last, std::memory_order_release);
+    routes_.store(last);
   }
   for (const auto& subscriber : last->subscribers) subscriber->DeliverEnd();
   if (last->primary != nullptr) last->primary->Fail();
@@ -151,7 +151,7 @@ Status FeedJoint::Close() {
     auto next = CloneRoutes();
     next->closed = true;
     last = std::move(next);
-    routes_.store(last, std::memory_order_release);
+    routes_.store(last);
   }
   for (const auto& subscriber : last->subscribers) subscriber->DeliverEnd();
   if (last->primary != nullptr) return last->primary->Close();
@@ -159,7 +159,7 @@ Status FeedJoint::Close() {
 }
 
 bool FeedJoint::closed() const {
-  return routes_.load(std::memory_order_acquire)->closed;
+  return routes_.load()->closed;
 }
 
 }  // namespace feeds

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mpmc_queue.h"
 #include "common/thread_annotations.h"
 #include "feeds/subscriber.h"
 #include "hyracks/frame.h"
@@ -90,10 +91,11 @@ class FeedJoint : public hyracks::IFrameWriter {
   // is internally synchronized and is used outside mutex_ on the
   // routing path, so it is deliberately not GUARDED_BY.
   std::shared_ptr<DataBucketPool> pool_ = std::make_shared<DataBucketPool>();
-  // Self-synchronized: readers load (acquire), writers store (release)
-  // under mutex_. Not GUARDED_BY — the hot path is lock-free.
-  std::atomic<std::shared_ptr<const Routes>> routes_{
-      std::make_shared<const Routes>()};
+  // Self-synchronized publication slot (see SnapshotPtr for why this is
+  // not std::atomic<std::shared_ptr>): readers load a snapshot, writers
+  // store a fresh clone under mutex_. Not GUARDED_BY — the hot path
+  // never takes mutex_.
+  common::SnapshotPtr<const Routes> routes_{std::make_shared<const Routes>()};
   std::atomic<int64_t> frames_routed_{0};
 };
 

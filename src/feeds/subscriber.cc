@@ -93,6 +93,9 @@ FramePtr SubscriberQueue::SampleFrame(const FramePtr& frame,
 }
 
 void SubscriberQueue::SpillLocked(const FramePtr& frame) {
+  // A prior spill I/O failure is terminal: appending after a torn record
+  // would misframe everything behind it.
+  if (failed_.load(std::memory_order_relaxed)) return;
   if (spill_file_ == nullptr) {
     spill_file_ = std::fopen(spill_path_.c_str(), "w+b");
     if (spill_file_ == nullptr) {
@@ -108,8 +111,20 @@ void SubscriberQueue::SpillLocked(const FramePtr& frame) {
   }
   std::fseek(spill_file_, 0, SEEK_END);
   uint32_t len = static_cast<uint32_t>(payload.size());
-  std::fwrite(&len, sizeof(len), 1, spill_file_);
-  std::fwrite(payload.data(), 1, payload.size(), spill_file_);
+  if (std::fwrite(&len, sizeof(len), 1, spill_file_) != 1 ||
+      std::fwrite(payload.data(), 1, payload.size(), spill_file_) !=
+          payload.size()) {
+    // Short write (disk full, I/O error): the record is unrecoverable
+    // and must NOT be counted — spill_pending_frames_ only tracks
+    // frames the restore path can actually read back; a ghost count
+    // would make the consumer retry the restore forever.
+    failed_.store(true);
+    if (failure_.ok()) {
+      failure_ =
+          Status::IOError("short write to spill file " + spill_path_);
+    }
+    return;
+  }
   spill_pending_frames_.fetch_add(1, std::memory_order_release);
   ++stats_.frames_spilled;
   stats_.bytes_spilled += static_cast<int64_t>(payload.size());
@@ -124,12 +139,17 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
   std::fseek(spill_file_, spill_read_offset_, SEEK_SET);
   // Restore a small batch per call so memory stays bounded.
   int restored = 0;
+  bool torn = false;
   while (spill_pending_frames_.load(std::memory_order_relaxed) > 0 &&
          restored < 8) {
     uint32_t len = 0;
-    if (std::fread(&len, sizeof(len), 1, spill_file_) != 1) break;
+    if (std::fread(&len, sizeof(len), 1, spill_file_) != 1) {
+      torn = true;
+      break;
+    }
     std::string payload(len, '\0');
     if (len > 0 && std::fread(payload.data(), 1, len, spill_file_) != len) {
+      torn = true;
       break;
     }
     spill_read_offset_ += static_cast<int64_t>(sizeof(len)) + len;
@@ -151,8 +171,29 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
       EnqueueEntryLocked(std::move(entry));
     }
   }
+  if (torn && restored == 0 &&
+      spill_pending_frames_.load(std::memory_order_relaxed) > 0) {
+    // The counter claims frames the file cannot yield (truncated or
+    // torn by a failed write). Every write the counter accounts for
+    // completed under this mutex before the increment, so no more bytes
+    // can ever appear: a zero-progress pass is permanent, and leaving
+    // the count nonzero would make NextBatch's replenish path retry
+    // this restore forever. Reconcile the count and surface the I/O
+    // error as the queue's terminal state.
+    LOG_MSG(kWarn) << options_.name << ": spill file " << spill_path_
+                   << " unreadable; "
+                   << spill_pending_frames_.load(std::memory_order_relaxed)
+                   << " frame(s) lost";
+    failed_.store(true);
+    if (failure_.ok()) {
+      failure_ = Status::IOError("spill file truncated or unreadable: " +
+                                 spill_path_);
+    }
+    spill_pending_frames_.store(0, std::memory_order_release);
+  }
   if (spill_pending_frames_.load(std::memory_order_relaxed) == 0) {
-    // Fully drained: reclaim the file so a later burst starts fresh.
+    // Fully drained (or reconciled): reclaim the file so a later burst
+    // starts fresh.
     std::fclose(spill_file_);
     std::remove(spill_path_.c_str());
     spill_file_ = nullptr;
@@ -436,11 +477,32 @@ std::vector<FramePtr> SubscriberQueue::NextBatch(int64_t timeout_ms,
     // spilled frames. Migrate under the mutex, then re-poll.
     if (overflow_count_.load(std::memory_order_acquire) > 0 ||
         spill_pending_frames_.load(std::memory_order_acquire) > 0) {
-      common::MutexLock lock(mutex_);
-      ReplenishRingLocked();
+      {
+        common::MutexLock lock(mutex_);
+        ReplenishRingLocked();
+      }
+      // Replenish cannot always make progress (ring still full behind a
+      // racing consumer, or a restore that just failed the queue on a
+      // bad spill file): honor the deadline on this branch too, or an
+      // I/O error becomes a busy retry loop that never times out.
+      if (std::chrono::steady_clock::now() >= deadline) {
+        popped = ring_.PopAllBounded(max_frames);
+        break;
+      }
       continue;
     }
     if (ended_.load(std::memory_order_acquire) || failed_.load()) {
+      // Terminal — but a frame Delivered between the empty drain above
+      // and this flag load would be stranded if that drain were trusted:
+      // the contract is empty only when ended/failed with NOTHING
+      // buffered. One last ring drain (and rare-path check) before
+      // reporting drained, mirroring MpmcQueue::Pop's closed re-check.
+      popped = ring_.PopAllBounded(max_frames);
+      if (!popped.empty()) break;
+      if (overflow_count_.load(std::memory_order_acquire) > 0 ||
+          spill_pending_frames_.load(std::memory_order_acquire) > 0) {
+        continue;  // migrate the leftovers, then drain them
+      }
       return {};  // terminal and drained
     }
     // Park until a producer signals (delivery/end/failure) or timeout.

@@ -13,16 +13,17 @@ namespace asterix {
 namespace {
 
 using adm::Value;
+using asterix::testing::FastOptions;
 using asterix::testing::TweetsDataset;
 using asterix::testing::WaitFor;
 
 class FaultToleranceTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    InstanceOptions options;
-    options.num_nodes = 6;  // A..F; spare nodes for substitution
-    options.heartbeat_period_ms = 10;
-    options.heartbeat_timeout_ms = 100;
+    // A..F; spare nodes for substitution. FastOptions also widens the
+    // heartbeat window under TSan, where a healthy node's heartbeat
+    // thread can miss a 100 ms deadline just by not being scheduled.
+    InstanceOptions options = FastOptions(6);
     db_ = std::make_unique<AsterixInstance>(options);
     ASSERT_TRUE(db_->Start().ok());
   }

@@ -1,7 +1,9 @@
 // Unit tests of the feed substrate: policies, UDFs, joints and Data
 // Buckets, the policy-enforcing subscriber queues, ack machinery,
 // adaptors and the feed catalog.
+#include <filesystem>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -378,6 +380,64 @@ TEST(SubscriberQueueTest, EndAfterDrain) {
   EXPECT_TRUE(queue.Next(100).has_value());
   EXPECT_TRUE(queue.ended());
   EXPECT_FALSE(queue.Next(10).has_value());
+}
+
+// Deliver + DeliverEnd racing a consumer inside NextBatch: the consumer
+// may poll an empty ring and then observe ended_ — it must re-poll the
+// ring before trusting the terminal flag, or a frame published between
+// the two loads is stranded (the contract is empty only on timeout or
+// terminal with NOTHING buffered). Iterated so the thread interleaving
+// actually lands inside the window.
+TEST(SubscriberQueueTest, FrameRacingDeliverEndIsNeverStranded) {
+  for (int iter = 0; iter < 100; ++iter) {
+    SubscriberQueue queue(SmallQueue(ExcessMode::kBlock));
+    int got = 0;
+    std::thread consumer([&] {
+      for (;;) {
+        std::vector<FramePtr> batch = queue.NextBatch(2000);
+        if (batch.empty()) return;
+        got += static_cast<int>(batch.size());
+      }
+    });
+    queue.Deliver(FrameOf(1), nullptr);
+    queue.DeliverEnd();
+    consumer.join();
+    ASSERT_EQ(got, 1) << "final frame stranded on iteration " << iter;
+  }
+}
+
+// A spill file that can no longer yield the frames its counter claims
+// (truncated behind the queue's back here; a torn write in production)
+// must fail the queue and let NextBatch return within its timeout — not
+// spin on the replenish path retrying the unreadable restore forever.
+TEST(SubscriberQueueTest, TruncatedSpillFailsInsteadOfSpinning) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "asterix_spill_truncation_test";
+  fs::create_directories(dir);
+  SubscriberOptions options = SmallQueue(ExcessMode::kSpill, 2048);
+  options.spill_dir = dir.string();
+  options.name = "truncated";
+  SubscriberQueue queue(options);
+  for (int i = 0; i < 120; ++i) queue.Deliver(FrameOf(5), nullptr);
+  ASSERT_GT(queue.stats().frames_spilled, 0);
+  // Drain until the first restore pass ran (it flushes libc's write
+  // buffer to disk, so the truncation below cannot be undone by a later
+  // flush) but spilled frames remain pending.
+  while (queue.stats().frames_restored == 0) {
+    ASSERT_TRUE(queue.Next(200).has_value());
+  }
+  ASSERT_GT(queue.stats().frames_spilled, queue.stats().frames_restored);
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    fs::resize_file(entry.path(), 1);  // torn mid length-header
+  }
+  // Remaining drain must terminate: restored-but-unread frames come
+  // back, then the torn file surfaces as a terminal I/O failure.
+  while (queue.Next(200).has_value()) {
+  }
+  EXPECT_TRUE(queue.failed());
+  EXPECT_TRUE(queue.failure().IsIOError());
+  fs::remove_all(dir);
 }
 
 // --- ack machinery -------------------------------------------------------

@@ -120,6 +120,38 @@ TEST(MpmcQueue, PopForTimesOutEmpty) {
   EXPECT_TRUE(q.PopAllFor(std::chrono::milliseconds(30)).empty());
 }
 
+// A timed pop whose deadline has already passed takes the short-circuit
+// branch where WaitFor never runs; the PrepareWait registration must
+// still be released, or waiters_ creeps up forever and every later
+// NotifyAll needlessly takes the parking mutex.
+TEST(MpmcQueue, ExpiredDeadlineTimedPopsLeaveNoWaiterRegistration) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(q.PopFor(std::chrono::milliseconds(0)).has_value());
+    EXPECT_TRUE(q.PopAllFor(std::chrono::milliseconds(0)).empty());
+  }
+  EXPECT_EQ(q.consumer_waiters(), 0u);
+  EXPECT_TRUE(q.TryPush(1));  // queue still fully functional
+  EXPECT_EQ(q.TryPop().value_or(-1), 1);
+}
+
+// Close() publishes closed_ with a release store and must never lose the
+// wakeup race against consumers that are concurrently parking: the fence
+// in NotifyAll guarantees the notifier either sees the registered waiter
+// or the waiter's recheck sees closed_. A lost wakeup hangs the joins
+// (under TSan the spin budget is zero, so consumers park immediately and
+// the window is widest there).
+TEST(MpmcQueue, CloseRacesParkingConsumersWithoutLostWakeup) {
+  for (int i = 0; i < 200; ++i) {
+    MpmcQueue<int> q(4);
+    std::thread popper([&] { EXPECT_FALSE(q.Pop().has_value()); });
+    std::thread drainer([&] { EXPECT_TRUE(q.PopAll().empty()); });
+    q.Close();
+    popper.join();
+    drainer.join();
+  }
+}
+
 // The core property: with P producers each pushing K distinct values and
 // C consumers draining, every value is seen exactly once — no loss, no
 // duplication, no invention. Seeded and repeated so slot reuse (the ABA
@@ -271,6 +303,47 @@ TEST(EventCount, WaitForTimesOut) {
   EventCount ec;
   uint64_t epoch = ec.PrepareWait();
   EXPECT_FALSE(ec.WaitFor(epoch, std::chrono::milliseconds(20)));
+}
+
+TEST(SnapshotPtr, LoadReturnsInitialAndStoredValues) {
+  common::SnapshotPtr<const int> p(std::make_shared<const int>(1));
+  EXPECT_EQ(*p.load(), 1);
+  p.store(std::make_shared<const int>(2));
+  EXPECT_EQ(*p.load(), 2);
+}
+
+// The property std::atomic<std::shared_ptr> could not give us under
+// TSan: concurrent loads and stores with internally consistent
+// snapshots. Each snapshot is a pair whose halves must agree; a reader
+// observing a torn or stale-mixed snapshot means the publication lacks
+// the cross-critical-section happens-before edge SnapshotPtr exists to
+// provide. Under the tsan-chaos preset this is also a direct race check
+// on the lock-bit protocol itself.
+TEST(SnapshotPtr, ConcurrentLoadStoreYieldsConsistentSnapshots) {
+  struct Pair {
+    int64_t a;
+    int64_t b;  // always 2 * a
+  };
+  common::SnapshotPtr<const Pair> p(std::make_shared<const Pair>(Pair{0, 0}));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      int64_t last_seen = -1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const Pair> snap = p.load();
+        ASSERT_EQ(snap->b, 2 * snap->a);      // never torn
+        ASSERT_GE(snap->a, last_seen);        // never moves backwards
+        last_seen = snap->a;
+      }
+    });
+  }
+  for (int64_t i = 1; i <= 2000; ++i) {
+    p.store(std::make_shared<const Pair>(Pair{i, 2 * i}));
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(p.load()->a, 2000);
 }
 
 // Batching parity with BlockingQueue::PopAll: blocks while empty, drains

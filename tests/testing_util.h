@@ -88,12 +88,17 @@ inline storage::DatasetDef TweetsDataset(
 }
 
 /// Instance options with short heartbeat timings so failure-detection
-/// tests converge in milliseconds instead of seconds.
+/// tests converge in milliseconds instead of seconds. Under TSan the
+/// detection window widens instead: at 10-20x slowdown on a small host a
+/// *healthy* node's heartbeat thread can miss a 100 ms window just by
+/// not being scheduled, and the resulting false node-death tears the
+/// feed down mid-test. Detection-dependent waits use multi-second
+/// WaitFor budgets, which dwarf either setting.
 inline InstanceOptions FastOptions(int nodes) {
   InstanceOptions options;
   options.num_nodes = nodes;
-  options.heartbeat_period_ms = 10;
-  options.heartbeat_timeout_ms = 100;
+  options.heartbeat_period_ms = kTsanActive ? 50 : 10;
+  options.heartbeat_timeout_ms = kTsanActive ? 2000 : 100;
   return options;
 }
 
