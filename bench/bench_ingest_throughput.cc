@@ -12,6 +12,15 @@
 //      its insert_stall_ms shows the stop-the-world compactions).
 // Reported records/s include draining the maintenance backlog, so deferred
 // work cannot inflate the figure. Results go to BENCH_ingest.json.
+//
+// A second section measures the hot frame path's allocation cost: records
+// pumped appender -> subscriber queue -> batched drain, with and without
+// a FramePool, under the operator-new interposer (this TU defines it; see
+// tests/testing_util.h). The pooled row's bytes-allocated-per-record is
+// the memory-architecture headline and lands in BENCH_ingest.json as
+// `frame_path` + `frame_alloc_reduction`.
+#define ASTERIX_ALLOC_INTERPOSER 1
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,8 +30,14 @@
 #include "adm/value.h"
 #include "bench/bench_util.h"
 #include "common/clock.h"
+#include "common/mem_governor.h"
+#include "feeds/policy.h"
+#include "feeds/subscriber.h"
+#include "hyracks/frame.h"
+#include "hyracks/frame_pool.h"
 #include "storage/key.h"
 #include "storage/lsm_index.h"
+#include "tests/testing_util.h"
 
 namespace asterix {
 namespace bench {
@@ -81,6 +96,79 @@ RunResult RunOnce(size_t partitions, bool async,
   return result;
 }
 
+struct FramePathResult {
+  bool pooled = false;
+  double records_per_sec = 0;
+  double allocs_per_record = 0;
+  double bytes_per_record = 0;
+  int64_t block_hits = 0;
+  int64_t vector_hits = 0;
+};
+
+// One producer==consumer thread pumps Int64 records through
+// appender -> subscriber ring -> batched drain (the steady-state frame
+// path), counting this thread's heap traffic with the interposer. The
+// unpooled row rebuilds every frame and record vector from the heap; the
+// pooled row recycles both, so its warm cost is the zero-allocation
+// claim tests/mem_test.cc asserts exactly.
+FramePathResult RunFramePath(bool pooled, size_t records) {
+  common::MemGovernor governor(nullptr);
+  hyracks::FramePool pool(governor.RegisterPool("frame_path", 256 << 20));
+
+  feeds::SubscriberOptions options;
+  options.mode = feeds::ExcessMode::kBlock;
+  options.name = pooled ? "bench_pooled" : "bench_unpooled";
+  options.memory_budget_bytes = 256 << 20;
+  options.memory_pool = governor.RegisterPool("queue", 256 << 20);
+  options.spill_pool = governor.RegisterPool("spill", 256 << 20);
+  feeds::SubscriberQueue queue(options);
+
+  struct QueueWriter : hyracks::IFrameWriter {
+    feeds::SubscriberQueue* queue = nullptr;
+    common::Status NextFrame(const hyracks::FramePtr& frame) override {
+      queue->Deliver(frame, nullptr);
+      return common::Status::OK();
+    }
+  };
+  QueueWriter writer;
+  writer.queue = &queue;
+
+  constexpr size_t kRecordsPerFrame = 128;
+  hyracks::FrameAppender appender(&writer, kRecordsPerFrame, 1 << 20,
+                                  pooled ? &pool : nullptr);
+
+  std::vector<hyracks::FramePtr> drained;
+  auto pump_frame = [&](size_t base) {
+    for (size_t r = 0; r < kRecordsPerFrame; ++r) {
+      CHECK_OK(appender.Append(
+          adm::Value::Int64(static_cast<int64_t>(base + r))));
+    }
+    drained.clear();
+    (void)queue.NextBatchInto(&drained, /*timeout_ms=*/1000);
+  };
+
+  // Warm-up: learn block sizes, grow vectors to capacity, fill free
+  // lists — both modes get it so neither pays cold-start costs.
+  for (size_t i = 0; i < 64; ++i) pump_frame(i * kRecordsPerFrame);
+  drained.clear();
+
+  const size_t frames = records / kRecordsPerFrame;
+  asterix::testing::AllocScope scope;
+  common::Stopwatch watch;
+  for (size_t i = 0; i < frames; ++i) pump_frame(i * kRecordsPerFrame);
+  double secs = watch.ElapsedSeconds();
+
+  FramePathResult result;
+  result.pooled = pooled;
+  const double n = static_cast<double>(frames * kRecordsPerFrame);
+  result.records_per_sec = n / secs;
+  result.allocs_per_record = static_cast<double>(scope.count()) / n;
+  result.bytes_per_record = static_cast<double>(scope.bytes()) / n;
+  result.block_hits = pool.block_hits();
+  result.vector_hits = pool.vector_hits();
+  return result;
+}
+
 int Main(int argc, char** argv) {
   size_t records = 80000;
   if (argc > 1) records = static_cast<size_t>(std::atoll(argv[1]));
@@ -126,6 +214,40 @@ int Main(int argc, char** argv) {
   double speedup = rate_1p > 0 ? rate_4p / rate_1p : 0;
   std::printf("\nspeedup 4 partitions vs 1: %.2fx\n", speedup);
 
+  // --- frame-path allocation cost (pooled vs unpooled) ------------------
+  const size_t frame_records = records;
+  const bool interposed = asterix::testing::AllocInterposerActive();
+  FramePathResult unpooled;
+  FramePathResult pooled_fp;
+  if (interposed) {
+    RunFramePath(false, frame_records);  // warm-up (allocator state)
+    unpooled = RunFramePath(false, frame_records);
+    pooled_fp = RunFramePath(true, frame_records);
+    std::printf("\nframe path (appender -> subscriber ring -> drain), "
+                "%zu records:\n", frame_records);
+    std::printf("%-10s %14s %16s %16s\n", "mode", "records/s",
+                "allocs/record", "bytes/record");
+    for (const FramePathResult* r : {&unpooled, &pooled_fp}) {
+      std::printf("%-10s %14.0f %16.4f %16.1f\n",
+                  r->pooled ? "pooled" : "unpooled", r->records_per_sec,
+                  r->allocs_per_record, r->bytes_per_record);
+    }
+    double reduction = pooled_fp.bytes_per_record > 0
+                           ? unpooled.bytes_per_record /
+                                 pooled_fp.bytes_per_record
+                           : 0;
+    if (reduction > 0) {
+      std::printf("bytes-allocated-per-record reduction: %.1fx\n",
+                  reduction);
+    } else {
+      std::printf("bytes-allocated-per-record reduction: inf "
+                  "(pooled steady state allocates nothing)\n");
+    }
+  } else {
+    std::printf("\nframe path: alloc interposer inactive (sanitizer "
+                "build); skipping\n");
+  }
+
   // Registry view of the same work: flush/merge latency distributions
   // accumulated across every configuration above (Snapshot() is the
   // supported read path; LsmStats counters stay for per-run attribution).
@@ -166,7 +288,30 @@ int Main(int argc, char** argv) {
         static_cast<long long>(r.stats.insert_stall_ms),
         i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ],\n  \"speedup_4p_vs_1p\": %.3f\n}\n", speedup);
+  std::fprintf(out, "  ],\n  \"speedup_4p_vs_1p\": %.3f,\n", speedup);
+  if (interposed) {
+    std::fprintf(
+        out,
+        "  \"frame_path\": [\n"
+        "    {\"mode\": \"unpooled\", \"records_per_sec\": %.1f, "
+        "\"allocs_per_record\": %.4f, \"bytes_per_record\": %.1f},\n"
+        "    {\"mode\": \"pooled\", \"records_per_sec\": %.1f, "
+        "\"allocs_per_record\": %.4f, \"bytes_per_record\": %.1f}\n"
+        "  ],\n",
+        unpooled.records_per_sec, unpooled.allocs_per_record,
+        unpooled.bytes_per_record, pooled_fp.records_per_sec,
+        pooled_fp.allocs_per_record, pooled_fp.bytes_per_record);
+    // JSON has no infinity: a zero-allocation pooled run reports the
+    // unpooled figure itself as the reduction floor.
+    double reduction =
+        pooled_fp.bytes_per_record > 0
+            ? unpooled.bytes_per_record / pooled_fp.bytes_per_record
+            : unpooled.bytes_per_record;
+    std::fprintf(out, "  \"frame_alloc_reduction\": %.1f\n}\n", reduction);
+  } else {
+    std::fprintf(out, "  \"frame_path\": [],\n"
+                      "  \"frame_alloc_reduction\": 0\n}\n");
+  }
   std::fclose(out);
   std::printf("wrote BENCH_ingest.json\n");
 

@@ -15,6 +15,7 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kChaosSchedule: return "kChaosSchedule";
     case LockRank::kTracer: return "kTracer";
     case LockRank::kSimCpu: return "kSimCpu";
+    case LockRank::kMemGovernor: return "kMemGovernor";
     case LockRank::kBlockingQueue: return "kBlockingQueue";
     case LockRank::kTypeRegistry: return "kTypeRegistry";
     case LockRank::kTweetChannel: return "kTweetChannel";

@@ -49,6 +49,11 @@ enum class LockRank : uint16_t {
   kChaosSchedule = 40,     // ChaosSchedule driver wakeup
   kTracer = 50,            // feeds/trace.h span ring (observability leaf)
   kSimCpu = 60,            // gen/simcpu.h CPU credit gate
+  kMemGovernor = 70,       // MemGovernor pool map + per-pool waiter
+                           // parking (ReserveFor). A leaf below every
+                           // storage/feeds lock: Release's waiter-notify
+                           // path runs while callers hold kWal/kLsmIndex/
+                           // kSubscriberQueue, so those must rank higher.
   kBlockingQueue = 90,     // default rank for free-standing queues
 
   // ---- adm (100-119) ----

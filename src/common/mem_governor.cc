@@ -1,0 +1,255 @@
+#include "common/mem_governor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace asterix {
+namespace common {
+
+namespace {
+
+// Default capacities for the standard pools. Generous by design: the
+// budgets exist to make memory pressure observable and *steerable*
+// (tests and elastic policies shrink them), not to trip during normal
+// operation on a developer machine.
+constexpr int64_t kDefaultFramePathBytes = 256LL << 20;
+constexpr int64_t kDefaultMemtableBytes = 512LL << 20;
+constexpr int64_t kDefaultMergeBytes = 512LL << 20;
+constexpr int64_t kDefaultSpillBytes = 1LL << 30;
+constexpr int64_t kDefaultSpanRingBytes = 64LL << 20;
+constexpr int64_t kDefaultWalBytes = 64LL << 20;
+
+}  // namespace
+
+void MemLease::Release() {
+  if (pool_ != nullptr) {
+    pool_->Release(bytes_);
+    pool_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+MemPool::MemPool(std::string name, int64_t capacity_bytes)
+    : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+void MemPool::SetCapacity(int64_t capacity_bytes) {
+  capacity_.store(capacity_bytes, std::memory_order_relaxed);
+  // A grow may unblock parked ReserveFor waiters.
+  if (waiters_.load(std::memory_order_seq_cst) > 0) {
+    MutexLock lock(mutex_);
+    released_.NotifyAll();
+  }
+}
+
+void MemPool::NoteHighWater(int64_t used_now) {
+  int64_t seen = high_water_.load(std::memory_order_relaxed);
+  while (used_now > seen &&
+         !high_water_.compare_exchange_weak(seen, used_now,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+bool MemPool::TryChargeQuiet(int64_t bytes) {
+  // CAS-grant (not fetch_add + rollback): `used_` never overshoots
+  // capacity, so `used() <= capacity()` is an always-true observable
+  // invariant (absent ForceReserve overdrafts) that the budget property
+  // tests assert concurrently.
+  int64_t cur = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur + bytes > capacity_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    if (used_.compare_exchange_weak(cur, cur + bytes,
+                                    std::memory_order_seq_cst)) {
+      NoteHighWater(cur + bytes);
+      return true;
+    }
+  }
+}
+
+Status MemPool::Exhausted(size_t requested) {
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  // The policy hook runs on the reserving thread, outside any governor
+  // lock (the snapshot load is lock-free).
+  std::shared_ptr<const ExhaustionCallback> cb = callback_.load();
+  if (cb != nullptr && *cb) {
+    (*cb)(name_, requested);
+  }
+  return Status::ResourceExhausted(
+      "mem pool '" + name_ + "' exhausted: requested " +
+      std::to_string(requested) + " bytes, " +
+      std::to_string(available()) + " of " + std::to_string(capacity()) +
+      " available");
+}
+
+Status MemPool::TryReserve(size_t bytes) {
+  // Forced exhaustion for chaos tests; the policy instance targets one
+  // pool by name, so e.g. "frame_path" can be starved in isolation.
+  if (ASTERIX_FAILPOINT_TRIGGERED("common.memgov.reserve", name_)) {
+    return Exhausted(bytes);
+  }
+  if (bytes == 0) return Status::OK();
+  if (!TryChargeQuiet(static_cast<int64_t>(bytes))) {
+    return Exhausted(bytes);
+  }
+  return Status::OK();
+}
+
+Status MemPool::TryLease(size_t bytes, MemLease* lease) {
+  Status reserved = TryReserve(bytes);
+  if (!reserved.ok()) return reserved;
+  *lease = MemLease(this, bytes);
+  return Status::OK();
+}
+
+Status MemPool::ReserveFor(size_t bytes, int64_t timeout_ms) {
+  Status first = TryReserve(bytes);
+  if (first.ok()) return first;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  MutexLock lock(mutex_);
+  for (;;) {
+    // Registration before the re-check (Dekker handshake with Release):
+    // either Release's seq_cst used_ decrement happens before our
+    // re-check — we see the space — or our seq_cst waiter registration
+    // happens before its waiter load — it takes the mutex and notifies.
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    if (TryChargeQuiet(static_cast<int64_t>(bytes))) {
+      waiters_.fetch_sub(1, std::memory_order_seq_cst);
+      return Status::OK();
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      waiters_.fetch_sub(1, std::memory_order_seq_cst);
+      return Exhausted(bytes);
+    }
+    released_.WaitFor(mutex_, deadline - now);
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+void MemPool::ForceReserve(size_t bytes) {
+  if (bytes == 0) return;
+  int64_t b = static_cast<int64_t>(bytes);
+  int64_t now_used = used_.fetch_add(b, std::memory_order_seq_cst) + b;
+  NoteHighWater(now_used);
+  if (now_used > capacity_.load(std::memory_order_relaxed)) {
+    overdraft_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void MemPool::Release(size_t bytes) {
+  if (bytes == 0) return;
+  used_.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_seq_cst);
+  if (waiters_.load(std::memory_order_seq_cst) > 0) {
+    // Taken only on the contended path; rank kMemGovernor sits below
+    // every storage/feeds lock a releasing caller may hold.
+    MutexLock lock(mutex_);
+    released_.NotifyAll();
+  }
+}
+
+MemGovernor::MemGovernor(MetricsRegistry* registry) : registry_(registry) {}
+
+MemGovernor::~MemGovernor() = default;
+
+MemGovernor& MemGovernor::Default() {
+  static MemGovernor* governor = [] {
+    auto* g = new MemGovernor(&MetricsRegistry::Default());
+    g->RegisterPool(kFramePathPool, kDefaultFramePathBytes);
+    g->RegisterPool(kMemtablePool, kDefaultMemtableBytes);
+    g->RegisterPool(kMergePool, kDefaultMergeBytes);
+    g->RegisterPool(kSpillPool, kDefaultSpillBytes);
+    g->RegisterPool(kSpanRingPool, kDefaultSpanRingBytes);
+    g->RegisterPool(kWalPool, kDefaultWalBytes);
+    return g;
+  }();
+  return *governor;
+}
+
+MemPool* MemGovernor::RegisterPool(const std::string& name,
+                                   int64_t capacity_bytes) {
+  MemPool* pool = nullptr;
+  bool created = false;
+  {
+    MutexLock lock(mutex_);
+    auto it = pools_.find(name);
+    if (it != pools_.end()) {
+      pool = it->second.get();
+    } else {
+      auto owned =
+          std::unique_ptr<MemPool>(new MemPool(name, capacity_bytes));
+      pool = owned.get();
+      pool->callback_.store(callback_);
+      pools_.emplace(name, std::move(owned));
+      created = true;
+    }
+  }
+  if (created && registry_ != nullptr) {
+    // Providers are registered OUTSIDE mutex_: RegisterProvider takes
+    // the registry's kMetricsProviders lock, which ranks far above
+    // kMemGovernor. Only the creating thread reaches this branch, so
+    // the pool gains its providers exactly once.
+    std::vector<MetricsRegistry::ProviderHandle> handles;
+    const MetricLabels labels = {{"pool", name}};
+    handles.push_back(registry_->RegisterProvider(
+        "common_mempool_capacity_bytes", MetricsRegistry::ProviderKind::kGauge,
+        labels, [pool] { return pool->capacity(); }));
+    handles.push_back(registry_->RegisterProvider(
+        "common_mempool_used_bytes", MetricsRegistry::ProviderKind::kGauge,
+        labels, [pool] { return pool->used(); }));
+    handles.push_back(registry_->RegisterProvider(
+        "common_mempool_high_water_bytes",
+        MetricsRegistry::ProviderKind::kGauge, labels,
+        [pool] { return pool->high_water(); }));
+    handles.push_back(registry_->RegisterProvider(
+        "common_mempool_exhausted_total",
+        MetricsRegistry::ProviderKind::kCounter, labels,
+        [pool] { return pool->exhausted_count(); }));
+    handles.push_back(registry_->RegisterProvider(
+        "common_mempool_overdraft_total",
+        MetricsRegistry::ProviderKind::kCounter, labels,
+        [pool] { return pool->overdraft_count(); }));
+    MutexLock lock(mutex_);
+    for (auto& h : handles) provider_handles_.push_back(std::move(h));
+  }
+  return pool;
+}
+
+MemPool* MemGovernor::GetPool(const std::string& name) const {
+  MutexLock lock(mutex_);
+  auto it = pools_.find(name);
+  return it == pools_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MemGovernor::PoolNames() const {
+  MutexLock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(pools_.size());
+  for (const auto& [name, pool] : pools_) names.push_back(name);
+  return names;
+}
+
+void MemGovernor::SetExhaustionCallback(MemPool::ExhaustionCallback callback) {
+  auto shared = std::make_shared<const MemPool::ExhaustionCallback>(
+      std::move(callback));
+  MutexLock lock(mutex_);
+  callback_ = shared;
+  for (auto& [name, pool] : pools_) pool->callback_.store(shared);
+}
+
+namespace {
+// Warm the default governor during static initialization (single
+// threaded, no locks held): the first Default() call registers the
+// per-pool metric providers under kMetricsProviders (rank 490), which
+// must never nest inside a lower-ranked subsystem lock — and without
+// this, "first call" is whichever subsystem constructor happens to run
+// first, typically under its owner's mutex.
+[[maybe_unused]] const bool kWarmDefaultGovernor =
+    (MemGovernor::Default(), true);
+}  // namespace
+
+}  // namespace common
+}  // namespace asterix

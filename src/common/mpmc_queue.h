@@ -450,9 +450,20 @@ class MpmcQueue {
   /// full run: one atomic RMW per batch instead of per item.
   std::vector<T> PopAllBounded(size_t max) {
     std::vector<T> drained;
-    while (drained.size() < max) {
+    PopAllBoundedInto(&drained, max);
+    return drained;
+  }
+
+  /// PopAllBounded appending into the caller's vector — the zero-alloc
+  /// drain: a pump that clears and reuses one batch vector pays no heap
+  /// allocation per wakeup once the vector's capacity has grown to the
+  /// high-water batch size. Returns the number of items appended.
+  size_t PopAllBoundedInto(std::vector<T>* out, size_t max) {
+    const size_t start = out->size();
+    while (out->size() - start < max) {
       uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
-      const size_t limit = std::min(max - drained.size(), capacity());
+      const size_t limit =
+          std::min(max - (out->size() - start), capacity());
       size_t run = 0;
       intptr_t first_dif = 0;
       while (run < limit) {
@@ -474,18 +485,19 @@ class MpmcQueue {
               pos, pos + run, std::memory_order_relaxed)) {
         continue;  // another consumer moved the ticket: re-verify
       }
-      drained.reserve(drained.size() + run);
+      out->reserve(out->size() + run);
       for (size_t k = 0; k < run; ++k) {
         uint64_t p = pos + k;
         Slot& slot = slots_[p & mask_];
-        drained.push_back(std::move(slot.value));
+        out->push_back(std::move(slot.value));
         slot.value = T{};  // drop payload refs eagerly (frames are counted)
         slot.seq.store(p + mask_ + 1, std::memory_order_release);
       }
       if (run < limit) break;  // partial run: nothing more published yet
     }
-    if (!drained.empty()) not_full_.NotifyAll();
-    return drained;
+    const size_t appended = out->size() - start;
+    if (appended > 0) not_full_.NotifyAll();
+    return appended;
   }
 
   /// Non-blocking full drain.
@@ -499,6 +511,29 @@ class MpmcQueue {
       std::vector<T> drained = TryPopAll();
       if (!drained.empty()) return drained;
       if (closed()) return TryPopAll();
+      if (spin < kSpinLimit) {
+        ++spin;
+        std::this_thread::yield();  // cedes the core to producers
+        continue;
+      }
+      uint64_t epoch = not_empty_.PrepareWait();
+      if (!empty() || closed()) {
+        not_empty_.CancelWait();
+        continue;
+      }
+      not_empty_.Wait(epoch);
+    }
+  }
+
+  /// Blocking PopAll appending into the caller's vector (see
+  /// PopAllBoundedInto). Returns the number appended; 0 only when closed
+  /// and drained.
+  size_t PopAllInto(std::vector<T>* out) {
+    int spin = 0;
+    for (;;) {
+      size_t appended = PopAllBoundedInto(out, SIZE_MAX);
+      if (appended > 0) return appended;
+      if (closed()) return PopAllBoundedInto(out, SIZE_MAX);
       if (spin < kSpinLimit) {
         ++spin;
         std::this_thread::yield();  // cedes the core to producers
@@ -696,6 +731,9 @@ class OverwriteQueue {
   }
   std::vector<T> PopAllBounded(size_t max) {
     return ring_.PopAllBounded(max);
+  }
+  size_t PopAllBoundedInto(std::vector<T>* out, size_t max) {
+    return ring_.PopAllBoundedInto(out, max);
   }
   std::vector<T> TryPopAll() { return ring_.TryPopAll(); }
   void Close() { ring_.Close(); }

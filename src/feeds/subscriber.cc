@@ -56,6 +56,14 @@ void DataBucketPool::Return(DataBucket* bucket) {
 
 SubscriberQueue::SubscriberQueue(SubscriberOptions options, uint64_t seed)
     : options_(std::move(options)),
+      mem_pool_(options_.memory_pool != nullptr
+                    ? options_.memory_pool
+                    : common::MemGovernor::Default().GetPool(
+                          common::MemGovernor::kFramePathPool)),
+      spill_pool_(options_.spill_pool != nullptr
+                      ? options_.spill_pool
+                      : common::MemGovernor::Default().GetPool(
+                            common::MemGovernor::kSpillPool)),
       ring_(options_.ring_frames),
       rng_(seed) {
   spill_path_ = options_.spill_dir + "/" + options_.name + "." +
@@ -64,17 +72,23 @@ SubscriberQueue::SubscriberQueue(SubscriberOptions options, uint64_t seed)
 
 SubscriberQueue::~SubscriberQueue() {
   // No concurrent producers/consumers by now (shared_ptr ownership).
+  // RetireEntry (not a bare bucket Consume) so the governor charge for
+  // every still-buffered frame is returned.
   for (Entry& e : ring_.TryPopAll()) {
-    if (e.bucket != nullptr) e.bucket->Consume();
+    RetireEntry(e);
   }
   common::MutexLock lock(mutex_);
   for (Entry& e : overflow_) {
-    if (e.bucket != nullptr) e.bucket->Consume();
+    RetireEntry(e);
   }
   overflow_.clear();
   if (spill_file_ != nullptr) {
     std::fclose(spill_file_);
     std::remove(spill_path_.c_str());
+  }
+  if (spill_pool_ != nullptr && spill_charged_ > 0) {
+    spill_pool_->Release(static_cast<size_t>(spill_charged_));
+    spill_charged_ = 0;
   }
 }
 
@@ -128,6 +142,15 @@ void SubscriberQueue::SpillLocked(const FramePtr& frame) {
   spill_pending_frames_.fetch_add(1, std::memory_order_release);
   ++stats_.frames_spilled;
   stats_.bytes_spilled += static_cast<int64_t>(payload.size());
+  if (spill_pool_ != nullptr) {
+    // Charge the actual on-disk bytes. Forced: admission control already
+    // ran on the caller's frame-byte estimate (DeliverLocked's spill
+    // lease); the serialized payload may differ slightly, and a written
+    // record must be accounted either way.
+    const size_t on_disk = sizeof(len) + payload.size();
+    spill_pool_->ForceReserve(on_disk);
+    spill_charged_ += static_cast<int64_t>(on_disk);
+  }
 }
 
 bool SubscriberQueue::RestoreFromSpillLocked() {
@@ -168,6 +191,12 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
       pending_bytes_.fetch_add(
           static_cast<int64_t>(entry.frame->ApproxBytes()),
           std::memory_order_relaxed);
+      if (mem_pool_ != nullptr) {
+        // Forced: the restore path must drain the spill file even under
+        // a starved governor (a refusal here would livelock replenish);
+        // the overdraft is counted and visible.
+        mem_pool_->ForceReserve(entry.frame->ApproxBytes());
+      }
       EnqueueEntryLocked(std::move(entry));
     }
   }
@@ -193,18 +222,27 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
   }
   if (spill_pending_frames_.load(std::memory_order_relaxed) == 0) {
     // Fully drained (or reconciled): reclaim the file so a later burst
-    // starts fresh.
+    // starts fresh, and return its governor charge.
     std::fclose(spill_file_);
     std::remove(spill_path_.c_str());
     spill_file_ = nullptr;
     spill_read_offset_ = 0;
+    if (spill_pool_ != nullptr && spill_charged_ > 0) {
+      spill_pool_->Release(static_cast<size_t>(spill_charged_));
+      spill_charged_ = 0;
+    }
   }
   return restored > 0;
 }
 
 void SubscriberQueue::RetireEntry(const Entry& entry) {
-  pending_bytes_.fetch_sub(static_cast<int64_t>(entry.frame->ApproxBytes()),
+  const size_t frame_bytes = entry.frame->ApproxBytes();
+  pending_bytes_.fetch_sub(static_cast<int64_t>(frame_bytes),
                            std::memory_order_relaxed);
+  // Mirror of the charge taken where pending_bytes_ was incremented
+  // (DeliverLocked's append / the spill-restore path): the governor's
+  // view of this queue is exactly its pending bytes.
+  if (mem_pool_ != nullptr) mem_pool_->Release(frame_bytes);
   if (entry.bucket != nullptr) entry.bucket->Consume();
 }
 
@@ -302,11 +340,35 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
     return;
   }
   int64_t frame_bytes = static_cast<int64_t>(frame->ApproxBytes());
+  // Admission: the global governor pool AND the per-subscriber budget
+  // must both admit the frame. A governor refusal (pool exhausted — or
+  // chaos-starved via the common.memgov.reserve failpoint) folds into
+  // the mode's over-budget action: kBlock fails the feed, kSpill spills,
+  // kDiscard trips the drop hysteresis, kThrottle sheds harder.
+  common::MemLease admission;
+  bool governor_refused =
+      mem_pool_ != nullptr &&
+      !mem_pool_->TryLease(static_cast<size_t>(frame_bytes), &admission)
+           .ok();
   bool over_budget =
+      governor_refused ||
       pending_bytes_.load(std::memory_order_relaxed) + frame_bytes >
-      options_.memory_budget_bytes;
+          options_.memory_budget_bytes;
 
   auto append = [&](FramePtr f, DataBucket* b) {
+    if (mem_pool_ != nullptr) {
+      // Keep the admission lease's charge (Disown) and true it up to the
+      // exact appended bytes: a sampled frame is smaller than the leased
+      // estimate, and Elastic appends even when the lease was refused
+      // (the forced top-up shows as a counted overdraft).
+      const size_t appended = f->ApproxBytes();
+      const size_t leased = admission.Disown();
+      if (appended > leased) {
+        mem_pool_->ForceReserve(appended - leased);
+      } else if (leased > appended) {
+        mem_pool_->Release(leased - appended);
+      }
+    }
     int64_t now_pending =
         pending_bytes_.fetch_add(static_cast<int64_t>(f->ApproxBytes()),
                                  std::memory_order_relaxed) +
@@ -361,7 +423,19 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
     case ExcessMode::kSpill: {
       if (over_budget ||
           spill_pending_frames_.load(std::memory_order_relaxed) > 0) {
-        if (stats_.bytes_spilled >= options_.max_spill_bytes) {
+        // The spill governor pool must also admit the frame (lease on
+        // the in-memory estimate; SpillLocked charges the exact on-disk
+        // bytes and this lease releases at scope exit). A refusal is
+        // the same condition as an exhausted per-feed spill budget.
+        common::MemLease spill_admission;
+        const bool spill_refused =
+            spill_pool_ != nullptr &&
+            !spill_pool_
+                 ->TryLease(static_cast<size_t>(frame_bytes),
+                            &spill_admission)
+                 .ok();
+        if (spill_refused ||
+            stats_.bytes_spilled >= options_.max_spill_bytes) {
           if (options_.throttle_after_spill) {
             throttling_ = true;
             LOG_MSG(kWarn) << options_.name
@@ -418,6 +492,9 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
       double keep = ThrottleKeepProbability(
           pending_bytes_.load(std::memory_order_relaxed), frame_bytes,
           options_.memory_budget_bytes);
+      // Global pressure sheds too: a governor refusal halves the keep
+      // rate even when this subscriber's own queue looks healthy.
+      if (governor_refused) keep = std::min(keep, 0.5);
       if (keep < 1.0) {
         FramePtr sampled = SampleFrame(frame, keep);
         consume();
@@ -466,12 +543,25 @@ std::optional<FramePtr> SubscriberQueue::Next(int64_t timeout_ms) {
 
 std::vector<FramePtr> SubscriberQueue::NextBatch(int64_t timeout_ms,
                                                  size_t max_frames) {
+  std::vector<FramePtr> batch;
+  (void)NextBatchInto(&batch, timeout_ms, max_frames);
+  return batch;
+}
+
+size_t SubscriberQueue::NextBatchInto(std::vector<FramePtr>* out,
+                                      int64_t timeout_ms,
+                                      size_t max_frames) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
-  std::vector<Entry> popped;
+  // Per-thread drain scratch: its capacity (and the caller's `out`
+  // capacity) is what makes the steady-state consumer drain allocation-
+  // free. Cleared before AND after use so no frame reference lingers in
+  // an idle thread between calls.
+  thread_local std::vector<Entry> popped;
+  popped.clear();
   for (;;) {
     // Fast path: drain straight off the ring, no lock.
-    popped = ring_.PopAllBounded(max_frames);
+    (void)ring_.PopAllBoundedInto(&popped, max_frames);
     if (!popped.empty()) break;
     // Rare paths hold data the ring does not: overflowed entries and
     // spilled frames. Migrate under the mutex, then re-poll.
@@ -486,7 +576,7 @@ std::vector<FramePtr> SubscriberQueue::NextBatch(int64_t timeout_ms,
       // bad spill file): honor the deadline on this branch too, or an
       // I/O error becomes a busy retry loop that never times out.
       if (std::chrono::steady_clock::now() >= deadline) {
-        popped = ring_.PopAllBounded(max_frames);
+        (void)ring_.PopAllBoundedInto(&popped, max_frames);
         break;
       }
       continue;
@@ -497,13 +587,13 @@ std::vector<FramePtr> SubscriberQueue::NextBatch(int64_t timeout_ms,
       // the contract is empty only when ended/failed with NOTHING
       // buffered. One last ring drain (and rare-path check) before
       // reporting drained, mirroring MpmcQueue::Pop's closed re-check.
-      popped = ring_.PopAllBounded(max_frames);
+      (void)ring_.PopAllBoundedInto(&popped, max_frames);
       if (!popped.empty()) break;
       if (overflow_count_.load(std::memory_order_acquire) > 0 ||
           spill_pending_frames_.load(std::memory_order_acquire) > 0) {
         continue;  // migrate the leftovers, then drain them
       }
-      return {};  // terminal and drained
+      return 0;  // terminal and drained
     }
     // Park until a producer signals (delivery/end/failure) or timeout.
     uint64_t epoch = ready_.PrepareWait();
@@ -517,31 +607,40 @@ std::vector<FramePtr> SubscriberQueue::NextBatch(int64_t timeout_ms,
     auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {
       ready_.CancelWait();
-      return {};
+      return 0;
     }
     if (!ready_.WaitFor(epoch, deadline - now)) {
       // Timed out: one last look so a racing delivery is not stranded
       // until the caller's next poll.
-      popped = ring_.PopAllBounded(max_frames);
+      (void)ring_.PopAllBoundedInto(&popped, max_frames);
       break;
     }
   }
-  std::vector<FramePtr> batch;
-  batch.reserve(popped.size());
-  std::vector<const Entry*> traced;
+  out->reserve(out->size() + popped.size());
+  bool any_traced = false;
   for (Entry& entry : popped) {
     RetireEntry(entry);
     if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
-      traced.push_back(&entry);
+      any_traced = true;
     }
-    batch.push_back(entry.frame);
+    // Copy (refcount bump, no allocation): the entry keeps its reference
+    // for the span pass below; popped.clear() drops them all.
+    out->push_back(entry.frame);
   }
-  if (!traced.empty()) {
+  const size_t appended = popped.size();
+  if (any_traced) {
     // Span recording happens with no queue lock held (see Deliver()).
+    // Untraced drains (the common case) never reach this branch, so the
+    // hot path stays allocation-free.
     int64_t pop_us = common::NowMicros();
-    for (const Entry* entry : traced) RecordQueueSpan(*entry, pop_us);
+    for (const Entry& entry : popped) {
+      if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
+        RecordQueueSpan(entry, pop_us);
+      }
+    }
   }
-  return batch;
+  popped.clear();
+  return appended;
 }
 
 bool SubscriberQueue::ended() const {

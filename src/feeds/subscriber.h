@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mem_governor.h"
 #include "common/mpmc_queue.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -90,6 +91,14 @@ struct SubscriberOptions {
   /// policy bound; a full ring under budget falls back to the mutexed
   /// overflow path (or, in Discard mode, newest-wins displacement).
   size_t ring_frames = 4096;
+  /// Governor pool charged for buffered frame bytes (the global bound
+  /// over all subscribers, alongside the per-subscriber budget above).
+  /// Null resolves to MemGovernor::Default()'s "frame_path" pool; a
+  /// refused reservation is folded into the mode's over-budget action.
+  common::MemPool* memory_pool = nullptr;
+  /// Governor pool charged for spill-file bytes. Null resolves to the
+  /// default "spill" pool; refusal acts like spill-budget exhaustion.
+  common::MemPool* spill_pool = nullptr;
 };
 
 struct SubscriberStats {
@@ -141,6 +150,13 @@ class SubscriberQueue {
   std::vector<hyracks::FramePtr> NextBatch(int64_t timeout_ms,
                                            size_t max_frames = SIZE_MAX);
 
+  /// NextBatch appending into the caller's vector — with a reused
+  /// capacity this drain allocates nothing per frame in steady state
+  /// (the pooled-frame zero-alloc path; see hyracks/frame_pool.h).
+  /// Returns the number of frames appended.
+  size_t NextBatchInto(std::vector<hyracks::FramePtr>* out,
+                       int64_t timeout_ms, size_t max_frames = SIZE_MAX);
+
   bool ended() const;
   /// Set when the Basic policy exhausted its memory budget (feed must
   /// terminate) or spillage overflowed without a throttle fallback.
@@ -184,6 +200,10 @@ class SubscriberQueue {
                                 double keep_probability) REQUIRES(mutex_);
 
   const SubscriberOptions options_;
+  // Resolved governor pools (options_ pools or the Default() governor's
+  // standard pools). Charged lock-free; never null after construction.
+  common::MemPool* const mem_pool_;
+  common::MemPool* const spill_pool_;
   // Destroyed after the destructor body runs, so leftover buckets can
   // always be returned safely.
   std::shared_ptr<DataBucketPool> pool_keepalive_;
@@ -213,6 +233,9 @@ class SubscriberQueue {
   // (preserves record order).
   std::FILE* spill_file_ GUARDED_BY(mutex_) = nullptr;
   std::string spill_path_;  // written once in the constructor
+  /// Bytes this queue's spill file currently charges against spill_pool_
+  /// (released when the drained file is reclaimed, and at destruction).
+  int64_t spill_charged_ GUARDED_BY(mutex_) = 0;
   std::atomic<int64_t> spill_pending_frames_{0};  // written under mutex_
   int64_t spill_read_offset_ GUARDED_BY(mutex_) = 0;
   bool throttling_ GUARDED_BY(mutex_) = false;   // spill overflow fallback

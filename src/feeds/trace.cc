@@ -40,6 +40,27 @@ Tracer& Tracer::Instance() {
   return *tracer;
 }
 
+Tracer::Tracer()
+    : span_pool_(common::MemGovernor::Default().GetPool(
+          common::MemGovernor::kSpanRingPool)) {
+  common::MutexLock lock(mutex_);
+  RechargeRingLocked();
+}
+
+void Tracer::RechargeRingLocked() {
+  if (span_pool_ == nullptr) return;
+  const size_t want = ring_capacity_ * sizeof(TraceSpan);
+  if (want > ring_charged_) {
+    const size_t delta = want - ring_charged_;
+    // Tracing must proceed: an over-capacity resize overdraws the pool
+    // (counted) instead of failing the caller.
+    if (!span_pool_->TryReserve(delta).ok()) span_pool_->ForceReserve(delta);
+  } else if (want < ring_charged_) {
+    span_pool_->Release(ring_charged_ - want);
+  }
+  ring_charged_ = want;
+}
+
 void Tracer::SetSamplingRate(double rate) {
   rate = std::clamp(rate, 0.0, 1.0);
   sampling_permille_.store(static_cast<int>(std::lround(rate * 1000.0)),
@@ -98,6 +119,7 @@ void Tracer::SetRingCapacity(size_t capacity) {
   ring_capacity_ = std::max<size_t>(capacity, 1);
   while (ring_.size() > ring_capacity_) ring_.pop_front();
   while (started_ids_.size() > ring_capacity_) started_ids_.pop_front();
+  RechargeRingLocked();
 }
 
 std::vector<TraceSpan> Tracer::Spans() const {

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mem_governor.h"
 #include "common/observability.h"
 #include "common/thread_annotations.h"
 #include "hyracks/frame.h"
@@ -80,7 +81,10 @@ class Tracer {
   /// pipeline lock.
   void RecordSpan(TraceSpan span);
 
-  /// Ring capacity in spans (default 64K). Shrinking drops oldest.
+  /// Ring capacity in spans (default 64K). Shrinking drops oldest. The
+  /// capacity's worst-case bytes are charged against the governor's
+  /// "span_ring" pool (tracing must proceed, so an over-capacity resize
+  /// is taken as a counted overdraft rather than an error).
   void SetRingCapacity(size_t capacity);
 
   std::vector<TraceSpan> Spans() const;
@@ -101,18 +105,27 @@ class Tracer {
   void Reset();
 
  private:
-  Tracer() = default;
+  Tracer();
 
   common::Histogram* StageHistogramLocked(const std::string& stage)
       REQUIRES(mutex_);
+  /// Trues the "span_ring" pool charge up/down to the current capacity's
+  /// worst-case bytes (capacity * sizeof(TraceSpan)).
+  void RechargeRingLocked() REQUIRES(mutex_);
 
   std::atomic<int> sampling_permille_{0};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<int64_t> traces_started_{0};
   std::atomic<uint64_t> sample_counter_{0};  // fractional-rate stride
 
+  // Resolved once at construction (Default() governor's "span_ring"
+  // pool); reserve/release are lock-free, safe under mutex_.
+  common::MemPool* span_pool_ = nullptr;
+
   mutable common::Mutex mutex_{common::LockRank::kTracer};
   size_t ring_capacity_ GUARDED_BY(mutex_) = 64 * 1024;
+  /// Bytes currently charged against span_pool_ for the ring bound.
+  size_t ring_charged_ GUARDED_BY(mutex_) = 0;
   std::deque<TraceSpan> ring_ GUARDED_BY(mutex_);
   std::deque<uint64_t> started_ids_ GUARDED_BY(mutex_);
   // stage -> cached registry histogram (stable pointers).

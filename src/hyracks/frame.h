@@ -14,6 +14,8 @@
 namespace asterix {
 namespace hyracks {
 
+class FramePool;  // frame_pool.h: recycles frame blocks + record buffers
+
 /// Trace identity carried by a frame through the cascade. id == 0 means
 /// "not sampled" — every tracing hook guards on that before doing any
 /// work, so an untraced frame costs a plain member read per hook.
@@ -48,6 +50,11 @@ class Frame {
       : Frame(std::move(records)) {
     trace_ = trace;
   }
+  Frame(const Frame&) = default;
+  Frame& operator=(const Frame&) = default;
+  /// Out-of-line (frame_pool.cc): a pooled frame hands its record buffer
+  /// back to its FramePool when the last subscriber releases it.
+  ~Frame();
 
   const std::vector<adm::Value>& records() const { return records_; }
   size_t record_count() const { return records_.size(); }
@@ -61,9 +68,12 @@ class Frame {
   const TraceContext& trace() const { return trace_; }
 
  private:
+  friend class FramePool;  // sets pool_ at pooled construction
   std::vector<adm::Value> records_;
   size_t approx_bytes_ = 0;
   TraceContext trace_;
+  /// Owning pool for recycled frames; null for plain MakeFrame frames.
+  FramePool* pool_ = nullptr;
 };
 
 using FramePtr = std::shared_ptr<const Frame>;
@@ -121,11 +131,18 @@ class IFrameWriter {
 
 /// Accumulates records and emits full frames to a writer. Frame capacity
 /// is both a record-count and byte bound, whichever trips first.
+///
+/// With a FramePool the appender emits pooled frames and rebuilds each
+/// new frame in a recycled record buffer: the warm steady state performs
+/// no heap allocation per frame (see frame_pool.h).
 class FrameAppender {
  public:
   FrameAppender(IFrameWriter* writer, size_t max_records = 128,
-                size_t max_bytes = 32 * 1024)
-      : writer_(writer), max_records_(max_records), max_bytes_(max_bytes) {}
+                size_t max_bytes = 32 * 1024, FramePool* pool = nullptr)
+      : writer_(writer),
+        max_records_(max_records),
+        max_bytes_(max_bytes),
+        pool_(pool) {}
 
   [[nodiscard]] common::Status Append(adm::Value record) {
     if (pending_.empty()) {
@@ -141,15 +158,8 @@ class FrameAppender {
   }
 
   /// Emits any buffered records as a final (possibly short) frame.
-  [[nodiscard]] common::Status FlushFrame() {
-    if (pending_.empty()) return common::Status::OK();
-    FramePtr frame = MakeFrame(std::move(pending_), pending_bytes_,
-                               pending_trace_);
-    pending_.clear();
-    pending_bytes_ = 0;
-    pending_trace_ = TraceContext{};
-    return writer_->NextFrame(frame);
-  }
+  /// Out-of-line (frame_pool.cc): the pooled path recycles buffers.
+  [[nodiscard]] common::Status FlushFrame();
 
   /// All emitted frames inherit this trace (operators that re-batch an
   /// input frame's records propagate the input trace this way).
@@ -168,6 +178,7 @@ class FrameAppender {
   IFrameWriter* writer_;
   const size_t max_records_;
   const size_t max_bytes_;
+  FramePool* pool_;
   std::vector<adm::Value> pending_;
   size_t pending_bytes_ = 0;
   TraceContext pending_trace_;

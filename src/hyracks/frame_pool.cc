@@ -1,0 +1,159 @@
+#include "hyracks/frame_pool.h"
+
+#include <new>
+#include <utility>
+
+namespace asterix {
+namespace hyracks {
+
+// Out-of-line so every translation unit that destroys a FramePtr shares
+// this definition (the recycle hook must not be inlined away behind an
+// older frame.h).
+Frame::~Frame() {
+  if (pool_ != nullptr) {
+    pool_->RecycleRecords(std::move(records_));
+  }
+}
+
+FramePool::FramePool(common::MemPool* budget, size_t max_blocks,
+                     size_t max_vectors)
+    : budget_(budget), blocks_(max_blocks), vectors_(max_vectors) {}
+
+FramePool::~FramePool() {
+  const size_t block_bytes = block_size_.load(std::memory_order_relaxed);
+  while (std::optional<void*> block = blocks_.TryPop()) {
+    if (budget_ != nullptr) budget_->Release(block_bytes);
+    ::operator delete(*block);
+  }
+  while (std::optional<std::vector<adm::Value>> v = vectors_.TryPop()) {
+    if (budget_ != nullptr) {
+      budget_->Release(v->capacity() * sizeof(adm::Value));
+    }
+  }
+}
+
+FramePool& FramePool::Default() {
+  // Leaked: frames retired during static teardown may still recycle into
+  // it, and the governor it draws on is leaked for the same reason.
+  static FramePool* pool = new FramePool(common::MemGovernor::Default().GetPool(
+      common::MemGovernor::kFramePathPool));
+  return *pool;
+}
+
+std::vector<adm::Value> FramePool::AcquireRecords() {
+  if (std::optional<std::vector<adm::Value>> v = vectors_.TryPop()) {
+    const int64_t retained =
+        static_cast<int64_t>(v->capacity() * sizeof(adm::Value));
+    if (budget_ != nullptr) budget_->Release(static_cast<size_t>(retained));
+    retained_bytes_.fetch_sub(retained, std::memory_order_relaxed);
+    vector_hits_.fetch_add(1, std::memory_order_relaxed);
+    return std::move(*v);
+  }
+  vector_misses_.fetch_add(1, std::memory_order_relaxed);
+  return {};
+}
+
+void FramePool::RecycleRecords(std::vector<adm::Value>&& records) {
+  // Element destructors run here (payload heap — strings, nested values —
+  // is NOT retained); the element buffer's capacity survives clear().
+  records.clear();
+  const size_t retained = records.capacity() * sizeof(adm::Value);
+  if (retained == 0) return;
+  if (budget_ != nullptr && !budget_->TryReserve(retained).ok()) {
+    // Budget refused: degrade gracefully, free instead of retaining.
+    budget_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (vectors_.TryPush(std::move(records))) {
+    retained_bytes_.fetch_add(static_cast<int64_t>(retained),
+                              std::memory_order_relaxed);
+  } else {
+    // Free list full; the (consumed) vector already freed its buffer.
+    if (budget_ != nullptr) budget_->Release(retained);
+  }
+}
+
+void* FramePool::AllocateBlock(size_t bytes) {
+  size_t expected = 0;
+  block_size_.compare_exchange_strong(expected, bytes,
+                                      std::memory_order_relaxed);
+  if (bytes == block_size_.load(std::memory_order_relaxed)) {
+    if (std::optional<void*> block = blocks_.TryPop()) {
+      if (budget_ != nullptr) budget_->Release(bytes);
+      retained_bytes_.fetch_sub(static_cast<int64_t>(bytes),
+                                std::memory_order_relaxed);
+      block_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *block;
+    }
+  }
+  block_misses_.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(bytes);
+}
+
+void FramePool::DeallocateBlock(void* block, size_t bytes) {
+  if (bytes == block_size_.load(std::memory_order_relaxed)) {
+    if (budget_ == nullptr || budget_->TryReserve(bytes).ok()) {
+      if (blocks_.TryPush(block)) {
+        retained_bytes_.fetch_add(static_cast<int64_t>(bytes),
+                                  std::memory_order_relaxed);
+        return;
+      }
+      if (budget_ != nullptr) budget_->Release(bytes);
+    } else {
+      budget_drops_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ::operator delete(block);
+}
+
+FramePtr FramePool::MakeFrame(std::vector<adm::Value> records) {
+  std::shared_ptr<Frame> frame = std::allocate_shared<Frame>(
+      BlockAllocator<Frame>(this), std::move(records));
+  frame->pool_ = this;
+  return frame;
+}
+
+FramePtr FramePool::MakeFrame(std::vector<adm::Value> records,
+                              size_t approx_bytes) {
+  std::shared_ptr<Frame> frame = std::allocate_shared<Frame>(
+      BlockAllocator<Frame>(this), std::move(records), approx_bytes);
+  frame->pool_ = this;
+  return frame;
+}
+
+FramePtr FramePool::MakeFrame(std::vector<adm::Value> records,
+                              TraceContext trace) {
+  std::shared_ptr<Frame> frame = std::allocate_shared<Frame>(
+      BlockAllocator<Frame>(this), std::move(records), trace);
+  frame->pool_ = this;
+  return frame;
+}
+
+FramePtr FramePool::MakeFrame(std::vector<adm::Value> records,
+                              size_t approx_bytes, TraceContext trace) {
+  std::shared_ptr<Frame> frame = std::allocate_shared<Frame>(
+      BlockAllocator<Frame>(this), std::move(records), approx_bytes, trace);
+  frame->pool_ = this;
+  return frame;
+}
+
+common::Status FrameAppender::FlushFrame() {
+  if (pending_.empty()) return common::Status::OK();
+  FramePtr frame;
+  if (pool_ != nullptr) {
+    frame = pool_->MakeFrame(std::move(pending_), pending_bytes_,
+                             pending_trace_);
+    // Steady state: the vector this frame's predecessor recycled.
+    pending_ = pool_->AcquireRecords();
+  } else {
+    frame = hyracks::MakeFrame(std::move(pending_), pending_bytes_,
+                               pending_trace_);
+    pending_.clear();
+  }
+  pending_bytes_ = 0;
+  pending_trace_ = TraceContext{};
+  return writer_->NextFrame(frame);
+}
+
+}  // namespace hyracks
+}  // namespace asterix

@@ -81,7 +81,7 @@ bool Task::Enqueue(FrameMessage msg) {
 
 void Task::Signal(const std::string& signal) { op_->OnSignal(signal); }
 
-std::vector<FrameMessage> Task::PumpBatch() {
+bool Task::PumpBatch(std::vector<FrameMessage>* batch) {
   // Process-wide pump accounting. The invariant (checked by tests): after
   // a quiescent run, frames_total counts every message drained and
   // wakeups_total counts every PumpBatch return with data — one wakeup
@@ -93,12 +93,13 @@ std::vector<FrameMessage> Task::PumpBatch() {
   static common::Counter* frames =
       common::MetricsRegistry::Default().GetCounter(
           "hyracks_task_pump_frames_total");
-  std::vector<FrameMessage> batch = input_.PopAll();
-  if (!batch.empty()) {
+  batch->clear();  // message dtors run here; capacity is retained
+  size_t drained = input_.PopAllInto(batch);
+  if (drained > 0) {
     wakeups->Add(1);
-    frames->Add(static_cast<int64_t>(batch.size()));
+    frames->Add(static_cast<int64_t>(drained));
   }
-  return batch;
+  return drained > 0;
 }
 
 void Task::ThreadMain() {
@@ -131,11 +132,14 @@ void Task::ThreadMain() {
     } else {
       int eos_count = 0;
       bool done = false;
+      // One batch vector for the task's lifetime: cleared and refilled
+      // each wakeup, so the drain itself allocates nothing once the
+      // capacity reaches the high-water batch size.
+      std::vector<FrameMessage> batch;
       while (!done) {
         // One parked wakeup drains everything queued; the ring makes the
         // drain itself lock-free (one CAS per message).
-        std::vector<FrameMessage> batch = PumpBatch();
-        if (batch.empty()) {
+        if (!PumpBatch(&batch)) {
           // Queue closed: hard abort (node death / job abort).
           aborted = true;
           break;

@@ -85,10 +85,13 @@ class Task : public TaskContext,
  private:
   void ThreadMain();
   /// The single pump drain: blocks until input is available (or the
-  /// queue closes), drains everything queued, and accounts exactly one
-  /// wakeup + batch.size() frames in the pump metrics — every drain
-  /// path goes through here so queue-depth and wakeup counters agree.
-  std::vector<FrameMessage> PumpBatch();
+  /// queue closes), drains everything queued into `*batch` (cleared
+  /// first, capacity reused across wakeups — the pump's zero-alloc
+  /// steady state), and accounts exactly one wakeup + batch-size frames
+  /// in the pump metrics — every drain path goes through here so
+  /// queue-depth and wakeup counters agree. False when the queue is
+  /// closed and drained.
+  bool PumpBatch(std::vector<FrameMessage>* batch);
 
   const JobId job_id_;
   const std::string op_name_;

@@ -21,6 +21,14 @@ const adm::Value* SortedRun::Get(const std::string& key) const {
 }
 
 LsmIndex::LsmIndex(LsmOptions options) : options_(options) {
+  memtable_pool_ = options_.memtable_pool != nullptr
+                       ? options_.memtable_pool
+                       : common::MemGovernor::Default().GetPool(
+                             common::MemGovernor::kMemtablePool);
+  merge_pool_ = options_.merge_pool != nullptr
+                    ? options_.merge_pool
+                    : common::MemGovernor::Default().GetPool(
+                          common::MemGovernor::kMergePool);
   common::MetricsRegistry& reg = common::MetricsRegistry::Default();
   metric_flushes_ = reg.GetCounter("lsm_flushes_total");
   metric_merges_ = reg.GetCounter("lsm_merges_total");
@@ -33,7 +41,19 @@ LsmIndex::LsmIndex(LsmOptions options) : options_(options) {
   }
 }
 
-LsmIndex::~LsmIndex() { Close(); }
+LsmIndex::~LsmIndex() {
+  Close();
+  // Data still resident in (sealed) memtables keeps its governor charge
+  // until the index itself goes away.
+  common::MutexLock lock(mutex_);
+  if (memtable_pool_ != nullptr) {
+    size_t held = memtable_bytes_;
+    for (size_t bytes : immutable_bytes_) held += bytes;
+    if (held > 0) memtable_pool_->Release(held);
+  }
+  memtable_bytes_ = 0;
+  immutable_bytes_.clear();
+}
 
 std::shared_ptr<SortedRun> LsmIndex::BuildRun(const Memtable& memtable) {
   std::vector<SortedRun::Entry> entries;
@@ -63,6 +83,9 @@ void LsmIndex::SealLocked() {
   if (memtable_.empty()) return;
   immutables_.push_back(
       std::make_shared<const Memtable>(std::move(memtable_)));
+  // The sealed memtable keeps its governor charge; remember how much so
+  // the flush that retires it can release exactly that.
+  immutable_bytes_.push_back(memtable_bytes_);
   memtable_ = Memtable();
   memtable_bytes_ = 0;
   ++stats_.flushes;
@@ -77,6 +100,10 @@ void LsmIndex::FlushNowLocked() {
   metric_flush_duration_us_->Record(timer.ElapsedMicros());
   metric_flushes_->Add(1);
   memtable_.clear();
+  // The bytes moved out of the governed write path into a run.
+  if (memtable_pool_ != nullptr && memtable_bytes_ > 0) {
+    memtable_pool_->Release(memtable_bytes_);
+  }
   memtable_bytes_ = 0;
   ++stats_.flushes;
 }
@@ -85,16 +112,31 @@ void LsmIndex::MergeNowLocked() {
   if (runs_.size() < 2) return;
   // Full merge: the result is the only (hence oldest) run, so tombstones
   // have shadowed everything they ever will.
+  size_t input_bytes = 0;
+  for (const auto& run : runs_) input_bytes += run->approx_bytes();
+  if (merge_pool_ != nullptr && !merge_pool_->TryReserve(input_bytes).ok()) {
+    // Merges must proceed (a stalled merge only grows the next one):
+    // overdraw the pool instead of erroring; the overdraft is counted.
+    merge_pool_->ForceReserve(input_bytes);
+  }
   common::Stopwatch timer;
   runs_ = {MergeRuns(runs_, /*drop_tombstones=*/true)};
   metric_merge_duration_us_->Record(timer.ElapsedMicros());
   metric_merges_->Add(1);
   ++stats_.merges;
+  if (merge_pool_ != nullptr) merge_pool_->Release(input_bytes);
 }
 
 Status LsmIndex::Insert(const std::string& key, adm::Value value) {
   ASTERIX_FAILPOINT("storage.lsm.insert");
   size_t bytes = key.size() + value.ApproxSizeBytes();
+  // Governor admission before any mutation: an exhausted "memtable" pool
+  // surfaces as a typed error the at-least-once protocol simply retries
+  // (the charge mirrors memtable_bytes_ and is released at flush time).
+  if (memtable_pool_ != nullptr) {
+    Status reserved = memtable_pool_->TryReserve(bytes);
+    if (!reserved.ok()) return reserved;
+  }
   common::MutexLock lock(mutex_);
   if (options_.async_maintenance && options_.max_immutable_memtables > 0 &&
       immutables_.size() >= options_.max_immutable_memtables && !stop_) {
@@ -263,6 +305,16 @@ void LsmIndex::MaintenanceMain() {
       mutex_.Unlock();
       // Delay action = a long-running merge holding the backlog up.
       ASTERIX_FAILPOINT_HIT("storage.lsm.merge");
+      // Merge working memory: charge the inputs' bytes for the merge's
+      // duration; must-proceed, so exhaustion is a counted overdraft.
+      size_t merge_input_bytes = 0;
+      for (const auto& run : to_merge) {
+        merge_input_bytes += run->approx_bytes();
+      }
+      if (merge_pool_ != nullptr &&
+          !merge_pool_->TryReserve(merge_input_bytes).ok()) {
+        merge_pool_->ForceReserve(merge_input_bytes);
+      }
       // to_merge covers every run at snapshot time and the result is
       // re-inserted as the oldest, so tombstones can be retired here.
       common::Stopwatch merge_timer;
@@ -270,6 +322,7 @@ void LsmIndex::MaintenanceMain() {
           MergeRuns(to_merge, /*drop_tombstones=*/true);
       metric_merge_duration_us_->Record(merge_timer.ElapsedMicros());
       metric_merges_->Add(1);
+      if (merge_pool_ != nullptr) merge_pool_->Release(merge_input_bytes);
       mutex_.Lock();
       runs_.erase(runs_.begin(),
                   runs_.begin() + static_cast<ptrdiff_t>(to_merge.size()));
@@ -294,6 +347,10 @@ void LsmIndex::MaintenanceMain() {
       mutex_.Lock();
       runs_.push_back(std::move(run));
       immutables_.pop_front();
+      if (memtable_pool_ != nullptr && immutable_bytes_.front() > 0) {
+        memtable_pool_->Release(immutable_bytes_.front());
+      }
+      immutable_bytes_.pop_front();
       metric_flush_backlog_->Add(-1);
       drained_cv_.NotifyAll();
       continue;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "adm/value.h"
+#include "common/mem_governor.h"
 #include "common/observability.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -30,14 +31,23 @@ class SortedRun {
   using Entry = std::pair<std::string, adm::Value>;
 
   explicit SortedRun(std::vector<Entry> entries)
-      : entries_(std::move(entries)) {}
+      : entries_(std::move(entries)) {
+    for (const auto& [k, v] : entries_) {
+      approx_bytes_ += k.size() + v.ApproxSizeBytes();
+    }
+  }
 
   const adm::Value* Get(const std::string& key) const;
   const std::vector<Entry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
+  /// Approximate payload bytes, computed once at construction. Merge
+  /// admission charges the governor's "merge" pool with the input runs'
+  /// totals while a merge is in flight.
+  size_t approx_bytes() const { return approx_bytes_; }
 
  private:
   std::vector<Entry> entries_;  // sorted by key, unique keys
+  size_t approx_bytes_ = 0;
 };
 
 struct LsmOptions {
@@ -57,6 +67,16 @@ struct LsmOptions {
   /// PartitionedLsmIndex: number of hash partitions. 0 = hardware
   /// concurrency.
   size_t partitions = 0;
+  /// Governor pool charged for resident write memory (active + sealed
+  /// memtables). Null resolves to MemGovernor::Default()'s "memtable"
+  /// pool; an exhausted pool fails Insert with ResourceExhausted (the
+  /// at-least-once protocol retries it).
+  common::MemPool* memtable_pool = nullptr;
+  /// Governor pool charged for merge working memory (the input runs'
+  /// bytes while a merge is in flight). Null resolves to the default
+  /// "merge" pool; merges must proceed, so exhaustion is taken as a
+  /// counted overdraft rather than an error.
+  common::MemPool* merge_pool = nullptr;
 };
 
 struct LsmStats {
@@ -156,12 +176,20 @@ class LsmIndex {
   size_t memtable_bytes_ GUARDED_BY(mutex_) = 0;
   /// Sealed memtables awaiting background flush, oldest first.
   std::deque<std::shared_ptr<const Memtable>> immutables_ GUARDED_BY(mutex_);
+  /// Byte sizes parallel to immutables_ (each element is the governor
+  /// charge the sealed memtable still holds; released when its run
+  /// lands). Mutated in lockstep with immutables_.
+  std::deque<size_t> immutable_bytes_ GUARDED_BY(mutex_);
   /// Newest run last.
   std::vector<std::shared_ptr<SortedRun>> runs_ GUARDED_BY(mutex_);
   LsmStats stats_ GUARDED_BY(mutex_);
   bool stop_ GUARDED_BY(mutex_) = false;
   bool maintenance_running_ GUARDED_BY(mutex_) = false;
   std::thread maintenance_;  // started in the ctor, joined in Close()
+  // Resolved governor pools (options_ pools or the Default() governor's
+  // standard pools). Reserve/Release are lock-free (safe under mutex_).
+  common::MemPool* memtable_pool_ = nullptr;
+  common::MemPool* merge_pool_ = nullptr;  // set once in ctor, then read-only
 
   // Cached process-wide registry metrics, resolved once in the
   // constructor. All operations on them are relaxed atomics, so they are

@@ -12,8 +12,13 @@ namespace storage {
 
 using common::Status;
 
-Wal::Wal(std::string path, bool durable)
-    : path_(std::move(path)), durable_(durable) {
+Wal::Wal(std::string path, bool durable, common::MemPool* wal_pool)
+    : path_(std::move(path)),
+      durable_(durable),
+      wal_pool_(wal_pool != nullptr
+                    ? wal_pool
+                    : common::MemGovernor::Default().GetPool(
+                          common::MemGovernor::kWalPool)) {
   common::MetricsRegistry& reg = common::MetricsRegistry::Default();
   metric_appends_ = reg.GetCounter("wal_appends_total");
   metric_bytes_ = reg.GetCounter("wal_bytes_written_total");
@@ -43,6 +48,16 @@ Status Wal::Append(const std::string& payload) {
   // Before any byte lands: an injected append failure must leave the log
   // unchanged so the caller can retry (the at-least-once replay path).
   ASTERIX_FAILPOINT("storage.wal.append");
+  // Governor admission for the framed entry, held for the append's
+  // duration (RAII covers every return path below). Exhaustion — real or
+  // injected via common.memgov.reserve on the "wal" pool — is a soft
+  // fault the retry/replay machinery already absorbs.
+  common::MemLease lease;
+  if (wal_pool_ != nullptr) {
+    Status admitted =
+        wal_pool_->TryLease(sizeof(uint32_t) + payload.size(), &lease);
+    if (!admitted.ok()) return admitted;
+  }
   common::MutexLock lock(mutex_);
   if (file_ == nullptr) {
     return Status::FailedPrecondition("WAL not open: " + path_);

@@ -8,6 +8,7 @@
 #include <functional>
 #include <string>
 
+#include "common/mem_governor.h"
 #include "common/observability.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -20,7 +21,13 @@ class Wal {
   /// Opens (creating or appending to) the log at `path`. When `durable` is
   /// true every append is flushed to the OS; this is the knob the
   /// Storm+MongoDB baseline comparison varies as "write concern".
-  Wal(std::string path, bool durable = false);
+  /// `wal_pool` is the governor pool bounding in-flight append bytes
+  /// (each Append leases its framed size for the append's duration); null
+  /// resolves to MemGovernor::Default()'s "wal" pool. An exhausted pool
+  /// fails Append with ResourceExhausted before any byte lands, so the
+  /// at-least-once protocol retries it like any other soft append fault.
+  Wal(std::string path, bool durable = false,
+      common::MemPool* wal_pool = nullptr);
   ~Wal();
 
   Wal(const Wal&) = delete;
@@ -45,6 +52,9 @@ class Wal {
  private:
   const std::string path_;
   const bool durable_;
+  // Resolved governor pool (ctor arg or the Default() governor's "wal"
+  // pool). Leased lock-free per append; never null after construction.
+  common::MemPool* const wal_pool_;
   mutable common::Mutex mutex_{common::LockRank::kWal};
   std::FILE* file_ GUARDED_BY(mutex_) = nullptr;
   int64_t entry_count_ GUARDED_BY(mutex_) = 0;

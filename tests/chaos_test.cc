@@ -309,7 +309,15 @@ TEST_F(ChaosTest, ChaosSoakIsLosslessForFixedSeed) {
              FailPointPolicy::Throw("chaos: poison record")
                  .WithProbability(0.01))
       .ArmAt(800, "feeds.meta.process_frame",
-             FailPointPolicy::Delay(1).EveryNth(20));
+             FailPointPolicy::Delay(1).EveryNth(20))
+      // Injected memory pressure on the governor's "wal" pool: Append
+      // fails typed (ResourceExhausted) before any byte lands, so the
+      // at-least-once machinery replays it like any other soft fault.
+      .ArmAt(900, "common.memgov.reserve",
+             FailPointPolicy::Error(
+                 Status::ResourceExhausted("chaos: memory pressure"))
+                 .WithProbability(0.02)
+                 .OnInstance("wal"));
   schedule.Start();
   source.Start();
   source.Join();
@@ -328,6 +336,47 @@ TEST_F(ChaosTest, ChaosSoakIsLosslessForFixedSeed) {
   EXPECT_FALSE(conn->terminated) << "seed=" << seed;
   feeds::ExternalSourceRegistry::Instance().UnregisterChannel(
       "chaos:soak");
+}
+
+// A Spill feed whose frame-path budget is refused outright: every
+// governor admission on the "frame_path" pool fails, so the subscriber
+// queues treat each arrival as over-budget and park it on disk. Spill is
+// lossless by construction — excess is deferred, never dropped — so the
+// dataset must still converge to every record sent, with the spill
+// machinery (not luck) absorbing the pressure.
+TEST_F(ChaosTest, SpillFeedStaysLosslessUnderZeroFrameBudget) {
+  auto& source = NewSource(0, gen::Pattern::Constant(1500, 2500));
+  SetupFeed("chaos:memspill", &source.channel(), {"E", "F"});
+  ASSERT_TRUE(db_->ConnectFeed("Feed", "Sink", "Spill").ok());
+
+  auto& registry = FailPointRegistry::Instance();
+  registry.Arm("common.memgov.reserve",
+               FailPointPolicy::Error(
+                   Status::ResourceExhausted("chaos: zero frame budget"))
+                   .OnInstance("frame_path"));
+  source.Start();
+  source.Join();
+  int64_t sent = source.tweets_sent();
+  ASSERT_GT(sent, 1000);
+  ASSERT_TRUE(WaitFor([&] { return SinkCount() == sent; }, 30000))
+      << "sent=" << sent << " stored=" << SinkCount();
+  EXPECT_GT(registry.Fires("common.memgov.reserve"), 0);
+  // The pressure was absorbed by spilling, and everything spilled came
+  // back: restored == spilled on the intake queues.
+  auto metrics = db_->FeedMetrics("Feed", "Sink");
+  ASSERT_NE(metrics, nullptr);
+  int64_t spilled = 0;
+  int64_t restored = 0;
+  for (const auto& queue : metrics->IntakeQueues()) {
+    auto stats = queue->stats();
+    spilled += stats.frames_spilled;
+    restored += stats.frames_restored;
+  }
+  EXPECT_GT(spilled, 0);
+  EXPECT_EQ(restored, spilled);
+  registry.Disarm("common.memgov.reserve");
+  feeds::ExternalSourceRegistry::Instance().UnregisterChannel(
+      "chaos:memspill");
 }
 
 // Trace-span conservation under faults: re-run the flaky-WAL scenario with

@@ -1,8 +1,22 @@
-// Shared helpers for the test suite: polling, frame/record builders, and
-// the instance/dataset boilerplate that every end-to-end test repeats.
+// Shared helpers for the test suite: polling, frame/record builders, the
+// instance/dataset boilerplate that every end-to-end test repeats, and an
+// optional operator-new interposer for allocation-count assertions.
+//
+// Alloc interposer: exactly ONE translation unit per binary defines
+// ASTERIX_ALLOC_INTERPOSER before including this header; that TU gets
+// global operator new/delete replacements which count allocations into
+// per-thread and process-wide tallies. Every other TU (and binaries that
+// never define the macro) sees only the read-side API: AllocScope,
+// ThreadAllocStats, AllocInterposerActive. Under ASan/TSan the
+// replacements are compiled out (sanitizers own malloc), and
+// AllocInterposerActive() reports false so tests can skip.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <new>
 #include <string>
 #include <thread>
 #include <utility>
@@ -14,8 +28,79 @@
 #include "hyracks/frame.h"
 #include "storage/dataset.h"
 
+// Sanitizers replace malloc with their own bookkeeping allocator;
+// user-provided operator new replacements break their interception.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ASTERIX_SANITIZER_MALLOC 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ASTERIX_SANITIZER_MALLOC 1
+#endif
+#endif
+
 namespace asterix {
 namespace testing {
+
+namespace alloc_internal {
+// Constant-initialized, so safe to bump from allocations that run during
+// static initialization. Inline (C++17): one instance per binary even
+// though the header is included from many TUs.
+inline thread_local int64_t tl_count = 0;
+inline thread_local int64_t tl_bytes = 0;
+inline std::atomic<int64_t> g_count{0};
+inline std::atomic<int64_t> g_bytes{0};
+
+inline void Note(std::size_t bytes) noexcept {
+  tl_count += 1;
+  tl_bytes += static_cast<int64_t>(bytes);
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+}
+}  // namespace alloc_internal
+
+struct AllocStats {
+  int64_t count = 0;
+  int64_t bytes = 0;
+};
+
+/// Allocations made by the calling thread since it started (zeros forever
+/// when this binary carries no interposer).
+inline AllocStats ThreadAllocStats() {
+  return {alloc_internal::tl_count, alloc_internal::tl_bytes};
+}
+
+/// Process-wide tallies across all threads.
+inline AllocStats GlobalAllocStats() {
+  return {alloc_internal::g_count.load(std::memory_order_relaxed),
+          alloc_internal::g_bytes.load(std::memory_order_relaxed)};
+}
+
+/// True iff this binary's operator new is instrumented. Heuristic: by the
+/// time any test body runs, the harness itself has allocated thousands of
+/// times, so a zero global count means the interposer is absent (not
+/// compiled in, or disabled under a sanitizer). Gate alloc assertions on
+/// this and GTEST_SKIP otherwise.
+inline bool AllocInterposerActive() {
+  return alloc_internal::g_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Counts this thread's heap allocations across a region:
+///   AllocScope scope;
+///   ... hot path ...
+///   EXPECT_ALLOCS_UNDER(scope, 0);
+class AllocScope {
+ public:
+  AllocScope() : start_(ThreadAllocStats()) {}
+  int64_t count() const {
+    return ThreadAllocStats().count - start_.count;
+  }
+  int64_t bytes() const {
+    return ThreadAllocStats().bytes - start_.bytes;
+  }
+
+ private:
+  AllocStats start_;
+};
 
 /// True when the binary is built with ThreadSanitizer. Tests that assert
 /// wall-clock throughput (records produced per real second) use this to
@@ -104,4 +189,108 @@ inline InstanceOptions FastOptions(int nodes) {
 
 }  // namespace testing
 }  // namespace asterix
+
+/// Asserts the scope saw at most `n` heap allocations on this thread.
+#define EXPECT_ALLOCS_UNDER(scope, n)                                     \
+  EXPECT_LE((scope).count(), static_cast<int64_t>(n))                     \
+      << "heap allocations in scope: " << (scope).count() << " ("         \
+      << (scope).bytes() << " bytes)"
+
+#if defined(ASTERIX_ALLOC_INTERPOSER) && !defined(ASTERIX_SANITIZER_MALLOC)
+// Global operator new/delete replacements (one TU per binary; see the
+// header comment). Replacements must not call any allocating function,
+// so they go straight to malloc/free.
+
+namespace asterix {
+namespace testing {
+namespace alloc_internal {
+inline void* AllocOrThrow(std::size_t size) {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  Note(size);
+  return p;
+}
+
+inline void* AlignedAlloc(std::size_t size, std::size_t align) noexcept {
+  if (align < alignof(void*)) align = alignof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : 1) != 0) return nullptr;
+  return p;
+}
+}  // namespace alloc_internal
+}  // namespace testing
+}  // namespace asterix
+
+void* operator new(std::size_t size) {
+  return asterix::testing::alloc_internal::AllocOrThrow(size);
+}
+void* operator new[](std::size_t size) {
+  return asterix::testing::alloc_internal::AllocOrThrow(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) asterix::testing::alloc_internal::Note(size);
+  return p;
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) asterix::testing::alloc_internal::Note(size);
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = asterix::testing::alloc_internal::AlignedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  asterix::testing::alloc_internal::Note(size);
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = asterix::testing::alloc_internal::AlignedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  asterix::testing::alloc_internal::Note(size);
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  void* p = asterix::testing::alloc_internal::AlignedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p != nullptr) asterix::testing::alloc_internal::Note(size);
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  void* p = asterix::testing::alloc_internal::AlignedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p != nullptr) asterix::testing::alloc_internal::Note(size);
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+#endif  // ASTERIX_ALLOC_INTERPOSER && !ASTERIX_SANITIZER_MALLOC
 

@@ -41,6 +41,12 @@ Checks, each with a stable ID used in failure output:
               std::this_thread::yield and empty-body `while (x.load())`
               busy-waits are banned in src/ — waiters must park on a
               CondVar or the queues' EventCount, not burn a core
+  MEM-POOL    every MemPool TryReserve/TryLease call site in src/ must
+              consume the returned Status (assign it, test it, or return
+              it) — the admission verdict is the whole point of asking
+  MEM-README  the README "Memory governance" pool table lists exactly
+              the standard pools RegisterPool'd by MemGovernor::Default
+              in mem_governor.cc, with matching default capacities
 
 Exit status 0 iff no findings. Run directly:  python3 tools/lint/check_invariants.py
 """
@@ -320,6 +326,94 @@ class Linter:
                           f"rank '{name}' is {enum[name]} in lock_rank.h "
                           f"but {table[name]} in the README table")
 
+    # --- memory pools --------------------------------------------------------
+    def check_mem_pools(self):
+        """MEM-POOL: a `TryReserve`/`TryLease` whose Status is discarded is
+        a budget leak waiting to happen — the reservation may have been
+        *refused* and the caller proceeds as if admitted. Heuristic: the
+        enclosing statement must contain an `=`, an `if`, a `return`, a
+        `.ok(` test, or a CHECK macro. MEM-README: pool table lockstep,
+        same mechanism as the failpoint and rank tables."""
+        call = re.compile(r"\b(?:TryReserve|TryLease)\s*\(")
+        for path in sorted((self.root / "src").rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            if path.name in ("mem_governor.h", "mem_governor.cc"):
+                continue  # the implementation itself (decls + internals)
+            code = re.sub(r"//[^\n]*", "", path.read_text())
+            for m in call.finditer(code):
+                start = max(code.rfind(c, 0, m.start()) for c in ";{}") + 1
+                end = code.find(";", m.end())
+                stmt = code[start:end if end != -1 else len(code)]
+                if not re.search(r"=|\bif\b|\breturn\b|\.ok\s*\(|CHECK",
+                                 stmt):
+                    line_no = code.count("\n", 0, m.start()) + 1
+                    self.fail(
+                        "MEM-POOL", f"{self.rel(path)}:{line_no}",
+                        "TryReserve/TryLease verdict discarded — assign "
+                        "the Status, branch on it, or return it (a refused "
+                        "reservation must not be treated as admitted)")
+
+        # README pool table <-> MemGovernor::Default() RegisterPool lockstep.
+        header = (self.root / "src/common/mem_governor.h").read_text()
+        source = (self.root / "src/common/mem_governor.cc").read_text()
+        pool_names = dict(re.findall(
+            r'(k\w+Pool)\s*=\s*"([a-z0-9_]+)"', header))
+        byte_consts = {
+            name: int(num) << int(shift)
+            for name, num, shift in re.findall(
+                r"constexpr int64_t\s+(kDefault\w+Bytes)\s*=\s*"
+                r"(\d+)LL\s*<<\s*(\d+)\s*;", source)}
+
+        def human(b):
+            return (f"{b >> 30} GiB" if b >= (1 << 30) and b % (1 << 30) == 0
+                    else f"{b >> 20} MiB")
+
+        registered = {}  # pool name -> "256 MiB"
+        for const, byte_const in re.findall(
+                r"RegisterPool\(\s*(k\w+Pool)\s*,\s*(kDefault\w+Bytes)\s*\)",
+                source):
+            if const in pool_names and byte_const in byte_consts:
+                registered[pool_names[const]] = human(byte_consts[byte_const])
+
+        table = {}
+        in_section = in_table = False
+        for line in (self.root / "README.md").read_text().splitlines():
+            if line.startswith("## "):
+                in_section = line.strip() == "## Memory governance"
+                in_table = False
+                continue
+            if not in_section:
+                continue
+            if line.strip().startswith("| Pool") and "`" not in line:
+                in_table = True
+                continue
+            if in_table:
+                m = re.match(r"\|\s*`([^`]+)`\s*\|\s*([^|]+?)\s*\|", line)
+                if m:
+                    table[m.group(1)] = m.group(2)
+                elif not line.strip().startswith("|--") and \
+                        not line.strip().startswith("| --"):
+                    in_table = False
+        if not registered:
+            self.fail("MEM-README", "src/common/mem_governor.cc",
+                      "could not parse the Default() RegisterPool calls "
+                      "(did the literal form change? update this check)")
+        for name in sorted(set(registered) - set(table)):
+            self.fail("MEM-README", "README.md",
+                      f"pool '{name}' is registered in mem_governor.cc but "
+                      "missing from the README pool table")
+        for name in sorted(set(table) - set(registered)):
+            self.fail("MEM-README", "README.md",
+                      f"pool '{name}' is in the README pool table but not "
+                      "registered by MemGovernor::Default()")
+        for name in sorted(set(registered) & set(table)):
+            if registered[name] != table[name]:
+                self.fail("MEM-README", "README.md",
+                          f"pool '{name}' default capacity is "
+                          f"{registered[name]} in mem_governor.cc but "
+                          f"'{table[name]}' in the README table")
+
     # --- GUARDED_BY coverage -------------------------------------------------
     def check_guarded_by(self):
         """In any class body that declares a `common::Mutex ...mutex...`,
@@ -408,6 +502,7 @@ def main():
     linter.check_sleeps()
     linter.check_raw_mutexes()
     linter.check_spin_park()
+    linter.check_mem_pools()
     linter.check_lock_ranks()
     linter.check_guarded_by()
 
