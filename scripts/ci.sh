@@ -11,6 +11,8 @@
 #   tsan-chaos  ThreadSanitizer build, concurrency-heavy suites
 #   deadlock    runtime lock-order checker ON (ASTERIX_DEADLOCK_DETECTOR),
 #               detector unit tests + chaos/sanitizer-labeled suites
+#   modelcheck  deterministic model checker (ASTERIX_MODEL_CHECK_TESTS):
+#               litmus/invariant suite + seeded-bug regressions
 #   clang-tidy  curated .clang-tidy baseline over src/ (SKIP when
 #               clang-tidy is not installed)
 #   lint        tools/lint/check_invariants.py
@@ -24,7 +26,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default analyze asan-ubsan tsan-chaos deadlock clang-tidy lint)
+  STAGES=(default analyze asan-ubsan tsan-chaos deadlock modelcheck clang-tidy lint)
 fi
 
 declare -A RESULT
@@ -89,6 +91,12 @@ for stage in "${STAGES[@]}"; do
         cmake --preset deadlock >/dev/null &&
         cmake --build --preset deadlock -j $JOBS &&
         ctest --preset deadlock -j $JOBS"
+      ;;
+    modelcheck)
+      run_stage modelcheck bash -c "
+        cmake --preset modelcheck >/dev/null &&
+        cmake --build --preset modelcheck -j $JOBS &&
+        ctest --preset modelcheck"
       ;;
     clang-tidy)
       if command -v clang-tidy >/dev/null 2>&1; then

@@ -46,6 +46,10 @@ class DeadlockDetector {
  public:
   /// Disarmed fast path: one relaxed load, checked by the Mutex hooks
   /// before anything else.
+  // relaxed: armed_ is a standalone on/off flag guarding a debug
+  // facility; the graph state it gates lives behind its own mutex, so
+  // no ordering rides on the flag and a stale read only means one more
+  // (or one fewer) hook invocation around Arm/Disarm.
   static bool Armed() { return armed_.load(std::memory_order_relaxed); }
   static void Arm() { armed_.store(true, std::memory_order_relaxed); }
   static void Disarm() { armed_.store(false, std::memory_order_relaxed); }

@@ -19,6 +19,9 @@ void FailPointRegistry::Arm(const std::string& site,
   MutexLock lock(mutex_);
   auto it = points_.find(site);
   if (it == points_.end()) {
+    // relaxed: armed_count_ is only an AnyArmed fast-path hint; the
+    // authoritative point state is read under mutex_ by Evaluate, so a
+    // racing reader merely takes (or skips) one map-lookup slow path.
     armed_count_.fetch_add(1, std::memory_order_relaxed);
     it = points_.emplace(site, ArmedPoint{}).first;
   } else {
@@ -32,12 +35,14 @@ void FailPointRegistry::Arm(const std::string& site,
 void FailPointRegistry::Disarm(const std::string& site) {
   MutexLock lock(mutex_);
   if (points_.erase(site) > 0) {
+    // relaxed: see Arm — hint counter, truth is under mutex_.
     armed_count_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FailPointRegistry::DisarmAll() {
   MutexLock lock(mutex_);
+  // relaxed: see Arm — hint counter, truth is under mutex_.
   armed_count_.fetch_sub(static_cast<int64_t>(points_.size()),
                          std::memory_order_relaxed);
   points_.clear();

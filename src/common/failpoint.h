@@ -134,6 +134,9 @@ class FailPointRegistry {
 
   /// True if any site is currently armed. The macros gate on this before
   /// paying for the map lookup.
+  // relaxed: fast-path hint only; Evaluate re-reads the armed set under
+  // the registry mutex, so a stale zero just skips one evaluation window
+  // around Arm — acceptable for a chaos-testing facility.
   static bool AnyArmed() {
     return armed_count_.load(std::memory_order_relaxed) > 0;
   }

@@ -29,11 +29,15 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
+// relaxed: the level is an independent scalar filter — no data is
+// published through it, and a momentarily stale threshold only lets one
+// extra line through (or drops one) around a SetMinLevel call.
 void Logging::SetMinLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel Logging::min_level() {
+  // relaxed: see SetMinLevel — standalone filter threshold.
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
@@ -48,6 +52,7 @@ std::string Logging::log_file() {
 }
 
 void Logging::Emit(LogLevel level, const std::string& message) {
+  // relaxed: see SetMinLevel — standalone filter threshold.
   if (static_cast<int>(level) <
       g_min_level.load(std::memory_order_relaxed)) {
     return;

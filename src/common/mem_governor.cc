@@ -35,6 +35,9 @@ MemPool::MemPool(std::string name, int64_t capacity_bytes)
     : name_(std::move(name)), capacity_(capacity_bytes) {}
 
 void MemPool::SetCapacity(int64_t capacity_bytes) {
+  // relaxed: the store needs no ordering of its own — a waiter either
+  // re-reads it inside TryChargeQuiet's CAS loop after the notify below,
+  // or the next TryReserve picks it up; nothing is published with it.
   capacity_.store(capacity_bytes, std::memory_order_relaxed);
   // A grow may unblock parked ReserveFor waiters.
   if (waiters_.load(std::memory_order_seq_cst) > 0) {
@@ -44,6 +47,7 @@ void MemPool::SetCapacity(int64_t capacity_bytes) {
 }
 
 void MemPool::NoteHighWater(int64_t used_now) {
+  // relaxed: monotonic max of a stats gauge; only monitoring reads it.
   int64_t seen = high_water_.load(std::memory_order_relaxed);
   while (used_now > seen &&
          !high_water_.compare_exchange_weak(seen, used_now,
@@ -56,8 +60,14 @@ bool MemPool::TryChargeQuiet(int64_t bytes) {
   // capacity, so `used() <= capacity()` is an always-true observable
   // invariant (absent ForceReserve overdrafts) that the budget property
   // tests assert concurrently.
+  // relaxed: a stale read only mispredicts the CAS `expected`; the
+  // seq_cst CAS below is the linearization point.
   int64_t cur = used_.load(std::memory_order_relaxed);
   for (;;) {
+    // relaxed: capacity is re-read each lap; a stale value flips one
+    // admission decision at worst, never the used_ <= capacity_
+    // invariant (the CAS grants against the value read here, and
+    // capacity shrink explicitly tolerates in-flight grants).
     if (cur + bytes > capacity_.load(std::memory_order_relaxed)) {
       return false;
     }
@@ -70,6 +80,7 @@ bool MemPool::TryChargeQuiet(int64_t bytes) {
 }
 
 Status MemPool::Exhausted(size_t requested) {
+  // relaxed: monotonic stats counter for metrics export only.
   exhausted_.fetch_add(1, std::memory_order_relaxed);
   // The policy hook runs on the reserving thread, outside any governor
   // lock (the snapshot load is lock-free).
@@ -107,8 +118,8 @@ Status MemPool::TryLease(size_t bytes, MemLease* lease) {
 Status MemPool::ReserveFor(size_t bytes, int64_t timeout_ms) {
   Status first = TryReserve(bytes);
   if (first.ok()) return first;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
+  const auto deadline =
+      SteadyNow() + std::chrono::milliseconds(timeout_ms);
   MutexLock lock(mutex_);
   for (;;) {
     // Registration before the re-check (Dekker handshake with Release):
@@ -120,7 +131,7 @@ Status MemPool::ReserveFor(size_t bytes, int64_t timeout_ms) {
       waiters_.fetch_sub(1, std::memory_order_seq_cst);
       return Status::OK();
     }
-    auto now = std::chrono::steady_clock::now();
+    auto now = SteadyNow();
     if (now >= deadline) {
       waiters_.fetch_sub(1, std::memory_order_seq_cst);
       return Exhausted(bytes);
@@ -135,6 +146,8 @@ void MemPool::ForceReserve(size_t bytes) {
   int64_t b = static_cast<int64_t>(bytes);
   int64_t now_used = used_.fetch_add(b, std::memory_order_seq_cst) + b;
   NoteHighWater(now_used);
+  // relaxed: both the capacity read (stats-only comparison) and the
+  // overdraft counter feed monitoring; admission never reads them.
   if (now_used > capacity_.load(std::memory_order_relaxed)) {
     overdraft_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -240,16 +253,21 @@ void MemGovernor::SetExhaustionCallback(MemPool::ExhaustionCallback callback) {
   for (auto& [name, pool] : pools_) pool->callback_.store(shared);
 }
 
+#ifndef ASTERIX_MODEL_CHECK
 namespace {
 // Warm the default governor during static initialization (single
 // threaded, no locks held): the first Default() call registers the
 // per-pool metric providers under kMetricsProviders (rank 490), which
 // must never nest inside a lower-ranked subsystem lock — and without
 // this, "first call" is whichever subsystem constructor happens to run
-// first, typically under its owner's mutex.
+// first, typically under its owner's mutex. (Model builds skip the
+// warmup: checked executions build their own governors, and a static
+// Default() instance would feed the checker's pass-through path for
+// nothing.)
 [[maybe_unused]] const bool kWarmDefaultGovernor =
     (MemGovernor::Default(), true);
 }  // namespace
+#endif  // ASTERIX_MODEL_CHECK
 
 }  // namespace common
 }  // namespace asterix

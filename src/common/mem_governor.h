@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_shim.h"
 #include "common/mpmc_queue.h"  // SnapshotPtr (lock-free callback swap)
 #include "common/observability.h"
 #include "common/status.h"
@@ -71,7 +72,7 @@ class MemLease {
   }
   MemLease(const MemLease&) = delete;
   MemLease& operator=(const MemLease&) = delete;
-  ~MemLease() { Release(); }
+  ~MemLease() ASTERIX_MC_MAY_THROW { Release(); }
 
   /// Returns the bytes to the pool now (idempotent).
   void Release();
@@ -107,6 +108,7 @@ class MemPool {
   const std::string& name() const { return name_; }
 
   int64_t capacity() const {
+    // relaxed: monitoring read; TryChargeQuiet re-reads under its CAS.
     return capacity_.load(std::memory_order_relaxed);
   }
   /// Runtime resize (tests, elastic reconfiguration). Shrinking below
@@ -114,15 +116,19 @@ class MemPool {
   /// calls fail until enough is released.
   void SetCapacity(int64_t capacity_bytes);
 
+  // relaxed: monitoring gauge; the grant path orders via its own CAS.
   int64_t used() const { return used_.load(std::memory_order_relaxed); }
   int64_t available() const { return capacity() - used(); }
   int64_t high_water() const {
+    // relaxed: monitoring gauge, no gating decisions read it.
     return high_water_.load(std::memory_order_relaxed);
   }
   int64_t exhausted_count() const {
+    // relaxed: monotonic stats counter for metrics export only.
     return exhausted_.load(std::memory_order_relaxed);
   }
   int64_t overdraft_count() const {
+    // relaxed: monotonic stats counter for metrics export only.
     return overdraft_.load(std::memory_order_relaxed);
   }
 
@@ -161,13 +167,13 @@ class MemPool {
   Status Exhausted(size_t requested);
 
   const std::string name_;
-  std::atomic<int64_t> capacity_;
-  std::atomic<int64_t> used_{0};
-  std::atomic<int64_t> high_water_{0};
-  std::atomic<int64_t> exhausted_{0};
-  std::atomic<int64_t> overdraft_{0};
+  Atomic<int64_t> capacity_;
+  Atomic<int64_t> used_{0};
+  Atomic<int64_t> high_water_{0};
+  Atomic<int64_t> exhausted_{0};
+  Atomic<int64_t> overdraft_{0};
   /// ReserveFor registrations; Release takes mutex_ only when nonzero.
-  std::atomic<int64_t> waiters_{0};
+  Atomic<int64_t> waiters_{0};
   Mutex mutex_{LockRank::kMemGovernor};
   CondVar released_;
   /// Swapped in by MemGovernor::SetExhaustionCallback; loaded lock-free

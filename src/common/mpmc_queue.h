@@ -65,7 +65,20 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic_shim.h"
 #include "common/thread_annotations.h"
+
+// Historical-bug mutations (tests/model/ regression seeds ONLY). Each
+// reintroduces a real bug a past PR shipped and fixed; the model checker
+// must find every one within its exploration budget, proving it would
+// have caught them. They are compile errors outside model builds so a
+// stray define can never weaken production code.
+#if (defined(ASTERIX_MC_BUG_LOST_WAKEUP) ||  \
+     defined(ASTERIX_MC_BUG_WAITER_LEAK) ||  \
+     defined(ASTERIX_MC_BUG_RELAXED_UNLOCK)) && \
+    !defined(ASTERIX_MODEL_CHECK)
+#error "ASTERIX_MC_BUG_* mutations are only legal under ASTERIX_MODEL_CHECK"
+#endif
 
 namespace asterix {
 namespace common {
@@ -121,12 +134,12 @@ class EventCount {
   template <typename Rep, typename Period>
   bool WaitFor(uint64_t epoch,
                const std::chrono::duration<Rep, Period>& timeout) {
-    auto deadline = std::chrono::steady_clock::now() + timeout;
+    auto deadline = SteadyNow() + timeout;
     bool woken = true;
     {
       MutexLock lock(mutex_);
       while (epoch_.load(std::memory_order_acquire) == epoch) {
-        auto now = std::chrono::steady_clock::now();
+        auto now = SteadyNow();
         if (now >= deadline) {
           woken = false;
           break;
@@ -152,7 +165,9 @@ class EventCount {
     // (the standard eventcount requirement): either this load observes
     // the registration, or the waiter's recheck observes the condition
     // change — never neither.
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+#ifndef ASTERIX_MC_BUG_LOST_WAKEUP  // mutation: drop the fence (PR 5 bug)
+    AtomicFence(std::memory_order_seq_cst);
+#endif
     if (waiters_.load(std::memory_order_seq_cst) == 0) return;
     {
       MutexLock lock(mutex_);
@@ -162,8 +177,8 @@ class EventCount {
   }
 
  private:
-  std::atomic<uint64_t> epoch_{0};
-  std::atomic<uint64_t> waiters_{0};
+  Atomic<uint64_t> epoch_{0};
+  Atomic<uint64_t> waiters_{0};
   // The data plane's only mutex: a dedicated leaf rank, held for a few
   // instructions around the epoch bump / condvar wait.
   Mutex mutex_{LockRank::kQueueParking};
@@ -207,7 +222,7 @@ class SnapshotPtr {
   /// copy by a concurrent store().
   std::shared_ptr<T> load() const {
     Lock();
-    std::shared_ptr<T> snapshot = ptr_;
+    std::shared_ptr<T> snapshot = ptr_.Copy();
     Unlock();
     return snapshot;
   }
@@ -218,32 +233,33 @@ class SnapshotPtr {
   /// critical section.
   void store(std::shared_ptr<T> next) {
     Lock();
-    ptr_.swap(next);
+    ptr_.SwapWith(next);
     Unlock();
   }
 
  private:
   void Lock() const {
-    int spins = 0;
     // Test-and-test-and-set: the winning exchange's ACQUIRE pairs with
     // the RELEASE in Unlock, ordering the previous holder's ptr_ access
     // before this holder's.
     while (locked_.exchange(true, std::memory_order_acquire)) {
-      while (locked_.load(std::memory_order_relaxed)) {
-        if (++spins >= kSpinLimit) {
-          spins = 0;
-          std::this_thread::yield();  // holder was descheduled (SPIN-PARK)
-        }
-      }
+      SpinWaitWhile(locked_, true);
     }
   }
 
-  void Unlock() const { locked_.store(false, std::memory_order_release); }
+  void Unlock() const {
+#ifdef ASTERIX_MC_BUG_RELAXED_UNLOCK
+    // Mutation: libstdc++ _Sp_atomic's relaxed unlock — the data race
+    // that forced this class to exist. The checker must flag the ptr_
+    // access conflict between consecutive critical sections.
+    locked_.store(false, std::memory_order_relaxed);
+#else
+    locked_.store(false, std::memory_order_release);
+#endif
+  }
 
-  static constexpr int kSpinLimit = 64;
-
-  mutable std::atomic<bool> locked_{false};
-  std::shared_ptr<T> ptr_;  // guarded by locked_
+  mutable Atomic<bool> locked_{false};
+  DataCell<std::shared_ptr<T>> ptr_;  // guarded by locked_
 };
 
 /// Bounded lock-free MPMC ring (Vyukov). Capacity is rounded up to a
@@ -342,7 +358,7 @@ class MpmcQueue {
       for (size_t k = 0; k < run; ++k) {
         uint64_t p = pos + k;
         Slot& slot = slots_[p & mask_];
-        slot.value = std::move(items[pushed + k]);
+        slot.value.Set(std::move(items[pushed + k]));
         slot.seq.store(p + 1, std::memory_order_release);
       }
       pushed += run;
@@ -413,7 +429,7 @@ class MpmcQueue {
 
   /// Pop with a deadline; nullopt on timeout or closed-and-drained.
   std::optional<T> PopFor(std::chrono::milliseconds timeout) {
-    auto deadline = std::chrono::steady_clock::now() + timeout;
+    auto deadline = SteadyNow() + timeout;
     for (;;) {
       std::optional<T> item = TryPop();
       if (item.has_value()) return item;
@@ -423,12 +439,14 @@ class MpmcQueue {
         not_empty_.CancelWait();
         continue;
       }
-      auto now = std::chrono::steady_clock::now();
+      auto now = SteadyNow();
       if (now >= deadline) {
         // WaitFor never runs on this branch, so it cannot consume the
         // PrepareWait registration — release it here or waiters_ leaks
         // and every future NotifyAll takes the parking mutex.
+#ifndef ASTERIX_MC_BUG_WAITER_LEAK  // mutation: re-leak it (PR 5 bug)
         not_empty_.CancelWait();
+#endif
         return TryPop();  // last look on the way out
       }
       if (!not_empty_.WaitFor(epoch, deadline - now)) {
@@ -489,8 +507,9 @@ class MpmcQueue {
       for (size_t k = 0; k < run; ++k) {
         uint64_t p = pos + k;
         Slot& slot = slots_[p & mask_];
-        out->push_back(std::move(slot.value));
-        slot.value = T{};  // drop payload refs eagerly (frames are counted)
+        // Take() also resets the slot: payload refs drop eagerly
+        // (frames are counted).
+        out->push_back(slot.value.Take());
         slot.seq.store(p + mask_ + 1, std::memory_order_release);
       }
       if (run < limit) break;  // partial run: nothing more published yet
@@ -550,7 +569,7 @@ class MpmcQueue {
 
   /// PopAll with a deadline; empty on timeout or closed-and-drained.
   std::vector<T> PopAllFor(std::chrono::milliseconds timeout) {
-    auto deadline = std::chrono::steady_clock::now() + timeout;
+    auto deadline = SteadyNow() + timeout;
     for (;;) {
       std::vector<T> drained = TryPopAll();
       if (!drained.empty()) return drained;
@@ -560,7 +579,7 @@ class MpmcQueue {
         not_empty_.CancelWait();
         continue;
       }
-      auto now = std::chrono::steady_clock::now();
+      auto now = SteadyNow();
       if (now >= deadline) {
         not_empty_.CancelWait();  // WaitFor never ran; see PopFor
         return TryPopAll();
@@ -581,8 +600,8 @@ class MpmcQueue {
 
  private:
   struct Slot {
-    std::atomic<uint64_t> seq{0};
-    T value{};
+    Atomic<uint64_t> seq{0};
+    DataCell<T> value;
   };
 
   // On a single hardware thread spinning only burns the timeslice, so
@@ -590,7 +609,9 @@ class MpmcQueue {
   // Under TSan every instruction is ~10-20x slower and the scheduler is
   // already oversubscribed, so even a short yield loop can starve
   // unrelated timing-sensitive threads (heartbeats) — park immediately.
-#if defined(__SANITIZE_THREAD__)
+  // Under the model checker yields are no-ops and every atomic op costs
+  // a scheduling decision, so spinning only inflates the state space.
+#if defined(__SANITIZE_THREAD__) || defined(ASTERIX_MODEL_CHECK)
   static constexpr int kSpinLimit = 0;
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer)
@@ -631,7 +652,7 @@ class MpmcQueue {
         pos = enqueue_pos_.load(std::memory_order_relaxed);
       }
     }
-    slot->value = std::move(item);
+    slot->value.Set(std::move(item));
     slot->seq.store(pos + 1, std::memory_order_release);
     return true;
   }
@@ -656,8 +677,9 @@ class MpmcQueue {
         pos = dequeue_pos_.load(std::memory_order_relaxed);
       }
     }
-    *out = std::move(slot->value);
-    slot->value = T{};  // drop payload refs eagerly (frames are counted)
+    // Take() also resets the slot: payload refs drop eagerly (frames
+    // are counted).
+    *out = slot->value.Take();
     slot->seq.store(pos + mask_ + 1, std::memory_order_release);
     return true;
   }
@@ -666,9 +688,9 @@ class MpmcQueue {
   std::vector<Slot> slots_;
   // Producer and consumer tickets. Kept apart from the slots so false
   // sharing between the two sides stays off the slot array.
-  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
-  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
-  alignas(64) std::atomic<bool> closed_{false};
+  alignas(64) Atomic<uint64_t> enqueue_pos_{0};
+  alignas(64) Atomic<uint64_t> dequeue_pos_{0};
+  alignas(64) Atomic<bool> closed_{false};
   EventCount not_empty_;
   EventCount not_full_;
 };
@@ -708,10 +730,17 @@ class OverwriteQueue {
           *displaced = std::move(victim);
         }
         // Else: victim destroyed here; the caller did not want it.
+      } else {
+        // Push failed AND nothing was displaceable: a peer claimed a
+        // slot (CAS won) but has not finished its copy, so the ring
+        // looks full to the pusher and empty to the displacer at once.
+        // Only that peer's progress unsticks us — cede the core. The
+        // model checker found the starving schedule; SpinYield is its
+        // fairness point as much as the scheduler's.
+        SpinYield();
       }
       // Retry: between our pop and push another producer may have taken
-      // the freed slot; the loop converges because each lap either
-      // pushes or displaces.
+      // the freed slot; the loop converges once stalled peers run.
     }
   }
 
@@ -740,7 +769,7 @@ class OverwriteQueue {
 
  private:
   MpmcQueue<T> ring_;
-  std::atomic<int64_t> dropped_{0};
+  Atomic<int64_t> dropped_{0};
 };
 
 }  // namespace common

@@ -56,11 +56,16 @@ std::string KeyWithExtraLabel(const std::string& name, const std::string& key,
 }  // namespace
 
 void Histogram::Record(int64_t value) {
+  // relaxed: metrics cells carry no payload — each field is an
+  // independent statistic and scrapes tolerate a torn view (count may
+  // momentarily disagree with sum); no reader orders program state by
+  // them.
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   int64_t prev = max_.load(std::memory_order_relaxed);
   while (value > prev &&
+         // relaxed: monotone-max CAS on a stats cell; see above.
          !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
   }
 }
@@ -217,6 +222,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
     for (const auto& [key, hist] : histograms_) {
       HistogramSnapshot h;
+      // relaxed: scrape of independent statistic cells; a torn
+      // cross-field view is acceptable for monitoring (see Record).
       for (int i = 0; i < Histogram::kBuckets; ++i) {
         h.buckets[i] = hist->buckets_[i].load(std::memory_order_relaxed);
       }
@@ -263,6 +270,7 @@ std::string MetricsRegistry::Export() const {
       }
       for (const auto& [key, hist] : histograms_) {
         HistogramSnapshot h;
+        // relaxed: scrape of independent statistic cells (see Record).
         for (int i = 0; i < Histogram::kBuckets; ++i) {
           h.buckets[i] = hist->buckets_[i].load(std::memory_order_relaxed);
         }

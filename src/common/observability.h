@@ -47,6 +47,9 @@ namespace common {
 using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonically increasing counter.
+// relaxed: metrics cells are export-only scalars — nothing is published
+// through them and scrapes tolerate staleness, so no site needs
+// ordering (applies to Counter and Gauge alike).
 class Counter {
  public:
   void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
@@ -59,6 +62,7 @@ class Counter {
 /// Point-in-time value that can move both ways.
 class Gauge {
  public:
+  // relaxed: see Counter — export-only metrics scalar.
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }

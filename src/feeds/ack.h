@@ -65,6 +65,7 @@ class AckBus {
       handler = it->second;
     }
     handler(tids);
+    // relaxed: stats counter for tests/metrics; orders nothing.
     messages_published_.fetch_add(1, std::memory_order_relaxed);
   }
 

@@ -96,6 +96,8 @@ Status FeedJoint::NextFrame(const FramePtr& frame) {
   // taken and no per-frame copy of the subscriber list is made.
   std::shared_ptr<const Routes> routes =
       routes_.load();
+  // relaxed: stats counter for the joint gauge; delivery ordering is
+  // carried by the queues, not this count.
   frames_routed_.fetch_add(1, std::memory_order_relaxed);
   const auto& subscribers = routes->subscribers;
   if (subscribers.size() == 1) {

@@ -63,6 +63,7 @@ class FeedJoint : public hyracks::IFrameWriter {
 
   bool closed() const;
   int64_t frames_routed() const {
+    // relaxed: monitoring read of a stats counter.
     return frames_routed_.load(std::memory_order_relaxed);
   }
   const DataBucketPool& bucket_pool() const { return *pool_; }

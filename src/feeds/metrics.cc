@@ -13,6 +13,8 @@ ConnectionMetrics::ConnectionMetrics(const std::string& connection_id) {
   auto counter = [&](const char* name, const std::atomic<int64_t>* field) {
     provider_handles_.push_back(registry.RegisterProvider(
         name, Kind::kCounter, labels,
+        // relaxed: metrics scrape of an independent stats cell; readers
+        // tolerate staleness and order nothing by it.
         [field] { return field->load(std::memory_order_relaxed); }));
   };
   counter("feed_records_collected_total", &records_collected);
@@ -22,10 +24,12 @@ ConnectionMetrics::ConnectionMetrics(const std::string& connection_id) {
   counter("feed_records_replayed_total", &records_replayed);
   provider_handles_.push_back(registry.RegisterProvider(
       "feed_store_flush_backlog", Kind::kGauge, labels, [this] {
+        // relaxed: metrics scrape of an export-only gauge.
         return store_flush_backlog.load(std::memory_order_relaxed);
       }));
   provider_handles_.push_back(registry.RegisterProvider(
       "feed_store_merge_backlog", Kind::kGauge, labels, [this] {
+        // relaxed: metrics scrape of an export-only gauge.
         return store_merge_backlog.load(std::memory_order_relaxed);
       }));
   // Lock order: the registry mutex is held while this provider runs, and

@@ -468,6 +468,8 @@ Status FeedStoreOperator::ProcessFrame(const FramePtr& frame,
     pipeline_.metrics->store_timeline.Add(1);
     if (acks_ != nullptr && tid >= 0) acks_->OnPersisted(tid);
   }
+  // relaxed: export-only backlog gauges; the scraper tolerates a stale
+  // point-in-time value and no control flow reads them back.
   pipeline_.metrics->store_flush_backlog.store(
       static_cast<int64_t>(partition_->primary().flush_backlog()),
       std::memory_order_relaxed);

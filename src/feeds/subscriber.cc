@@ -35,11 +35,13 @@ DataBucket* DataBucketPool::Get(FramePtr frame, int consumers) {
     if (!free_.empty()) {
       bucket = free_.front();
       free_.pop_front();
+      // relaxed: stats counter; the pool list itself is under mutex_.
       reuses_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (bucket == nullptr) {
     bucket = new DataBucket();
+    // relaxed: stats counter; orders nothing.
     allocations_.fetch_add(1, std::memory_order_relaxed);
   }
   bucket->frame_ = std::move(frame);
@@ -109,6 +111,7 @@ FramePtr SubscriberQueue::SampleFrame(const FramePtr& frame,
 void SubscriberQueue::SpillLocked(const FramePtr& frame) {
   // A prior spill I/O failure is terminal: appending after a torn record
   // would misframe everything behind it.
+  // relaxed: read under mutex_, which every failed_ writer also holds.
   if (failed_.load(std::memory_order_relaxed)) return;
   if (spill_file_ == nullptr) {
     spill_file_ = std::fopen(spill_path_.c_str(), "w+b");
@@ -154,6 +157,9 @@ void SubscriberQueue::SpillLocked(const FramePtr& frame) {
 }
 
 bool SubscriberQueue::RestoreFromSpillLocked() {
+  // relaxed: every spill-counter write happens under mutex_ (held
+  // here), so mutual exclusion already orders these reads; the release
+  // on the writes exists for NextBatch's lock-free acquire probes.
   if (spill_pending_frames_.load(std::memory_order_relaxed) == 0 ||
       spill_file_ == nullptr) {
     return false;
@@ -163,6 +169,7 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
   // Restore a small batch per call so memory stays bounded.
   int restored = 0;
   bool torn = false;
+  // relaxed: under mutex_ (see above).
   while (spill_pending_frames_.load(std::memory_order_relaxed) > 0 &&
          restored < 8) {
     uint32_t len = 0;
@@ -188,6 +195,8 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
     if (!records.empty()) {
       Entry entry;
       entry.frame = hyracks::MakeFrame(std::move(records));
+      // relaxed: budget gauge — RMWs keep it conserved and no payload
+      // is published through it (frames travel via the ring/overflow).
       pending_bytes_.fetch_add(
           static_cast<int64_t>(entry.frame->ApproxBytes()),
           std::memory_order_relaxed);
@@ -200,6 +209,7 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
       EnqueueEntryLocked(std::move(entry));
     }
   }
+  // relaxed: under mutex_ (see above); also applies to the log read.
   if (torn && restored == 0 &&
       spill_pending_frames_.load(std::memory_order_relaxed) > 0) {
     // The counter claims frames the file cannot yield (truncated or
@@ -211,6 +221,7 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
     // error as the queue's terminal state.
     LOG_MSG(kWarn) << options_.name << ": spill file " << spill_path_
                    << " unreadable; "
+                   // relaxed: under mutex_ (see function head).
                    << spill_pending_frames_.load(std::memory_order_relaxed)
                    << " frame(s) lost";
     failed_.store(true);
@@ -220,6 +231,7 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
     }
     spill_pending_frames_.store(0, std::memory_order_release);
   }
+  // relaxed: under mutex_ (see above).
   if (spill_pending_frames_.load(std::memory_order_relaxed) == 0) {
     // Fully drained (or reconciled): reclaim the file so a later burst
     // starts fresh, and return its governor charge.
@@ -237,6 +249,8 @@ bool SubscriberQueue::RestoreFromSpillLocked() {
 
 void SubscriberQueue::RetireEntry(const Entry& entry) {
   const size_t frame_bytes = entry.frame->ApproxBytes();
+  // relaxed: budget gauge (see RestoreFromSpillLocked) — the RMW keeps
+  // conservation; admission tolerates one-frame staleness.
   pending_bytes_.fetch_sub(static_cast<int64_t>(frame_bytes),
                            std::memory_order_relaxed);
   // Mirror of the charge taken where pending_bytes_ was incremented
@@ -264,6 +278,8 @@ void SubscriberQueue::EnqueueEntryLocked(Entry entry) {
   }
   // Lossless modes: ring first; a full ring (or an already-backed-up
   // overflow, to preserve FIFO) defers to the mutexed overflow deque.
+  // relaxed: overflow_count_ writes all happen under mutex_ (held
+  // here); the release on them serves NextBatch's lock-free probes.
   if (overflow_count_.load(std::memory_order_relaxed) == 0 &&
       ring_.TryPushFrom(entry)) {
     return;
@@ -284,6 +300,7 @@ bool SubscriberQueue::ReplenishRingLocked() {
     overflow_count_.fetch_sub(1, std::memory_order_release);
     moved = true;
   }
+  // relaxed: under mutex_ (see RestoreFromSpillLocked).
   if (overflow_.empty() && ring_.empty() &&
       spill_pending_frames_.load(std::memory_order_relaxed) > 0) {
     moved = RestoreFromSpillLocked() || moved;
@@ -334,6 +351,8 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
       span->detail = true;  // terminal drop spans don't tile the path
     }
   };
+  // relaxed: read under mutex_, which End() holds for its store; the
+  // release there serves NextBatch's lock-free probe.
   if (ended_.load(std::memory_order_relaxed)) {
     consume();
     outcome("discarded", "ended");
@@ -352,6 +371,8 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
            .ok();
   bool over_budget =
       governor_refused ||
+      // relaxed: budget gauge; missing one concurrent retire only
+      // shifts the admission boundary by a single frame.
       pending_bytes_.load(std::memory_order_relaxed) + frame_bytes >
           options_.memory_budget_bytes;
 
@@ -369,6 +390,7 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
         mem_pool_->Release(leased - appended);
       }
     }
+    // relaxed: budget gauge RMW (see RetireEntry).
     int64_t now_pending =
         pending_bytes_.fetch_add(static_cast<int64_t>(f->ApproxBytes()),
                                  std::memory_order_relaxed) +
@@ -421,6 +443,7 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
       return;
     }
     case ExcessMode::kSpill: {
+      // relaxed: under mutex_ (see RestoreFromSpillLocked).
       if (over_budget ||
           spill_pending_frames_.load(std::memory_order_relaxed) > 0) {
         // The spill governor pool must also admit the frame (lease on
@@ -470,6 +493,7 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
       // Hysteresis per §4.5: once the budget is hit, excess records are
       // discarded ALTOGETHER until the existing backlog clears — the
       // "periods of discontinuity" of Figure 7.9.
+      // relaxed: budget gauge; hysteresis tolerates staleness.
       if (discarding_ &&
           pending_bytes_.load(std::memory_order_relaxed) <=
               options_.memory_budget_bytes / 4) {
@@ -489,6 +513,7 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
     case ExcessMode::kThrottle: {
       // Adaptive sampling: the fuller the queue, the lower the keep
       // probability, regulating the effective arrival rate.
+      // relaxed: budget gauge; the keep rate tolerates staleness.
       double keep = ThrottleKeepProbability(
           pending_bytes_.load(std::memory_order_relaxed), frame_bytes,
           options_.memory_budget_bytes);

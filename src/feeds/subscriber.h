@@ -165,6 +165,7 @@ class SubscriberQueue {
 
   SubscriberStats stats() const;
   int64_t pending_bytes() const {
+    // relaxed: monitoring read of the budget gauge.
     return pending_bytes_.load(std::memory_order_relaxed);
   }
   size_t pending_frames() const;
@@ -215,6 +216,13 @@ class SubscriberQueue {
   // end, or failure.
   common::EventCount ready_;
   mutable common::Mutex mutex_{common::LockRank::kSubscriberQueue};
+  // Counter/flag ordering protocol (model-checked invariants in
+  // tests/model/): every WRITE to the atomics below happens under
+  // mutex_ with release strength; readers holding mutex_ load relaxed
+  // (mutual exclusion already orders them), while NextBatch's lock-free
+  // probes load acquire to pair with the writers' releases.
+  // pending_bytes_ is the exception — a pure budget gauge whose RMWs
+  // conserve the sum; all its accesses are relaxed.
   std::atomic<int64_t> pending_bytes_{0};
   std::atomic<bool> ended_{false};
   std::atomic<bool> failed_{false};

@@ -61,6 +61,9 @@ void Tracer::RechargeRingLocked() {
   ring_charged_ = want;
 }
 
+// relaxed: the sampling rate is a standalone tuning knob — no data is
+// published through it, and a stale read only mis-samples the frames
+// already in flight around the change.
 void Tracer::SetSamplingRate(double rate) {
   rate = std::clamp(rate, 0.0, 1.0);
   sampling_permille_.store(static_cast<int>(std::lround(rate * 1000.0)),
@@ -68,21 +71,28 @@ void Tracer::SetSamplingRate(double rate) {
 }
 
 double Tracer::sampling_rate() const {
+  // relaxed: see SetSamplingRate — standalone tuning knob.
   return sampling_permille_.load(std::memory_order_relaxed) / 1000.0;
 }
 
 hyracks::TraceContext Tracer::StartTrace() {
+  // relaxed: all four atomics here are independent of each other —
+  // the rate knob, the sampling stride position, the id allocator
+  // (uniqueness needs only RMW atomicity), and a stats counter. None
+  // publishes data; the ring append below is under mutex_.
   int permille = sampling_permille_.load(std::memory_order_relaxed);
   if (permille <= 0) return {};
   if (permille < 1000) {
     // Stride sampling: deterministic, no per-call RNG state.
     uint64_t stride = static_cast<uint64_t>(1000 / permille);
+    // relaxed: stride position (see function head).
     if (sample_counter_.fetch_add(1, std::memory_order_relaxed) % stride !=
         0) {
       return {};
     }
   }
   hyracks::TraceContext tc;
+  // relaxed: id allocator + stats counter (see function head).
   tc.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   tc.start_us = common::NowMicros();
   traces_started_.fetch_add(1, std::memory_order_relaxed);
@@ -190,6 +200,7 @@ void Tracer::Reset() {
   common::MutexLock lock(mutex_);
   ring_.clear();
   started_ids_.clear();
+  // relaxed: stats counter and stride position; see StartTrace.
   traces_started_.store(0, std::memory_order_relaxed);
   sample_counter_.store(0, std::memory_order_relaxed);
 }

@@ -67,6 +67,7 @@ class Tracer {
   double sampling_rate() const;
 
   /// One relaxed load; true iff some frames are being sampled.
+  // relaxed: standalone tuning knob (see SetSamplingRate).
   bool enabled() const {
     return sampling_permille_.load(std::memory_order_relaxed) > 0;
   }
@@ -94,6 +95,7 @@ class Tracer {
   /// (bounded by the ring capacity).
   std::vector<uint64_t> StartedTraceIds() const;
   int64_t traces_started() const {
+    // relaxed: monitoring read of a stats counter.
     return traces_started_.load(std::memory_order_relaxed);
   }
 

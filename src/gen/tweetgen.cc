@@ -108,6 +108,7 @@ void TweetGenServer::RunLoop(double time_scale) {
         for (int64_t i = 0; i < to_send; ++i) {
           channel_.Send(factory_.NextTweetText());
         }
+        // relaxed: stats counter; the records travel via channel_.
         sent_.fetch_add(to_send, std::memory_order_relaxed);
         common::SleepMillis(kTickMs);
       }

@@ -20,6 +20,8 @@ FramePool::FramePool(common::MemPool* budget, size_t max_blocks,
     : budget_(budget), blocks_(max_blocks), vectors_(max_vectors) {}
 
 FramePool::~FramePool() {
+  // relaxed: block_size_ is a write-once latch; by destruction time no
+  // other thread touches the pool.
   const size_t block_bytes = block_size_.load(std::memory_order_relaxed);
   while (std::optional<void*> block = blocks_.TryPop()) {
     if (budget_ != nullptr) budget_->Release(block_bytes);
@@ -45,10 +47,14 @@ std::vector<adm::Value> FramePool::AcquireRecords() {
     const int64_t retained =
         static_cast<int64_t>(v->capacity() * sizeof(adm::Value));
     if (budget_ != nullptr) budget_->Release(static_cast<size_t>(retained));
+    // relaxed: retained_bytes_ is a gauge conserved by its RMWs and the
+    // hit/miss cells are stats counters; the vector itself was handed
+    // over by the lock-free queue, which carries the ordering.
     retained_bytes_.fetch_sub(retained, std::memory_order_relaxed);
     vector_hits_.fetch_add(1, std::memory_order_relaxed);
     return std::move(*v);
   }
+  // relaxed: stats counter.
   vector_misses_.fetch_add(1, std::memory_order_relaxed);
   return {};
 }
@@ -61,10 +67,12 @@ void FramePool::RecycleRecords(std::vector<adm::Value>&& records) {
   if (retained == 0) return;
   if (budget_ != nullptr && !budget_->TryReserve(retained).ok()) {
     // Budget refused: degrade gracefully, free instead of retaining.
+    // relaxed: stats counter.
     budget_drops_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (vectors_.TryPush(std::move(records))) {
+    // relaxed: gauge conserved by its RMWs (see AcquireRecords).
     retained_bytes_.fetch_add(static_cast<int64_t>(retained),
                               std::memory_order_relaxed);
   } else {
@@ -75,31 +83,39 @@ void FramePool::RecycleRecords(std::vector<adm::Value>&& records) {
 
 void* FramePool::AllocateBlock(size_t bytes) {
   size_t expected = 0;
+  // relaxed: block_size_ is a write-once size latch — no data hangs off
+  // it (blocks travel through the lock-free queue, which orders their
+  // payload) and a stale zero only takes the plain-heap miss path.
   block_size_.compare_exchange_strong(expected, bytes,
                                       std::memory_order_relaxed);
   if (bytes == block_size_.load(std::memory_order_relaxed)) {
     if (std::optional<void*> block = blocks_.TryPop()) {
       if (budget_ != nullptr) budget_->Release(bytes);
+      // relaxed: conserved gauge + stats counter (see AcquireRecords).
       retained_bytes_.fetch_sub(static_cast<int64_t>(bytes),
                                 std::memory_order_relaxed);
       block_hits_.fetch_add(1, std::memory_order_relaxed);
       return *block;
     }
   }
+  // relaxed: stats counter.
   block_misses_.fetch_add(1, std::memory_order_relaxed);
   return ::operator new(bytes);
 }
 
 void FramePool::DeallocateBlock(void* block, size_t bytes) {
+  // relaxed: write-once size latch (see AllocateBlock).
   if (bytes == block_size_.load(std::memory_order_relaxed)) {
     if (budget_ == nullptr || budget_->TryReserve(bytes).ok()) {
       if (blocks_.TryPush(block)) {
+        // relaxed: conserved gauge (see AcquireRecords).
         retained_bytes_.fetch_add(static_cast<int64_t>(bytes),
                                   std::memory_order_relaxed);
         return;
       }
       if (budget_ != nullptr) budget_->Release(bytes);
     } else {
+      // relaxed: stats counter.
       budget_drops_.fetch_add(1, std::memory_order_relaxed);
     }
   }

@@ -69,6 +69,8 @@ class FramePool {
                      TraceContext trace);
 
   // --- stats (tests + bench) ---
+  // relaxed: monitoring reads of independent stats counters/gauges; no
+  // caller orders program state by them (applies to all six accessors).
   int64_t block_hits() const {
     return block_hits_.load(std::memory_order_relaxed);
   }
@@ -76,18 +78,22 @@ class FramePool {
     return block_misses_.load(std::memory_order_relaxed);
   }
   int64_t vector_hits() const {
+    // relaxed: monitoring read (see block_hits).
     return vector_hits_.load(std::memory_order_relaxed);
   }
   int64_t vector_misses() const {
+    // relaxed: monitoring read (see block_hits).
     return vector_misses_.load(std::memory_order_relaxed);
   }
   /// Recycle attempts refused by the memory budget (memory was freed
   /// instead of retained).
+  // relaxed: monitoring read (see block_hits).
   int64_t budget_drops() const {
     return budget_drops_.load(std::memory_order_relaxed);
   }
   /// Bytes currently parked in the free lists (== this pool's charge
   /// against its budget).
+  // relaxed: monitoring read (see block_hits).
   int64_t retained_bytes() const {
     return retained_bytes_.load(std::memory_order_relaxed);
   }

@@ -146,6 +146,8 @@ void Task::ThreadMain() {
         }
         for (size_t bi = 0; bi < batch.size(); ++bi) {
           // In-flight frame included: it is accepted but not yet done.
+          // relaxed: congestion gauge read only by queue_depth()
+          // monitoring; staleness is inherent to the measurement.
           batch_pending_.store(batch.size() - bi,
                                std::memory_order_relaxed);
           if (killed_.load() || !node_->alive()) {
@@ -184,6 +186,7 @@ void Task::ThreadMain() {
             break;
           }
         }
+        // relaxed: congestion gauge (see above).
         batch_pending_.store(0, std::memory_order_relaxed);
       }
     }

@@ -75,6 +75,7 @@ class Task : public TaskContext,
   // Frames accepted but not yet processed: still queued, plus the tail of
   // the batch the pump thread has popped but not consumed.
   size_t queue_depth() const {
+    // relaxed: congestion gauge; a point-in-time monitoring read.
     return input_.size() + batch_pending_.load(std::memory_order_relaxed);
   }
   size_t queue_capacity() const { return input_.capacity(); }

@@ -61,6 +61,7 @@ Status DatasetPartition::Insert(const adm::Value& record) {
       RETURN_IF_ERROR(index->Insert(record, key.value()));
     }
   }
+  // relaxed: stats counter; durability ordering lives in the WAL/index.
   inserts_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }

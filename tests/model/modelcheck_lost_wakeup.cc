@@ -1,0 +1,59 @@
+// Regression teeth for the model checker: recompiles EventCount with the
+// historical lost-wakeup bug (PR 5) — NotifyAll's seq_cst fence removed,
+// leaving the waiter-count load free to be satisfied before the epoch
+// store becomes visible (both are plain MOVs on x86 without the MFENCE).
+// The checker must find the interleaving where the consumer parks forever
+// and report it as a deadlock. Exit 0 iff the bug is FOUND.
+//
+// Deliberately links ONLY {this file, model_check.cc}: EventCount is
+// header-inline, so any other object compiled without the bug flag would
+// hand the linker an unmutated copy of the same symbols.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/atomic_shim.h"
+#include "common/model_check.h"
+#include "common/mpmc_queue.h"
+
+int main() {
+  using asterix::common::Atomic;
+  using asterix::common::EventCount;
+  namespace mc = asterix::mc;
+
+  mc::Options opts;
+  opts.max_executions = 100000;
+  // Same program as ModelEventCount.NoLostWakeup in model_test.cc.
+  mc::Result res = mc::Check(opts, [](mc::Execution& ex) {
+    auto ec = std::make_shared<EventCount>();
+    auto ready = std::make_shared<Atomic<int>>(0);
+    ex.Spawn([=] {
+      ready->store(1, std::memory_order_release);
+      ec->NotifyAll();
+    });
+    ex.Spawn([=] {
+      uint64_t epoch = ec->PrepareWait();
+      if (ready->load(std::memory_order_acquire) != 0) {
+        ec->CancelWait();
+        return;
+      }
+      ec->Wait(epoch);
+    });
+    ex.Join();
+  });
+
+  std::printf("[modelcheck] regression_lost_wakeup: %s\n",
+              res.Summary().c_str());
+  if (res.ok) {
+    std::printf("FAIL: checker did not find the seeded lost wakeup\n");
+    return 1;
+  }
+  if (res.failure.find("deadlock") == std::string::npos) {
+    std::printf("FAIL: expected a deadlock report, got: %s\n",
+                res.failure.c_str());
+    return 1;
+  }
+  std::printf("%s  replay: %s\nOK: seeded lost wakeup found\n",
+              res.trace.c_str(), res.replay.c_str());
+  return 0;
+}

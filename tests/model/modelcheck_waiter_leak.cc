@@ -1,0 +1,53 @@
+// Regression teeth for the model checker: recompiles MpmcQueue::PopFor
+// with the historical waiter-registration leak (PR 5) — the expired-
+// deadline early return skips CancelWait, leaving the not-empty gate's
+// waiter count permanently nonzero (which pessimizes every future
+// NotifyAll into taking the parking mutex). The checker must fail the
+// post-join MODEL_ASSERT(consumer_waiters() == 0). Exit 0 iff found.
+//
+// Links ONLY {this file, model_check.cc} — see modelcheck_lost_wakeup.cc
+// for why (header-inline mutation vs the linker's symbol choice).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "common/model_check.h"
+#include "common/mpmc_queue.h"
+
+int main() {
+  using asterix::common::MpmcQueue;
+  namespace mc = asterix::mc;
+
+  mc::Options opts;
+  opts.max_executions = 10000;
+  // Same program as ModelMpmcQueue.PopForExpiredDeadlineReleasesRegistration:
+  // a zero timeout deterministically takes the expired-deadline branch
+  // (virtual time cannot advance between PrepareWait and the deadline
+  // check — only blocked threads advance it).
+  mc::Result res = mc::Check(opts, [](mc::Execution& ex) {
+    auto q = std::make_shared<MpmcQueue<int>>(2);
+    ex.Spawn([=] {
+      std::optional<int> v = q->PopFor(std::chrono::milliseconds(0));
+      MODEL_ASSERT(!v.has_value());
+    });
+    ex.Join();
+    MODEL_ASSERT(q->consumer_waiters() == 0);
+  });
+
+  std::printf("[modelcheck] regression_waiter_leak: %s\n",
+              res.Summary().c_str());
+  if (res.ok) {
+    std::printf("FAIL: checker did not find the seeded waiter leak\n");
+    return 1;
+  }
+  if (res.failure.find("consumer_waiters() == 0") == std::string::npos) {
+    std::printf("FAIL: expected the waiter-count assert, got: %s\n",
+                res.failure.c_str());
+    return 1;
+  }
+  std::printf("%s  replay: %s\nOK: seeded waiter leak found\n",
+              res.trace.c_str(), res.replay.c_str());
+  return 0;
+}

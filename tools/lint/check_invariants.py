@@ -47,6 +47,13 @@ Checks, each with a stable ID used in failure output:
   MEM-README  the README "Memory governance" pool table lists exactly
               the standard pools RegisterPool'd by MemGovernor::Default
               in mem_governor.cc, with matching default capacities
+  MEM-ORDER   every memory_order_relaxed in src/ carries a `relaxed:`
+              justification comment on the same line or in the lines
+              just above — outside the lock-free data plane
+              (common/mpmc_queue.h, whose protocol comments carry the
+              argument) and the model-checker shim layer
+              (common/atomic_shim.h, common/model_check.*), where the
+              orderings are the subject matter rather than a choice
 
 Exit status 0 iff no findings. Run directly:  python3 tools/lint/check_invariants.py
 """
@@ -70,9 +77,11 @@ SLEEP_ALLOWLIST = {"src/common/clock.h"}
 RAW_SYNC = re.compile(r"std::(mutex|shared_mutex|condition_variable\w*)\b")
 
 # The runtime lock-order checker must use a raw std::mutex internally:
-# instrumenting its own lock would recurse.
+# instrumenting its own lock would recurse. Same for the model checker's
+# engine, whose scheduler is the thing the wrappers park on.
 RAW_SYNC_ALLOWLIST = {"thread_annotations.h", "deadlock_detector.h",
-                      "deadlock_detector.cc"}
+                      "deadlock_detector.cc", "model_check.h",
+                      "model_check.cc"}
 
 # A Mutex/SharedMutex member or global declaration, with an optional TSA
 # ordering attribute and an optional brace initializer (which may span
@@ -97,8 +106,25 @@ SELF_SYNC_TYPES = (
 )
 
 # The one place raw spin loops are legitimate: the lock-free queues, whose
-# bounded spins always fall back to EventCount parking.
-SPIN_ALLOWLIST = {"src/common/mpmc_queue.h"}
+# bounded spins always fall back to EventCount parking — plus the model
+# build's SpinWaitWhile shim, which routes the same spin to the checker.
+# model_check.cc: HookYield's passthrough build IS the yield primitive
+# other code parks through; the checker runtime cannot park on itself.
+SPIN_ALLOWLIST = {
+    "src/common/mpmc_queue.h",
+    "src/common/atomic_shim.h",
+    "src/common/model_check.cc",
+}
+
+# MEM-ORDER exclusions: the lock-free data plane argues its orderings in
+# the protocol comments (a per-site tag would be noise), and the shim /
+# checker layer manipulates memory_order values as data.
+MEM_ORDER_ALLOWLIST = {
+    "src/common/mpmc_queue.h",
+    "src/common/atomic_shim.h",
+    "src/common/model_check.h",
+    "src/common/model_check.cc",
+}
 
 
 def find_repo_root(start: Path) -> Path:
@@ -414,6 +440,42 @@ class Linter:
                           f"{registered[name]} in mem_governor.cc but "
                           f"'{table[name]}' in the README table")
 
+    # --- relaxed-ordering justifications -------------------------------------
+    def check_memory_orders(self):
+        """MEM-ORDER: a bare memory_order_relaxed is the easiest wrong
+        answer in the codebase — it reads as 'fast' and compiles as 'no
+        ordering at all'. Every site must say why relaxed is sound, in a
+        comment containing `relaxed:` on the same line or in the lines
+        just above (one comment may cover a tight cluster of sites, e.g.
+        a stats counter's load+CAS pair). The scan looks upward a few
+        lines and stops at the first blank line, so the justification
+        must sit adjacent to the code it argues for."""
+        lookback = 8
+        for path in sorted((self.root / "src").rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            if self.rel(path) in MEM_ORDER_ALLOWLIST:
+                continue
+            lines = path.read_text().splitlines()
+            for i, line in enumerate(lines):
+                if "memory_order_relaxed" not in line:
+                    continue
+                if re.search(r"(?://|/\*).*relaxed:", line):
+                    continue
+                justified = False
+                for j in range(i - 1, max(-1, i - 1 - lookback), -1):
+                    if not lines[j].strip():
+                        break  # blank line: out of the site's context
+                    if re.search(r"(?://|/\*).*relaxed:", lines[j]):
+                        justified = True
+                        break
+                if not justified:
+                    self.fail(
+                        "MEM-ORDER", f"{self.rel(path)}:{i + 1}",
+                        "memory_order_relaxed without a `relaxed:` "
+                        "justification comment (say why no ordering is "
+                        "needed, or use a stronger order)")
+
     # --- GUARDED_BY coverage -------------------------------------------------
     def check_guarded_by(self):
         """In any class body that declares a `common::Mutex ...mutex...`,
@@ -504,6 +566,7 @@ def main():
     linter.check_spin_park()
     linter.check_mem_pools()
     linter.check_lock_ranks()
+    linter.check_memory_orders()
     linter.check_guarded_by()
 
     if linter.findings:
