@@ -6,6 +6,12 @@
 #   default     cmake --preset default, build, full ctest
 #   analyze     Clang -Wthread-safety -Werror build + compile_fail negative
 #               tests (SKIP when clang++ is not installed)
+#   analyze-ast whole-program static analyzer (tools/analyze): lock graph,
+#               blocking-under-lock, hot-path allocation, MEM-ORDER, plus
+#               its fixture self-tests. Uses libclang when python3-clang
+#               (pin: python3-clang-14 / libclang-14) is importable, else
+#               the built-in token frontend — so it only SKIPs when
+#               python3 itself is missing
 #   asan-ubsan  AddressSanitizer+UBSan build, full ctest (includes the
 #               `sanitizer`-labeled chaos soak)
 #   tsan-chaos  ThreadSanitizer build, concurrency-heavy suites
@@ -26,7 +32,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default analyze asan-ubsan tsan-chaos deadlock modelcheck clang-tidy lint)
+  STAGES=(default analyze analyze-ast asan-ubsan tsan-chaos deadlock modelcheck clang-tidy lint)
 fi
 
 declare -A RESULT
@@ -72,6 +78,15 @@ for stage in "${STAGES[@]}"; do
           ctest --test-dir build-analyze -L compile_fail --output-on-failure"
       else
         skip_stage analyze "clang++ not installed (thread-safety analysis is Clang-only)"
+      fi
+      ;;
+    analyze-ast)
+      if command -v python3 >/dev/null 2>&1; then
+        run_stage analyze-ast bash -c "
+          python3 tools/analyze/analyze.py &&
+          python3 tools/analyze/run_fixture_tests.py"
+      else
+        skip_stage analyze-ast "python3 not installed"
       fi
       ;;
     asan-ubsan)

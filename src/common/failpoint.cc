@@ -151,16 +151,18 @@ void ChaosSchedule::Start() {
 }
 
 void ChaosSchedule::Stop() {
+  bool already_stopped;
   {
     MutexLock lock(mutex_);
-    if (stop_) {
-      if (driver_.joinable()) driver_.join();
-      return;
-    }
+    already_stopped = stop_;
     stop_ = true;
   }
+  // Join outside the lock: DriverMain re-acquires mutex_ at the top of
+  // every step, so joining while holding it deadlocks a concurrent or
+  // repeated Stop() against a driver still between steps.
   cv_.NotifyAll();
   if (driver_.joinable()) driver_.join();
+  if (already_stopped) return;
   for (const Step& step : steps_) {
     FailPointRegistry::Instance().Disarm(step.site);
   }

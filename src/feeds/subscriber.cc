@@ -285,6 +285,8 @@ void SubscriberQueue::EnqueueEntryLocked(Entry entry) {
     return;
   }
   ++stats_.frames_overflowed;
+  // hot-ok: overflow branch — only reached when the ring is full; deque
+  // growth is amortized and the bytes are already governor-charged.
   overflow_.push_back(std::move(entry));
   overflow_count_.fetch_add(1, std::memory_order_release);
 }
@@ -432,6 +434,8 @@ void SubscriberQueue::DeliverLocked(FramePtr frame, DataBucket* bucket,
       // re-structures the pipeline; the budget is its headroom.
       if (over_budget && options_.mode == ExcessMode::kBlock) {
         failed_.store(true);
+        // hot-ok: terminal failure branch — the feed is ending; the
+        // status string is built once per subscriber lifetime.
         failure_ = Status::ResourceExhausted(
             "feed '" + options_.name + "' exhausted its memory budget (" +
             std::to_string(options_.memory_budget_bytes) + " bytes)");
@@ -641,6 +645,8 @@ size_t SubscriberQueue::NextBatchInto(std::vector<FramePtr>* out,
       break;
     }
   }
+  // hot-ok: consumer-owned output vector — callers reuse a thread_local
+  // scratch buffer, so the reserve/push_back growth amortizes to zero.
   out->reserve(out->size() + popped.size());
   bool any_traced = false;
   for (Entry& entry : popped) {
@@ -648,8 +654,8 @@ size_t SubscriberQueue::NextBatchInto(std::vector<FramePtr>* out,
     if (entry.deliver_us != 0 && entry.frame->trace().sampled()) {
       any_traced = true;
     }
-    // Copy (refcount bump, no allocation): the entry keeps its reference
-    // for the span pass below; popped.clear() drops them all.
+    // hot-ok: copy is a refcount bump, no allocation — the entry keeps
+    // its reference for the span pass below; capacity was reserved above.
     out->push_back(entry.frame);
   }
   const size_t appended = popped.size();

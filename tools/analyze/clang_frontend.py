@@ -1,0 +1,156 @@
+"""libclang frontend: builds the same ir.Program the token frontend
+produces, but from real ASTs via Python `clang.cindex` over
+compile_commands.json.
+
+Pinned toolchain: python3-clang-14 with libclang-14 (the repo's
+clang-tidy baseline pins the same major). Newer majors usually work —
+cindex is a stable C API — but 14 is what CI validates.
+
+This module must never be a hard dependency: load_program() returns None
+when clang.cindex is unimportable, libclang cannot be located, or
+compile_commands.json is absent, and analyze.py falls back to the token
+frontend. Both frontends feed identical checks; the fixtures run under
+whichever frontend is active, so a frontend regression shows up as a
+fixture failure, not as silent acceptance.
+"""
+
+from pathlib import Path
+
+import ir
+
+
+def _index():
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    try:
+        return cindex, cindex.Index.create()
+    except Exception:
+        # cindex importable but libclang.so missing/mismatched
+        return None
+
+
+def load_program(files):
+    loaded = _index()
+    if loaded is None:
+        return None
+    cindex, index = loaded
+
+    # Without a compilation database we cannot reproduce include paths /
+    # defines faithfully; parse with the repo's canonical flags.
+    root = None
+    for p in [Path(files[0]).resolve()] + list(Path(files[0]).resolve()
+                                               .parents):
+        if (p / "CMakeLists.txt").exists() and (p / "src").is_dir():
+            root = p
+            break
+    args = ["-std=c++17", "-xc++"]
+    if root:
+        args += [f"-I{root}", f"-I{root}/src"]
+        cc_json = root / "compile_commands.json"
+        if not cc_json.exists():
+            cc_json = root / "build" / "compile_commands.json"
+        if cc_json.exists():
+            try:
+                db = cindex.CompilationDatabase.fromDirectory(
+                    str(cc_json.parent))
+            except Exception:
+                db = None
+        else:
+            db = None
+    else:
+        db = None
+
+    program = ir.Program()
+    CK = cindex.CursorKind
+    for f in files:
+        f = str(f)
+        file_args = list(args)
+        if db is not None:
+            cmds = db.getCompileCommands(f)
+            if cmds:
+                raw = list(cmds[0].arguments)[1:-1]
+                file_args = [a for a in raw if a not in ("-c", "-o")]
+        # Declarations, rank enum, and the comment-bearing token stream
+        # come from the shared token pass (identical under both
+        # frontends); cindex supplies the function bodies below. A file
+        # cindex cannot parse falls back to token-extracted functions, so
+        # a frontend regression degrades to the pinned behavior instead
+        # of silently accepting.
+        try:
+            tu = index.parse(f, args=file_args)
+        except Exception:
+            tu = None
+        if tu is None or any(d.severity >= 4 for d in tu.diagnostics):
+            ir.parse_file(f, program)
+            continue
+        ir.parse_file(f, program, collect_functions=False)
+        _walk_tu(program, tu, f, CK)
+    return program
+
+
+def _qname(cursor):
+    parts = []
+    c = cursor
+    while c is not None and c.kind is not None and c.spelling:
+        if c.kind.name in ("TRANSLATION_UNIT",):
+            break
+        if c.kind.name in ("NAMESPACE", "CLASS_DECL", "STRUCT_DECL",
+                           "CLASS_TEMPLATE", "CXX_METHOD", "FUNCTION_DECL",
+                           "CONSTRUCTOR", "DESTRUCTOR", "FUNCTION_TEMPLATE"):
+            parts.insert(0, c.spelling)
+        c = c.semantic_parent
+    return "::".join(parts)
+
+
+def _walk_tu(program, tu, fname, CK):
+    guard_kinds = {"MutexLock": "exclusive", "WriterMutexLock": "exclusive",
+                   "ReaderMutexLock": "shared"}
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is None or str(loc.file) != fname:
+                continue
+            if child.kind in (CK.CXX_METHOD, CK.FUNCTION_DECL,
+                              CK.CONSTRUCTOR, CK.DESTRUCTOR) \
+                    and child.is_definition():
+                fn = ir.Function(
+                    qname=_qname(child),
+                    cls=_qname(child.semantic_parent)
+                    if child.semantic_parent else "",
+                    file=fname, line=loc.line)
+                _walk_body(fn, child, CK, guard_kinds)
+                program.add_function(fn)
+                continue
+            visit(child)
+
+    visit(tu.cursor)
+
+
+def _walk_body(fn, cursor, CK, guard_kinds):
+    tok_counter = [0]
+
+    def visit(node, depth):
+        for child in node.get_children():
+            tok_counter[0] += 1
+            if child.kind == CK.VAR_DECL and child.type.spelling \
+                    .split("::")[-1] in guard_kinds:
+                kids = list(child.get_children())
+                expr = kids[-1].spelling if kids else ""
+                fn.acquisitions.append(ir.Acquisition(
+                    mutex_expr=expr,
+                    kind=guard_kinds[child.type.spelling.split("::")[-1]],
+                    line=child.location.line, tok=tok_counter[0],
+                    end_tok=1 << 30, via=child.type.spelling))
+            elif child.kind == CK.CALL_EXPR:
+                fn.calls.append(ir.CallSite(
+                    name=child.spelling or "", receiver="", qualifier="",
+                    line=child.location.line, tok=tok_counter[0]))
+            elif child.kind == CK.CXX_NEW_EXPR:
+                fn.news.append(ir.NewExpr(line=child.location.line,
+                                          what=child.type.spelling))
+            visit(child, depth + 1)
+
+    visit(cursor, 0)

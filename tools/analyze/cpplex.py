@@ -1,0 +1,191 @@
+"""Token-accurate C++ lexer for the whole-program analyzer.
+
+This is the layer that makes the AST checks *token*-accurate where the
+retired regex lints were line-accurate: comments, string literals, raw
+strings, and character literals become first-class tokens, so a
+`memory_order_relaxed` inside a string can never trip MEM-ORDER and a
+`new` inside a comment can never trip HOT-ALLOC.
+
+The lexer is deliberately preprocessor-naive: it lexes the file as
+written (macros like ASTERIX_FAILPOINT or GUARDED_BY appear as ordinary
+identifier + paren sequences), which is exactly what the downstream
+extraction wants — the annotations ARE the facts being checked.
+"""
+
+from dataclasses import dataclass
+
+# Token kinds.
+ID = "id"            # identifiers and keywords
+NUM = "num"          # numeric literals
+STR = "str"          # string literal (incl. raw strings)
+CHAR = "char"        # character literal
+PUNCT = "punct"      # operators and punctuation
+COMMENT = "comment"  # // or /* */ comment, text includes delimiters
+PP = "pp"            # a whole preprocessor line (# ... to end of line)
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int  # 1-based
+    col: int   # 1-based
+
+    def __repr__(self):
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+_PUNCT3 = ("<<=", ">>=", "...", "->*", "<=>")
+_PUNCT2 = ("::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+           "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+           ".*")
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_ID_CONT = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+def lex(text):
+    """Lex `text` into a list of Tokens. Never raises on malformed input:
+    an unterminated literal is closed at end of file (the analyzer must
+    degrade gracefully on any source it is pointed at)."""
+    toks = []
+    i = 0
+    n = len(text)
+    line = 1
+    line_start = 0
+
+    def emit(kind, start, end):
+        toks.append(Token(kind, text[start:end], line_at_start,
+                          start - line_start_at_start + 1))
+
+    while i < n:
+        c = text[i]
+        line_at_start = line
+        line_start_at_start = line_start
+
+        if c == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Preprocessor line (only when '#' is the first non-ws on the line).
+        if c == "#" and text[line_start:i].strip() == "":
+            start = i
+            while i < n:
+                if text[i] == "\n":
+                    if i > 0 and text[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        line_start = i
+                        continue
+                    break
+                i += 1
+            emit(PP, start, i)
+            continue
+
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            start = i
+            while i < n and text[i] != "\n":
+                i += 1
+            emit(COMMENT, start, i)
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            start = i
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+                i += 1
+            i = min(i + 2, n)
+            emit(COMMENT, start, i)
+            continue
+
+        # Raw strings: R"delim( ... )delim"
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            j = i + 2
+            while j < n and text[j] not in "(\n" and j - i < 20:
+                j += 1
+            if j < n and text[j] == "(":
+                delim = text[i + 2:j]
+                close = ")" + delim + '"'
+                end = text.find(close, j + 1)
+                if end == -1:
+                    end = n
+                else:
+                    end += len(close)
+                start = i
+                line += text.count("\n", i, end)
+                nl = text.rfind("\n", i, end)
+                if nl != -1:
+                    line_start = nl + 1
+                emit(STR, start, end)
+                i = end
+                continue
+
+        # String / char literals (with escapes). Prefix letters (u8, L, u, U)
+        # are lexed as part of the preceding identifier; acceptable — the
+        # literal itself still becomes a STR/CHAR token.
+        if c in "\"'":
+            quote = c
+            start = i
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    i += 2
+                    continue
+                if text[i] == "\n":  # unterminated; bail at newline
+                    break
+                i += 1
+            if i < n and text[i] == quote:
+                i += 1
+            emit(STR if quote == '"' else CHAR, start, i)
+            continue
+
+        # Identifiers / keywords.
+        if c in _ID_START:
+            start = i
+            while i < n and text[i] in _ID_CONT:
+                i += 1
+            emit(ID, start, i)
+            continue
+
+        # Numbers (loose: covers hex, floats, digit separators, suffixes).
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            start = i
+            i += 1
+            while i < n and (text[i] in _ID_CONT or text[i] in ".'"
+                             or (text[i] in "+-" and text[i - 1] in "eEpP")):
+                i += 1
+            emit(NUM, start, i)
+            continue
+
+        # Punctuation, longest match first.
+        three = text[i:i + 3]
+        if three in _PUNCT3:
+            emit(PUNCT, i, i + 3)
+            i += 3
+            continue
+        two = text[i:i + 2]
+        if two in _PUNCT2:
+            emit(PUNCT, i, i + 2)
+            i += 2
+            continue
+        emit(PUNCT, i, i + 1)
+        i += 1
+
+    return toks
+
+
+def code_tokens(toks):
+    """Tokens with comments and preprocessor lines stripped — the stream
+    the structural extraction walks. Comments remain reachable through
+    the original list for justification-comment checks."""
+    return [t for t in toks if t.kind not in (COMMENT, PP)]

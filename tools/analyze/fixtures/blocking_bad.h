@@ -1,0 +1,29 @@
+// Seeded-violation fixture for the blocking-under-lock check: a direct
+// blocking op under a mutex, and one reached through a callee.
+#pragma once
+
+#include <cstdint>
+
+enum class LockRank : uint16_t {
+  kQueue = 10,
+};
+
+class Blocky {
+ public:
+  void SleepUnderLock() {
+    MutexLock lock(mutex_);
+    SleepMillis(50);  // EXPECT[BLOCK-LOCK] direct blocking op under lock
+  }
+
+  void HelperThatBlocks() {
+    SleepMillis(5);  // no lock held here: clean on its own
+  }
+
+  void TransitiveBlock() {
+    MutexLock lock(mutex_);
+    HelperThatBlocks();  // EXPECT[BLOCK-LOCK] blocks through the callee
+  }
+
+ private:
+  Mutex mutex_{LockRank::kQueue};
+};

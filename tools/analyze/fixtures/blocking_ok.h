@@ -1,0 +1,34 @@
+// Negative fixture for the blocking-under-lock check: the condvar
+// wait-protocol exemption (the wait releases the mutex it is passed)
+// and blocking ops outside any critical section.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+enum class LockRank : uint16_t {
+  kQueue = 10,
+};
+
+class WaitProtocol {
+ public:
+  void WaitForWork() {
+    MutexLock lock(mutex_);
+    // The wait atomically releases mutex_ while parked, so holding it
+    // here is the protocol, not a stall.
+    cv_.WaitFor(mutex_, std::chrono::milliseconds(10));
+  }
+
+  void SleepOutsideLock() {
+    {
+      MutexLock lock(mutex_);
+      ready_ = true;
+    }
+    SleepMillis(20);  // lock released above: clean
+  }
+
+ private:
+  Mutex mutex_{LockRank::kQueue};
+  CondVar cv_;
+  bool ready_ GUARDED_BY(mutex_) = false;
+};

@@ -1,0 +1,27 @@
+// Seeded-violation fixture for the hot-path allocation check. The
+// ANALYZE-HOT-ROOT directive tells run_fixture_tests.py which function
+// to pass as --hot-root; everything reachable from it must be
+// allocation-free unless a `// hot-ok:` comment justifies the site.
+// ANALYZE-HOT-ROOT: HotPump::Pump
+#pragma once
+
+#include <string>
+#include <vector>
+
+class HotPump {
+ public:
+  void Pump() {
+    frame_ = new char[4096];  // EXPECT[HOT-ALLOC] raw new on the hot path
+    batch_.push_back(1);      // EXPECT[HOT-ALLOC] container growth
+    Stamp();
+  }
+
+  void Stamp() {
+    label_ = std::to_string(42);  // EXPECT[HOT-ALLOC] reached via Pump
+  }
+
+ private:
+  char* frame_ = nullptr;
+  std::vector<int> batch_;
+  std::string label_;
+};

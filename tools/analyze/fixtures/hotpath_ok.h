@@ -1,0 +1,22 @@
+// Negative fixture for the hot-path allocation check: a justified
+// warmup allocation (`// hot-ok:`) and alloc-free steady-state work.
+// ANALYZE-HOT-ROOT: ColdPump::Pump
+#pragma once
+
+class ColdPump {
+ public:
+  void Pump() {
+    // hot-ok: one-time warmup branch, taken only while scratch_ is
+    // still null; steady state reuses the buffer.
+    if (scratch_ == nullptr) scratch_ = new char[4096];
+    Consume(scratch_);
+  }
+
+  void Consume(char* data) {
+    last_ = data;
+  }
+
+ private:
+  char* scratch_ = nullptr;
+  char* last_ = nullptr;
+};

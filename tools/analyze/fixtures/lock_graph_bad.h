@@ -1,0 +1,56 @@
+// Seeded-violation fixture for the static lock-graph check.
+//
+// run_fixture_tests.py runs the analyzer on this file alone and asserts
+// an exact match between the findings and the EXPECT markers: a marker
+// names the finding expected on its own line (`@+N` = N lines below
+// the marker). Any missed marker or extra finding fails the test.
+#pragma once
+
+#include <cstdint>
+
+enum class LockRank : uint16_t {
+  kInner = 10,
+  kMid = 15,
+  kOuter = 20,
+};
+
+class RankCycle {
+ public:
+  void InOrder() {
+    MutexLock outer(outer_);
+    MutexLock inner(inner_);  // strictly descending: fine
+  }
+
+  void Inverted() {
+    MutexLock inner(inner_);
+    MutexLock outer(outer_);  // EXPECT[LOCK-GRAPH] rank order violation
+  }
+
+  void Reentrant() {
+    MutexLock a(outer_);
+    MutexLock b(outer_);  // EXPECT[LOCK-GRAPH] self-deadlock, non-reentrant
+  }
+
+  // The inversion below surfaces through call-graph propagation; the
+  // edge's example site is the acquisition inside the callee.
+  void AcquireOuter() {
+    MutexLock lock(outer_);  // EXPECT[LOCK-GRAPH] inversion via caller
+  }
+
+  void InvertedThroughCall() {
+    MutexLock mid(mid_);
+    AcquireOuter();
+  }
+
+ private:
+  Mutex inner_{LockRank::kInner};
+  Mutex mid_{LockRank::kMid};
+  Mutex outer_{LockRank::kOuter};
+};
+
+// EXPECT[GUARDED-BY]@+4: naked field declared after the mutex.
+class LeakyState {
+ private:
+  Mutex state_mutex_{LockRank::kInner};
+  int unguarded_counter_ = 0;
+};

@@ -1,0 +1,39 @@
+// Negative fixture for the static lock-graph check: correct nesting,
+// sequential (non-nested) acquisitions, and every GUARDED-BY opt-out.
+// The analyzer must report nothing here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+enum class LockRank : uint16_t {
+  kLow = 10,
+  kHigh = 20,
+};
+
+class Ordered {
+ public:
+  void Nested() {
+    MutexLock high(high_mutex_);
+    MutexLock low(low_mutex_);  // strictly descending
+  }
+
+  void Sequential() {
+    {
+      MutexLock low(low_mutex_);
+      staged_ = 1;
+    }
+    // The guard above died with its scope: no edge low -> high.
+    MutexLock high(high_mutex_);
+    published_ = staged_;
+  }
+
+ private:
+  Mutex high_mutex_{LockRank::kHigh};
+  Mutex low_mutex_{LockRank::kLow};
+  int staged_ GUARDED_BY(low_mutex_) = 0;
+  int published_ GUARDED_BY(high_mutex_) = 0;
+  std::atomic<int> peeks_{0};
+  // Single-writer: mutated only on the owner thread before publication.
+  int scratch_ = 0;
+};

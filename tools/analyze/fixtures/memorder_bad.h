@@ -1,0 +1,19 @@
+// Seeded-violation fixture for the AST-grade MEM-ORDER check: relaxed
+// atomics without a `relaxed:` justification comment.
+#pragma once
+
+#include <atomic>
+
+class Stats {
+ public:
+  void Bump() {
+    hits_.fetch_add(1, std::memory_order_relaxed);  // EXPECT[MEM-ORDER]
+  }
+
+  long Read() const {
+    return hits_.load(std::memory_order_relaxed);  // EXPECT[MEM-ORDER]
+  }
+
+ private:
+  std::atomic<long> hits_{0};
+};

@@ -1,0 +1,22 @@
+// Negative fixture for the AST-grade MEM-ORDER check: every relaxed
+// use carries a `relaxed:` justification (same line or the contiguous
+// comment block above).
+#pragma once
+
+#include <atomic>
+
+class Counters {
+ public:
+  void Bump() {
+    // relaxed: monotonic stats counter, read only by the metrics
+    // exporter; no ordering with surrounding writes is needed.
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  long Read() const {
+    return hits_.load(std::memory_order_relaxed);  // relaxed: stats-only
+  }
+
+ private:
+  std::atomic<long> hits_{0};
+};

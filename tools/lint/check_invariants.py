@@ -21,11 +21,6 @@ Checks, each with a stable ID used in failure output:
               std::condition_variable outside common/thread_annotations.h
               and the deadlock detector (which cannot instrument itself),
               so every lock is an annotated common::Mutex
-  GUARDED-BY  in annotated classes (those declaring a common::Mutex named
-              *mutex*), every mutable container/scalar field declared
-              after the mutex carries GUARDED_BY unless annotated with an
-              explanatory comment or inherently synchronized (atomic,
-              const, thread, CondVar, another Mutex)
   LOCK-RANK   every common::Mutex/SharedMutex construction in src/ names
               a LockRank in its brace initializer, or carries a
               `LOCK-RANK:` comment naming where the rank is injected
@@ -47,13 +42,12 @@ Checks, each with a stable ID used in failure output:
   MEM-README  the README "Memory governance" pool table lists exactly
               the standard pools RegisterPool'd by MemGovernor::Default
               in mem_governor.cc, with matching default capacities
-  MEM-ORDER   every memory_order_relaxed in src/ carries a `relaxed:`
-              justification comment on the same line or in the lines
-              just above — outside the lock-free data plane
-              (common/mpmc_queue.h, whose protocol comments carry the
-              argument) and the model-checker shim layer
-              (common/atomic_shim.h, common/model_check.*), where the
-              orderings are the subject matter rather than a choice
+
+Retired here, now owned by the AST-grade analyzer (tools/analyze, ctest
+`analyze_src`/`analyze_fixtures`): MEM-ORDER (token-accurate relaxed-
+ordering justifications, including the common::Atomic kRelaxed shim) and
+GUARDED-BY (field coverage after a mutex member) — the regex versions
+could not see token boundaries or class structure.
 
 Exit status 0 iff no findings. Run directly:  python3 tools/lint/check_invariants.py
 """
@@ -92,19 +86,6 @@ MUTEX_DECL = re.compile(
 
 LOCK_RANK_ENTRY = re.compile(r"^\s*k(\w+)\s*=\s*(\d+),")
 
-FIELD_DECL = re.compile(
-    r"^\s*(?:mutable\s+)?(?P<type>[A-Za-z_][\w:<>,\s\*&]*?)\s+"
-    r"(?P<name>[a-zA-Z_]\w*_?)\s*(?:GUARDED_BY\([^)]*\))?\s*(?:=[^;]*)?;")
-
-SELF_SYNC_TYPES = (
-    "std::atomic", "common::Mutex", "common::SharedMutex", "common::CondVar",
-    "Mutex", "CondVar", "std::thread", "std::jthread", "MetricsRegistry",
-    "common::Counter", "common::Gauge", "common::Histogram",
-    "Counter", "Gauge", "Histogram", "BlockingQueue", "common::BlockingQueue",
-    "MpmcQueue", "common::MpmcQueue", "OverwriteQueue",
-    "common::OverwriteQueue", "EventCount", "common::EventCount",
-)
-
 # The one place raw spin loops are legitimate: the lock-free queues, whose
 # bounded spins always fall back to EventCount parking — plus the model
 # build's SpinWaitWhile shim, which routes the same spin to the checker.
@@ -115,17 +96,6 @@ SPIN_ALLOWLIST = {
     "src/common/atomic_shim.h",
     "src/common/model_check.cc",
 }
-
-# MEM-ORDER exclusions: the lock-free data plane argues its orderings in
-# the protocol comments (a per-site tag would be noise), and the shim /
-# checker layer manipulates memory_order values as data.
-MEM_ORDER_ALLOWLIST = {
-    "src/common/mpmc_queue.h",
-    "src/common/atomic_shim.h",
-    "src/common/model_check.h",
-    "src/common/model_check.cc",
-}
-
 
 def find_repo_root(start: Path) -> Path:
     p = start.resolve()
@@ -440,114 +410,10 @@ class Linter:
                           f"{registered[name]} in mem_governor.cc but "
                           f"'{table[name]}' in the README table")
 
-    # --- relaxed-ordering justifications -------------------------------------
-    def check_memory_orders(self):
-        """MEM-ORDER: a bare memory_order_relaxed is the easiest wrong
-        answer in the codebase — it reads as 'fast' and compiles as 'no
-        ordering at all'. Every site must say why relaxed is sound, in a
-        comment containing `relaxed:` on the same line or in the lines
-        just above (one comment may cover a tight cluster of sites, e.g.
-        a stats counter's load+CAS pair). The scan looks upward a few
-        lines and stops at the first blank line, so the justification
-        must sit adjacent to the code it argues for."""
-        lookback = 8
-        for path in sorted((self.root / "src").rglob("*")):
-            if path.suffix not in (".h", ".cc"):
-                continue
-            if self.rel(path) in MEM_ORDER_ALLOWLIST:
-                continue
-            lines = path.read_text().splitlines()
-            for i, line in enumerate(lines):
-                if "memory_order_relaxed" not in line:
-                    continue
-                if re.search(r"(?://|/\*).*relaxed:", line):
-                    continue
-                justified = False
-                for j in range(i - 1, max(-1, i - 1 - lookback), -1):
-                    if not lines[j].strip():
-                        break  # blank line: out of the site's context
-                    if re.search(r"(?://|/\*).*relaxed:", lines[j]):
-                        justified = True
-                        break
-                if not justified:
-                    self.fail(
-                        "MEM-ORDER", f"{self.rel(path)}:{i + 1}",
-                        "memory_order_relaxed without a `relaxed:` "
-                        "justification comment (say why no ordering is "
-                        "needed, or use a stronger order)")
-
-    # --- GUARDED_BY coverage -------------------------------------------------
-    def check_guarded_by(self):
-        """In any class body that declares a `common::Mutex ...mutex...`,
-        every data member declared after it must be GUARDED_BY-annotated,
-        inherently synchronized, const, or carry a comment on its
-        declaration (the declared opt-out for single-writer fields)."""
-        decl = re.compile(
-            r"(?:mutable\s+)?(?:common::)?(?:Shared)?Mutex\s+(\w*mutex\w*)\s*"
-            r"(?:\{[^}]*\})?\s*;")
-        for path in sorted((self.root / "src").rglob("*.h")):
-            if path.name == "thread_annotations.h":
-                continue
-            lines = path.read_text().splitlines()
-            # Brace depth at the start of each line, so nested structs and
-            # inline function bodies after the mutex are skipped.
-            depths = []
-            depth = 0
-            for ln in lines:
-                depths.append(depth)
-                code = re.sub(r"//.*", "", ln)
-                depth += code.count("{") - code.count("}")
-            i = 0
-            while i < len(lines):
-                m = decl.search(lines[i])
-                if not m or "std::" in lines[i]:
-                    i += 1
-                    continue
-                mutex_name = m.group(1)
-                d0 = depths[i]
-                j = i + 1
-                while j < len(lines) and depths[j] >= d0:
-                    if depths[j] > d0:  # nested struct / function body
-                        j += 1
-                        continue
-                    stripped = lines[j].strip()
-                    if (not stripped or stripped.startswith("//")
-                            or stripped.startswith("}")
-                            or stripped.startswith("#")
-                            or stripped.endswith(":")):
-                        j += 1
-                        continue
-                    joined = stripped
-                    k = j
-                    while (";" not in joined and "{" not in joined
-                           and k + 1 < len(lines) and len(joined) < 400):
-                        k += 1
-                        joined += " " + lines[k].strip()
-                    # Parens outside GUARDED_BY(...) → a function
-                    # declaration, not a data member.
-                    probe = re.sub(r"GUARDED_BY\([^)]*\)", "", joined)
-                    fm = FIELD_DECL.match(joined)
-                    if fm and "(" not in probe:
-                        ftype = fm.group("type").strip()
-                        ok = (
-                            "GUARDED_BY" in joined
-                            or "//" in joined
-                            or (j > 0 and lines[j - 1].strip().startswith("//"))
-                            or ftype.startswith("const ")
-                            or ftype.startswith(SELF_SYNC_TYPES)
-                            or "atomic" in ftype
-                        )
-                        if not ok:
-                            self.fail(
-                                "GUARDED-BY", f"{self.rel(path)}:{j + 1}",
-                                f"field '{fm.group('name')}' follows "
-                                f"'{mutex_name}' but has no GUARDED_BY (add "
-                                "the annotation, or a comment saying why "
-                                "it needs none)")
-                    j = k + 1
-                i = j
-        # Note: this is a heuristic proximity check. The authoritative
-        # check is Clang's -Wthread-safety in the analyze preset.
+    # MEM-ORDER and GUARDED-BY used to live here as regex heuristics.
+    # Both moved to the AST-grade analyzer (tools/analyze/checks.py),
+    # which sees token boundaries, the common::Atomic kRelaxed shim, and
+    # real class structure; ctest runs it as analyze_src.
 
 
 def main():
@@ -566,8 +432,6 @@ def main():
     linter.check_spin_park()
     linter.check_mem_pools()
     linter.check_lock_ranks()
-    linter.check_memory_orders()
-    linter.check_guarded_by()
 
     if linter.findings:
         print(f"check_invariants: {len(linter.findings)} finding(s)")
